@@ -1,0 +1,13 @@
+"""Benchmark: flexibility ablation (DESIGN.md's design-choice study)."""
+
+from repro.experiments.ablation_flexibility import run_ablation
+
+
+def test_bench_ablation(once):
+    result = once(run_ablation, fast=True)
+    # Each mechanism alone helps (or at worst does no harm)...
+    for name in ("+orders", "+partitions", "+parallelism"):
+        assert result.gain_over_base(name) >= 0.999, name
+    # ...and the full machine composes them.
+    assert result.mechanisms_compose()
+    assert result.gain_over_base("morph") > 1.3

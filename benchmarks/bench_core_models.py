@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the core analytic models and the optimizer.
+
+These time the building blocks that every experiment leans on — useful for
+tracking performance regressions in the model code itself (standard
+multi-round pytest-benchmark timing, unlike the one-shot figure benches).
+"""
+
+from repro.arch.accelerator import morph
+from repro.core.access_model import compute_traffic
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.evaluate import evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+from repro.sim.trace import trace_dataflow
+
+LAYER = ConvLayer(
+    "c3d2", h=56, w=56, c=64, f=16, k=128, r=3, s=3, t=3,
+    pad_h=1, pad_w=1, pad_f=1,
+)
+HIERARCHY = TileHierarchy(
+    LAYER,
+    (
+        TileShape(w=28, h=14, c=64, k=8, f=8),
+        TileShape(w=14, h=7, c=32, k=8, f=4),
+        TileShape(w=7, h=7, c=8, k=8, f=2),
+    ),
+)
+DATAFLOW = Dataflow(
+    LoopOrder.parse("WHCKF"),
+    LoopOrder.parse("CFWHK"),
+    HIERARCHY,
+    Parallelism(h=2, w=2, k=24),
+)
+
+
+def test_bench_compute_traffic(benchmark):
+    """One analytic traffic evaluation (the optimizer's inner loop)."""
+    report = benchmark(compute_traffic, DATAFLOW)
+    assert report.maccs == LAYER.maccs
+
+
+def test_bench_full_evaluation(benchmark):
+    """Traffic + performance + energy for one configuration."""
+    arch = morph()
+    ev = benchmark(evaluate, DATAFLOW, arch, check_capacity=False)
+    assert ev.total_energy_pj > 0
+
+
+def test_bench_layer_optimization(benchmark):
+    """A complete per-layer configuration search (fast preset)."""
+    small = ConvLayer(
+        "c3d5a", h=7, w=7, c=512, f=2, k=512, r=3, s=3, t=3,
+        pad_h=1, pad_w=1, pad_f=1,
+    )
+    optimizer = LayerOptimizer(morph(), OptimizerOptions.fast())
+    result = benchmark.pedantic(
+        optimizer.optimize, args=(small,), rounds=3, iterations=1
+    )
+    assert result.best.total_energy_pj > 0
+
+
+def test_bench_trace_simulator(benchmark):
+    """The validation walker on a small layer (exponentially slower than
+    the analytic model it checks — that gap is the point)."""
+    layer = ConvLayer("small", h=12, w=12, c=8, f=6, k=8, r=3, s=3, t=3)
+    hierarchy = TileHierarchy(
+        layer,
+        (
+            TileShape(w=5, h=10, c=4, k=4, f=2),
+            TileShape(w=5, h=5, c=2, k=2, f=2),
+        ),
+    )
+    dataflow = Dataflow(
+        LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"), hierarchy
+    )
+    report = benchmark(trace_dataflow, dataflow)
+    assert report.boundaries[0].fills

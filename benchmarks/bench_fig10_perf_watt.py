@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 10 (perf/watt, Morph vs Morph-base)."""
+
+from repro.experiments.fig10_perf_watt import run_figure10
+
+
+def test_bench_figure10(once):
+    result = once(run_figure10, fast=True)
+    assert len(result.entries) == 5
+    # Morph improves performance-per-watt on every network (paper: 2.07x
+    # to 5.08x, average ~4x).
+    for entry in result.entries:
+        assert entry.improvement > 1.0, entry.network
+    assert result.average_improvement > 1.3
+    # On the 3D CNNs the win comes with better PE utilisation.
+    for entry in result.entries:
+        if entry.is_3d:
+            assert entry.morph_utilization > entry.base_utilization

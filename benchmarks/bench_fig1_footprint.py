@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 1 (footprints and reuse, 2D vs 3D CNNs)."""
+
+from repro.experiments.fig1_footprint import FIG1_BUILDS, run_figure1
+
+
+def test_bench_figure1(once):
+    result = once(run_figure1)
+    # Every network profiled, with the paper's observations holding.
+    assert {fp.network for fp in result.footprints} == set(FIG1_BUILDS)
+    assert result.max_footprint("C3D") > 1024 * 1024  # Observation 1
+    assert result.reuse_ratio_3d_over_2d() > 2.0  # Observation 3
+    assert result.reuse["I3D"] > result.reuse["AlexNet"]

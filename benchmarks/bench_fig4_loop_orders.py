@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 4 (loop-order motivation study, all of C3D).
+
+Covers Figures 4a (outer orders / DRAM energy), 4b (L2 allocation) and 4c
+(inner orders / on-chip energy) in one run, as they share the Opt sweep.
+"""
+
+from repro.experiments.fig4_loop_orders import run_figure4
+
+
+def test_bench_figure4(once):
+    result = once(run_figure4, fast=True)
+    assert len(result.layer_names) == 8  # all C3D layers
+    # Figure 4a/4c: per-layer Opt is never beaten by a fixed order.
+    assert result.opt_never_worse("dram")
+    assert result.opt_never_worse("onchip")
+    # Figure 4a: the extreme orders pay somewhere.
+    worst_k = max(
+        k / o
+        for k, o in zip(result.dram_energy["KWHCF"], result.dram_energy["Opt"])
+    )
+    worst_i = max(
+        i / o
+        for i, o in zip(result.dram_energy["WFHCK"], result.dram_energy["Opt"])
+    )
+    assert worst_k > 1.05 and worst_i > 1.05
+    # Figure 4b: allocation shifts from inputs (early) to weights (late).
+    assert result.l2_allocation[0][0] > result.l2_allocation[0][2]
+    assert result.l2_allocation[-1][2] > result.l2_allocation[-1][0]

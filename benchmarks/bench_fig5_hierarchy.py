@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (buffer-hierarchy-depth sweep)."""
+
+from repro.experiments.fig5_hierarchy import run_figure5
+
+
+def test_bench_figure5(once):
+    result = once(run_figure5, max_levels=4)
+    adv3 = result.advantage(is_3d=True)
+    adv2 = result.advantage(is_3d=False)
+    # Multi-level on-chip hierarchies pay off, more for 3D than 2D, and
+    # returns diminish past three levels.
+    assert max(adv3) > 1.0
+    assert max(adv3) > max(adv2)
+    assert result.best_depth(is_3d=True) in (2, 3)
+    assert adv3[3] <= adv3[2] * 1.01

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 9 (energy on all five CNNs, 3 machines).
+
+This is the paper's headline experiment: Eyeriss vs Morph-base vs Morph on
+C3D, 3D ResNet-50, I3D, Two-Stream and AlexNet, with the DRAM/L2/L1/L0/
+compute split.  The run optimises every layer of every network on every
+machine (the most expensive benchmark in the suite).
+"""
+
+from repro.experiments.fig9_energy import run_figure9
+
+
+def test_bench_figure9(once):
+    result = once(run_figure9, fast=True)
+    assert len(result.networks) == 5
+
+    # Morph beats Morph-base on every network.
+    for entry in result.networks:
+        assert entry.total("Morph") < entry.total("Morph_base"), entry.network
+
+    # Both Morph variants beat Eyeriss heavily on the 3D CNNs.
+    for name in ("C3D", "ResNet3D-50", "I3D"):
+        entry = result.by_name(name)
+        assert entry.reduction_vs("Morph", "Eyeriss") > 2.0, name
+        assert entry.reduction_vs("Morph_base", "Eyeriss") > 1.2, name
+
+    # The temporal-reuse gap widens with frame count (I3D: 64f vs C3D: 16f).
+    assert result.by_name("I3D").reduction_vs("Morph", "Eyeriss") > (
+        result.by_name("C3D").reduction_vs("Morph", "Eyeriss") * 0.9
+    )
+
+    # The 2D crossover: Eyeriss beats Morph-base on AlexNet, Morph still
+    # edges Eyeriss (Section VI-D).
+    alex = result.by_name("AlexNet")
+    assert alex.total("Eyeriss") < alex.total("Morph_base")
+    assert alex.total("Morph") < alex.total("Eyeriss")
+
+    # Headline factors in the right regime (paper: 2.5x and 15.9x).
+    assert result.average_reduction_3d("Morph", "Morph_base") > 1.5
+    assert result.average_reduction_3d("Morph", "Eyeriss") > 2.5

@@ -1,0 +1,9 @@
+"""Benchmark: precision-sensitivity extension study on C3D."""
+
+from repro.experiments.precision_study import run_precision_study
+
+
+def test_bench_precision_study(once):
+    result = once(run_precision_study, fast=True)
+    assert result.energy("int4") <= result.energy("int8")
+    assert result.scaling_int16_over_int8() > 1.2

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table III (per-layer C3D configurations)."""
+
+from repro.experiments.table3_configs import run_table3
+
+
+def test_bench_table3(once):
+    result = once(run_table3, fast=True)
+    assert [row.layer for row in result.rows] == [
+        "layer1", "layer2", "layer3a", "layer3b",
+        "layer4a", "layer4b", "layer5a", "layer5b",
+    ]
+    # The table's character: loop orders and tile parameters vary across
+    # layers (the whole point of flexibility).
+    assert len({row.outer_order for row in result.rows}) > 1
+    assert len({(row.kt, row.ht, row.ft) for row in result.rows}) > 3
+    # Input-space tile bounds follow the layer shapes (paper: Ht=114 max
+    # for layer1, Ft tracks the pooled frame counts).
+    by_layer = {row.layer: row for row in result.rows}
+    assert by_layer["layer1"].ht <= 114
+    assert by_layer["layer1"].ft <= 18
+    assert by_layer["layer5b"].ft <= 4
+    # Kp*Vw comes in vector-width multiples (paper lists 8 and 16).
+    assert all(row.kp_vw % 8 == 0 for row in result.rows)

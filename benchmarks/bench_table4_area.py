@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table IV (PE area breakdown, cost of flexibility)."""
+
+import pytest
+
+from repro.experiments.table4_area import PAPER_TABLE4, run_table4
+
+
+def test_bench_table4(once):
+    result = once(run_table4)
+    # Every component lands near the paper's synthesis numbers.
+    for name, (p_base, p_flex, _) in PAPER_TABLE4.items():
+        base, flex, _ = result.component(name)
+        assert base == pytest.approx(p_base, rel=0.15), name
+        assert flex == pytest.approx(p_flex, rel=0.15), name
+    # The headline: flexibility costs ~5% total PE area.
+    assert result.overheads["total"] == pytest.approx(0.0498, abs=0.015)

@@ -1,0 +1,76 @@
+"""Architecture design-space exploration with the Morph cost models.
+
+A downstream use of the library beyond reproducing the paper: size a Morph
+variant for a target workload.  Sweeps the L2 capacity and the PE vector
+width, re-optimising the dataflow for each machine (hardware/software
+codesign, as the paper argues, must happen jointly), and reports the
+energy/area Pareto candidates for I3D's heaviest layers.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import OptimizerOptions, i3d, morph, optimize_network
+from repro.arch.sram import sram_area_mm2
+from repro.arch.area import morph_pe_area
+
+
+def machine_variants():
+    """A small grid of Morph variants around the paper's design point."""
+    for l2_kb in (512, 1024, 2048):
+        for vector_width in (4, 8, 16):
+            yield morph(l2_kb=l2_kb, vector_width=vector_width)
+
+
+def chip_area_mm2(arch) -> float:
+    """First-order die area: L2 macro + per-PE area (Table IV model)."""
+    l2 = arch.levels[0]
+    area = sram_area_mm2(l2.capacity_kb, banks=l2.banks)
+    l1 = arch.levels[1]
+    area += sram_area_mm2(l1.capacity_kb, banks=l1.banks) * l1.instances
+    pe = morph_pe_area(l0_kb=arch.levels[2].capacity_kb, lanes=arch.vector_width)
+    return area + pe.total * arch.total_pes
+
+
+def main() -> None:
+    # The five most compute-heavy I3D layers stand in for the network: a
+    # design sized for them is sized for the network's energy profile.
+    network = i3d()
+    heavy = tuple(
+        sorted(network.layers, key=lambda l: l.maccs, reverse=True)[:5]
+    )
+    print(f"Workload: top-5 I3D layers, "
+          f"{sum(l.maccs for l in heavy) / 1e9:.1f} GMACs\n")
+
+    options = OptimizerOptions.fast()
+    rows = []
+    for arch in machine_variants():
+        result = optimize_network(
+            heavy, arch, options,
+            network_name=f"i3d-top5@{arch.levels[0].capacity_kb:.0f}kB"
+            f"/Vw{arch.vector_width}",
+        )
+        rows.append((arch, result, chip_area_mm2(arch)))
+
+    print(f"{'L2 kB':>6s} {'Vw':>3s} {'energy mJ':>10s} {'Mcycles':>9s} "
+          f"{'area mm^2':>10s} {'GMACs/J':>9s}")
+    best_energy = min(r.total_energy_pj for _, r, _ in rows)
+    for arch, result, area in rows:
+        marker = "  <- paper design point" if (
+            arch.levels[0].capacity_kb == 1024 and arch.vector_width == 8
+        ) else ("  <- min energy" if result.total_energy_pj == best_energy else "")
+        print(
+            f"{arch.levels[0].capacity_kb:6.0f} {arch.vector_width:3d} "
+            f"{result.total_energy_pj / 1e9:10.2f} "
+            f"{result.total_cycles / 1e6:9.1f} "
+            f"{area:10.2f} "
+            f"{result.perf_per_watt / 1e9:9.0f}"
+            f"{marker}"
+        )
+
+    print("\nLarger L2s buy little once the optimizer pins a data type "
+          "on-chip; wider vectors amortise L0 reads but idle on narrow-K "
+          "layers — the codesign trade-offs the paper's Section III maps.")
+
+
+if __name__ == "__main__":
+    main()

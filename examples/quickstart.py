@@ -1,0 +1,58 @@
+"""Quickstart: optimise one 3D-CNN layer for the Morph accelerator.
+
+Runs the paper's software flow (Section V) on C3D's layer3a: enumerate
+configurations, pick the energy-optimal one, inspect the result, and lower
+it to the hardware programming state (bank assignments + FSM programs).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LayerOptimizer, OptimizerOptions, c3d, morph
+from repro.optimizer.schedule import lower
+
+
+def main() -> None:
+    arch = morph()
+    print(arch.describe())
+    print()
+
+    layer = c3d().layer_named("layer3a")
+    print(f"Optimising: {layer.describe()}")
+    print(f"  {layer.maccs / 1e9:.2f} GMACs, "
+          f"{layer.footprint_bytes() / 1e6:.2f} MB input+weight footprint")
+    print()
+
+    optimizer = LayerOptimizer(arch, OptimizerOptions.fast())
+    result = optimizer.optimize(layer)
+    best = result.best
+
+    print(f"Searched {result.evaluated} configurations; best by energy:")
+    print(f"  dataflow : {best.dataflow.describe()}")
+    print(f"  energy   : {best.total_energy_pj / 1e6:.1f} uJ "
+          f"({best.total_energy_pj / layer.maccs:.2f} pJ/MAC)")
+    print(f"  runtime  : {best.cycles / 1e6:.2f} Mcycles at "
+          f"{best.performance.utilization:.0%} PE utilisation")
+    print(f"  DRAM     : {best.traffic.dram_total_bytes / 1e6:.2f} MB moved")
+    print()
+
+    components = best.energy.figure9_components()
+    print("Energy by component (the paper's Figure 9 split):")
+    for name, pj in components.items():
+        bar = "#" * max(1, round(40 * pj / max(components.values())))
+        print(f"  {name:8s} {pj / 1e6:9.1f} uJ  {bar}")
+    print()
+
+    program = lower(best)
+    print("Layer-start hardware state (Section V-E lowering):")
+    for index, assignment in enumerate(program.bank_assignments):
+        pretty = {dt.value: banks for dt, banks in (assignment or {}).items()}
+        print(f"  L{2 - index} bank assignment: {pretty}")
+    outer_fsm = program.boundary_programs[0]
+    print(f"  DRAM->L2 FSM: {outer_fsm.fsm.total_states} states over loops "
+          f"{[d.value for d in outer_fsm.dims]} (bounds {outer_fsm.bounds})")
+    print(f"  PE multicast mask fanout: {program.pe_mask.fanout} "
+          f"(last round: {program.last_round_mask.fanout})")
+
+
+if __name__ == "__main__":
+    main()

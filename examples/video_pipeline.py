@@ -1,0 +1,63 @@
+"""Edge video understanding: full C3D clip inference on Morph vs Morph-base.
+
+The paper's motivating scenario (Section I): real-time video understanding
+on energy-constrained edge devices — surveillance drones, self-driving
+cars.  This example evaluates a complete 16-frame C3D clip on both
+machines, reporting per-layer energy, end-to-end clips/second and
+energy per clip, plus how the optimizer reshapes the dataflow layer by
+layer (the paper's Table III in action).
+
+Run:  python examples/video_pipeline.py
+"""
+
+from repro import OptimizerOptions, c3d, morph, optimize_network
+from repro.baselines.morph_base import evaluate_network_on_morph_base
+
+
+def main() -> None:
+    network = c3d()
+    options = OptimizerOptions.fast()
+
+    print(f"Workload: {network.name}, {len(network)} conv layers, "
+          f"{network.total_maccs / 1e9:.1f} GMACs per 16-frame clip\n")
+
+    flexible = optimize_network(
+        network.layers, morph(), options, network_name=network.name
+    )
+    baseline = evaluate_network_on_morph_base(network, options)
+
+    header = (
+        f"{'layer':9s} {'Morph uJ':>10s} {'base uJ':>10s} {'saving':>7s}  "
+        f"{'outer':9s} {'inner':9s} {'parallelism':18s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for flex_layer, base_layer in zip(flexible.layers, baseline.layers):
+        ev = flex_layer.best
+        print(
+            f"{ev.layer.name:9s} "
+            f"{ev.total_energy_pj / 1e6:10.1f} "
+            f"{base_layer.best.total_energy_pj / 1e6:10.1f} "
+            f"{base_layer.best.total_energy_pj / ev.total_energy_pj:6.2f}x  "
+            f"{ev.dataflow.outer_order.format():9s} "
+            f"{ev.dataflow.inner_order.format(lower=True):9s} "
+            f"{ev.dataflow.parallelism.describe():18s}"
+        )
+
+    clock = morph().technology.clock_hz
+    for name, result in (("Morph", flexible), ("Morph_base", baseline)):
+        seconds = result.total_cycles / clock
+        energy_mj = result.total_energy_pj / 1e9
+        print(
+            f"\n{name}: {1.0 / seconds:6.1f} clips/s, "
+            f"{energy_mj:.2f} mJ per clip, "
+            f"{result.perf_per_watt / 1e9:.0f} GMACs/J"
+        )
+
+    ratio = baseline.total_energy_pj / flexible.total_energy_pj
+    print(f"\nFlexibility buys {ratio:.2f}x lower energy on this network "
+          f"(paper: 2.5x average across 3D CNNs).")
+
+
+if __name__ == "__main__":
+    main()

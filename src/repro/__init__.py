@@ -1,0 +1,86 @@
+"""repro: a full reproduction of *Morph: Flexible Acceleration for 3D
+CNN-Based Video Understanding* (Hegde et al., MICRO 2018).
+
+The package models the Morph accelerator, its inflexible baseline and an
+Eyeriss-style 2D comparison point, the per-layer configuration optimizer,
+and the analytic traffic/energy/performance models the paper's evaluation
+is built on — plus functional simulators that validate them.
+
+Quick start::
+
+    from repro import morph, c3d, LayerOptimizer, OptimizerOptions
+
+    layer = c3d().layers[0]
+    result = LayerOptimizer(morph(), OptimizerOptions.fast()).optimize(layer)
+    print(result.best.describe())
+
+See ``examples/`` for runnable walkthroughs and
+``python -m repro.experiments.runner --all`` to regenerate every paper
+figure and table.
+"""
+
+from repro.arch.accelerator import (
+    AcceleratorConfig,
+    eyeriss_like,
+    morph,
+    morph_base,
+)
+from repro.core.access_model import TrafficReport, compute_traffic
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.dims import DataType, Dim
+from repro.core.evaluate import Evaluation, evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import Precision, TileHierarchy, TileShape
+from repro.optimizer.search import (
+    LayerOptimizer,
+    NetworkResult,
+    OptimizerOptions,
+    optimize_network,
+)
+from repro.workloads import (
+    alexnet,
+    build_network,
+    c3d,
+    i3d,
+    inception,
+    network_names,
+    resnet3d50,
+    resnet50,
+    two_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "ConvLayer",
+    "Dataflow",
+    "DataType",
+    "Dim",
+    "Evaluation",
+    "LayerOptimizer",
+    "LoopOrder",
+    "NetworkResult",
+    "OptimizerOptions",
+    "Parallelism",
+    "Precision",
+    "TileHierarchy",
+    "TileShape",
+    "TrafficReport",
+    "alexnet",
+    "build_network",
+    "c3d",
+    "compute_traffic",
+    "evaluate",
+    "eyeriss_like",
+    "i3d",
+    "inception",
+    "morph",
+    "morph_base",
+    "network_names",
+    "optimize_network",
+    "resnet3d50",
+    "resnet50",
+    "two_stream",
+]

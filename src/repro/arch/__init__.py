@@ -1,0 +1,7 @@
+"""Hardware substrate: technology, SRAM, buffers, NoC, FSMs, machines.
+
+Models the physical pieces of the Morph accelerator (paper Section IV):
+CACTI-style SRAM energy/area, the configurable banked buffer (Figure 7),
+the programmable loop FSM (Figure 8), broadcast NoCs (Section IV-A4) and
+the three evaluated machine configurations (Table II).
+"""

@@ -1,0 +1,304 @@
+"""Machine descriptions: Morph, Morph-base and the Eyeriss comparison point.
+
+Resources follow Table II of the paper:
+
+============  =================  ==========
+Parameter     Morph              Eyeriss
+============  =================  ==========
+PEs           16 per cluster     24 x 32
+Clusters      6                  --
+Vector width  8                  1
+L2 size       1024 kB            1408 kB
+L1 size       64 kB per cluster  --
+L0 size       16 kB per PE       2 kB per PE
+============  =================  ==========
+
+Both machines are normalised to the same peak compute
+(6 * 16 * 8 = 768 = 24 * 32 MACs/cycle) and comparable on-chip SRAM, which
+is how the paper makes the energy comparison fair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.buffers import (
+    MORPH_BASE_L0_PARTITION,
+    MORPH_BASE_L1_PARTITION,
+    MORPH_BASE_L2_PARTITION,
+    BufferLevel,
+    FlexiblePartition,
+    PartitionPolicy,
+    StaticPartition,
+)
+from repro.arch.noc import BusSpec, NocConfig
+from repro.arch.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.core.dataflow import Parallelism
+from repro.core.dims import DataType
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import Precision, TileShape
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete accelerator instance the cost models can evaluate."""
+
+    name: str
+    clusters: int  #: M
+    pes_per_cluster: int  #: N
+    vector_width: int  #: Vw, lanes across output channels (Section IV-A2)
+    levels: tuple[BufferLevel, ...]  #: outermost (last-level) first
+    partitions: tuple[PartitionPolicy, ...]
+    noc: NocConfig
+    technology: Technology = DEFAULT_TECHNOLOGY
+    precision: Precision = dataclasses.field(default_factory=Precision)
+    #: Inflexible machines pin their dataflow (Morph-base, Eyeriss).
+    fixed_outer_order: LoopOrder | None = None
+    fixed_inner_order: LoopOrder | None = None
+    fixed_parallelism: Parallelism | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.partitions):
+            raise ValueError("one partition policy required per buffer level")
+        if self.clusters < 1 or self.pes_per_cluster < 1 or self.vector_width < 1:
+            raise ValueError("cluster/PE/vector counts must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pes(self) -> int:
+        return self.clusters * self.pes_per_cluster
+
+    @property
+    def peak_maccs_per_cycle(self) -> int:
+        return self.total_pes * self.vector_width
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def is_flexible(self) -> bool:
+        return self.fixed_outer_order is None
+
+    def level(self, index: int) -> BufferLevel:
+        return self.levels[index]
+
+    @property
+    def innermost_level(self) -> BufferLevel:
+        return self.levels[-1]
+
+    # ------------------------------------------------------------------
+    def tile_fits(
+        self, level_index: int, layer: ConvLayer, tile: TileShape
+    ) -> bool:
+        """Capacity check of one tile at one level under its policy."""
+        precision = self.precision
+        tile_bytes = {
+            DataType.INPUTS: tile.input_elements(layer) * precision.activation_bytes,
+            DataType.WEIGHTS: tile.weight_elements(layer) * precision.weight_bytes,
+            DataType.PSUMS: tile.psum_elements() * precision.psum_bytes,
+        }
+        return self.partitions[level_index].fits(self.levels[level_index], tile_bytes)
+
+    def hierarchy_fits(self, layer: ConvLayer, tiles: tuple[TileShape, ...]) -> bool:
+        if len(tiles) != self.num_levels:
+            raise ValueError(
+                f"{self.name} has {self.num_levels} levels, got {len(tiles)} tiles"
+            )
+        return all(
+            self.tile_fits(i, layer, tile) for i, tile in enumerate(tiles)
+        )
+
+    def max_parallelism(self) -> int:
+        return self.total_pes
+
+    # ------------------------------------------------------------------
+    def read_pj_per_byte(self, level_index: int, data_type: DataType) -> float:
+        """Per-byte read energy: depends on which SRAM array activates.
+
+        Flexible buffers activate one bank; static partitions are whole
+        macros — the energy asymmetry behind the paper's observation that
+        Morph-base's 3D-provisioned L0 hurts it on 2D CNNs (Section VI-D).
+        """
+        from repro.arch.sram import sram_read_pj_per_byte
+
+        macro_kb = self.partitions[level_index].activated_macro_kb(
+            self.levels[level_index], data_type
+        )
+        return sram_read_pj_per_byte(macro_kb)
+
+    def write_pj_per_byte(self, level_index: int, data_type: DataType) -> float:
+        from repro.arch.sram import sram_write_pj_per_byte
+
+        macro_kb = self.partitions[level_index].activated_macro_kb(
+            self.levels[level_index], data_type
+        )
+        return sram_write_pj_per_byte(macro_kb)
+
+    def on_chip_sram_kb(self) -> float:
+        return sum(
+            lvl.capacity_bytes * lvl.instances / 1024.0 for lvl in self.levels
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name}: {self.clusters} clusters x {self.pes_per_cluster} PEs "
+            f"x Vw={self.vector_width} = {self.peak_maccs_per_cycle} MACC/cycle"
+        ]
+        for lvl in self.levels:
+            lines.append(
+                f"  {lvl.name}: {lvl.capacity_kb:.0f} kB x{lvl.instances}, "
+                f"{lvl.banks} banks"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Factory functions for the three evaluated machines
+# ----------------------------------------------------------------------
+
+#: Morph-base's fixed dataflow (Section IV-A3): the average-best orders the
+#: Morph optimizer finds across the CNNs under test.
+MORPH_BASE_OUTER = LoopOrder.parse("WHCKF")
+MORPH_BASE_INNER = LoopOrder.parse("CFWHK")
+#: Morph-base parallelises a fixed Hp (PEs within a cluster) and Kp (across
+#: clusters): Hp * Kp = 16 * 6 = 96 PEs.
+MORPH_BASE_PARALLELISM = Parallelism(h=16, k=6)
+
+
+def _morph_noc(clusters: int) -> NocConfig:
+    """Bus provisioning from Section IV-A4: 64-bit L2<->L1, 32-bit L1<->L0.
+
+    Wire lengths come from the rough floorplan the paper describes for NoC
+    energy: the L2 bus spans the chip (~3 mm for the ~9 mm^2 design), each
+    cluster bus spans one cluster (~0.5 mm).
+    """
+    return NocConfig(
+        dram_bus=BusSpec("DRAM", width_bits=64, length_mm=5.0),
+        l2_l1=BusSpec("L2-L1", width_bits=64, length_mm=3.0, destinations=clusters),
+        l1_l0=BusSpec("L1-L0", width_bits=32, length_mm=0.5, destinations=16),
+        clusters=clusters,
+    )
+
+
+def morph(
+    *,
+    l2_kb: int = 1024,
+    l1_kb: int = 64,
+    l0_kb: int = 16,
+    banks: int = 16,
+    clusters: int = 6,
+    pes_per_cluster: int = 16,
+    vector_width: int = 8,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> AcceleratorConfig:
+    """The flexible Morph accelerator (Sections IV-B, VI-B)."""
+    levels = (
+        BufferLevel("L2", l2_kb * 1024, banks=banks),
+        BufferLevel("L1", l1_kb * 1024, banks=banks, instances=clusters),
+        BufferLevel(
+            "L0", l0_kb * 1024, banks=banks, instances=clusters * pes_per_cluster
+        ),
+    )
+    flexible = FlexiblePartition()
+    return AcceleratorConfig(
+        name="Morph",
+        clusters=clusters,
+        pes_per_cluster=pes_per_cluster,
+        vector_width=vector_width,
+        levels=levels,
+        partitions=(flexible, flexible, flexible),
+        noc=_morph_noc(clusters),
+        technology=technology,
+    )
+
+
+def morph_base(
+    *,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> AcceleratorConfig:
+    """The inflexible baseline: same resources, fixed dataflow (Section VI-B).
+
+    Buffers are monolithic per static partition (bank count 1 models the
+    statically partitioned SRAMs of Table IV); loop orders and parallelism
+    are pinned to the average-best configuration.
+    """
+    levels = (
+        BufferLevel("L2", 1024 * 1024, banks=1),
+        BufferLevel("L1", 64 * 1024, banks=1, instances=6),
+        BufferLevel("L0", 16 * 1024, banks=1, instances=96),
+    )
+    return AcceleratorConfig(
+        name="Morph_base",
+        clusters=6,
+        pes_per_cluster=16,
+        vector_width=8,
+        levels=levels,
+        partitions=(
+            MORPH_BASE_L2_PARTITION,
+            MORPH_BASE_L1_PARTITION,
+            MORPH_BASE_L0_PARTITION,
+        ),
+        noc=_morph_noc(6),
+        technology=technology,
+        fixed_outer_order=MORPH_BASE_OUTER,
+        fixed_inner_order=MORPH_BASE_INNER,
+        fixed_parallelism=MORPH_BASE_PARALLELISM,
+    )
+
+
+#: Eyeriss evaluates with a fixed row-stationary-style dataflow: filters
+#: stay resident close to the PEs while inputs slide spatially, so weights'
+#: innermost relevant loop (C, K) sits outermost and the spatial dims cycle
+#: inside.  F outermost = frame-by-frame processing (Section VI-B).
+#: Parallelism is left free: row stationary folds and replicates its
+#: logical PE sets over output rows, filters and channels to fill the
+#: array, which our per-layer parallelism choice emulates.
+EYERISS_OUTER = LoopOrder.parse("FKCWH")
+EYERISS_INNER = LoopOrder.parse("FKCWH")
+
+
+def eyeriss_like(
+    *,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> AcceleratorConfig:
+    """Eyeriss normalised to Morph's compute and storage (Table II).
+
+    24 x 32 scalar PEs with 2 kB RF-style L0s and a 1408 kB global buffer;
+    no cluster level.  The GLB split follows Eyeriss' organisation: it
+    mostly holds ifmaps and psums while weights stream (5 % staging space),
+    and like the real design each partition is multi-banked.
+    """
+    levels = (
+        BufferLevel("L2", 1408 * 1024, banks=16),
+        BufferLevel("L0", 2 * 1024, banks=1, word_bits=16, instances=768),
+    )
+    return AcceleratorConfig(
+        name="Eyeriss",
+        clusters=1,
+        pes_per_cluster=768,
+        vector_width=1,
+        levels=levels,
+        partitions=(
+            StaticPartition(
+                input_frac=0.50, psum_frac=0.45, weight_frac=0.05,
+                banks_per_partition=8,
+            ),
+            StaticPartition(input_frac=0.25, psum_frac=0.25, weight_frac=0.50),
+        ),
+        noc=NocConfig(
+            # The GLB feeds the whole 24x32 array through parallel
+            # row/column multicast networks; 256 bits aggregate keeps the
+            # scalar PEs rate-matched the way Morph's hierarchy of 64-bit
+            # buses keeps its vector PEs fed (Section IV-A4).
+            dram_bus=BusSpec("DRAM", width_bits=64, length_mm=5.0),
+            l2_l1=BusSpec("GLB-PE", width_bits=256, length_mm=3.5, destinations=768),
+            l1_l0=BusSpec("unused", width_bits=8, length_mm=0.1),
+            clusters=1,
+        ),
+        technology=technology,
+        fixed_outer_order=EYERISS_OUTER,
+        fixed_inner_order=EYERISS_INNER,
+        fixed_parallelism=None,
+    )

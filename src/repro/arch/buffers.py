@@ -1,0 +1,183 @@
+"""On-chip buffer levels and their partitioning policies.
+
+Morph's key storage mechanism (Section IV-B1, Figure 7) is a banked buffer
+whose banks are assigned to inputs / weights / psums at layer-configuration
+time, so tile sizes of the three data types can grow and shrink per layer
+without fragmentation.  Morph-base instead carves each buffer into *static*
+partitions sized for the average case (Table I).
+
+Both policies answer the same question for the optimizer and the capacity
+checker: *does this set of per-data-type tile footprints fit?*
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.arch.sram import sram_read_pj_per_byte, sram_write_pj_per_byte
+from repro.core.dims import ALL_DATA_TYPES, DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferLevel:
+    """One level of on-chip SRAM (single logical instance).
+
+    ``capacity_bytes`` is the full physical size; all Morph buffers are
+    logically double buffered (Section III), halving the space available to
+    live tiles — e.g. the paper bounds the sum of L2 tile sizes by 512 kB
+    for the 1 MB L2.
+    """
+
+    name: str
+    capacity_bytes: int
+    banks: int = 16
+    word_bits: int = 64
+    double_buffered: bool = True
+    instances: int = 1  #: e.g. one L1 per cluster, one L0 per PE
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.banks < 1:
+            raise ValueError(f"{self.name}: banks must be >= 1")
+        if self.capacity_bytes % self.banks:
+            raise ValueError(f"{self.name}: capacity must divide into banks")
+
+    @property
+    def usable_bytes(self) -> int:
+        """Capacity available to live tiles (half when double buffered)."""
+        return self.capacity_bytes // 2 if self.double_buffered else self.capacity_bytes
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.capacity_bytes // self.banks
+
+    @property
+    def usable_banks(self) -> int:
+        return self.banks // 2 if self.double_buffered else self.banks
+
+    @property
+    def bank_kb(self) -> float:
+        return self.bank_bytes / 1024.0
+
+    @property
+    def capacity_kb(self) -> float:
+        return self.capacity_bytes / 1024.0
+
+    # ------------------------------------------------------------------
+    def read_pj_per_byte(self) -> float:
+        """Only the addressed bank activates per access (Figure 7)."""
+        return sram_read_pj_per_byte(self.bank_kb)
+
+    def write_pj_per_byte(self) -> float:
+        return sram_write_pj_per_byte(self.bank_kb)
+
+
+class PartitionPolicy:
+    """Interface: can a set of per-data-type tile footprints be stored?"""
+
+    def fits(self, level: BufferLevel, tile_bytes: dict[DataType, int]) -> bool:
+        raise NotImplementedError
+
+    def capacity_for(self, level: BufferLevel, data_type: DataType) -> int:
+        """Largest single-data-type footprint this policy can ever hold."""
+        raise NotImplementedError
+
+    def activated_macro_kb(self, level: BufferLevel, data_type: DataType) -> float:
+        """Capacity of the SRAM array activated by one access.
+
+        Drives per-access energy: a static partition is its own monolithic
+        macro; a flexible buffer activates a single bank (Figure 7).
+        """
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticPartition(PartitionPolicy):
+    """Fixed fractional split of a buffer between the data types.
+
+    This is Morph-base's organisation; Table I gives the fractions that the
+    paper found best on average (L2: 38.5 % inputs / 40 % outputs /
+    21.5 % weights; L1 and L0: 40 / 10 / 50).  ``banks_per_partition``
+    controls how each partition is implemented: Morph-base uses monolithic
+    macros (Table IV), while Eyeriss' global buffer is conventionally
+    banked.
+    """
+
+    input_frac: float
+    psum_frac: float
+    weight_frac: float
+    banks_per_partition: int = 1
+
+    def __post_init__(self) -> None:
+        total = self.input_frac + self.psum_frac + self.weight_frac
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise ValueError(f"partition fractions must sum to 1, got {total}")
+
+    def frac_of(self, data_type: DataType) -> float:
+        if data_type is DataType.INPUTS:
+            return self.input_frac
+        if data_type is DataType.PSUMS:
+            return self.psum_frac
+        return self.weight_frac
+
+    def capacity_for(self, level: BufferLevel, data_type: DataType) -> int:
+        return int(level.usable_bytes * self.frac_of(data_type))
+
+    def fits(self, level: BufferLevel, tile_bytes: dict[DataType, int]) -> bool:
+        return all(
+            tile_bytes.get(dt, 0) <= self.capacity_for(level, dt)
+            for dt in ALL_DATA_TYPES
+        )
+
+    def activated_macro_kb(self, level: BufferLevel, data_type: DataType) -> float:
+        """Each partition is its own macro, optionally sub-banked."""
+        kb = level.capacity_kb * self.frac_of(data_type) / self.banks_per_partition
+        return max(kb, 0.25)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlexiblePartition(PartitionPolicy):
+    """Morph's bank-granular shared buffer (Section IV-B1).
+
+    Banks are allocated contiguously per data type; a tile occupies a whole
+    number of banks, so some internal fragmentation remains — exactly the
+    trade-off the paper describes for its 16-bank design.
+    """
+
+    def fits(self, level: BufferLevel, tile_bytes: dict[DataType, int]) -> bool:
+        bank = level.bank_bytes
+        banks_needed = sum(
+            math.ceil(tile_bytes.get(dt, 0) / bank) for dt in ALL_DATA_TYPES
+        )
+        return banks_needed <= level.usable_banks
+
+    def capacity_for(self, level: BufferLevel, data_type: DataType) -> int:
+        # Two banks must remain for the other data types (one each at min).
+        available = max(level.usable_banks - 2, 1)
+        return available * level.bank_bytes
+
+    def activated_macro_kb(self, level: BufferLevel, data_type: DataType) -> float:
+        """Reads activate exactly one bank (Figure 7's bank-select)."""
+        return level.bank_kb
+
+    def bank_assignment(
+        self, level: BufferLevel, tile_bytes: dict[DataType, int]
+    ) -> dict[DataType, int]:
+        """Banks allocated per data type; raises if the tiles do not fit."""
+        if not self.fits(level, tile_bytes):
+            raise ValueError(
+                f"tiles {tile_bytes} exceed {level.name} "
+                f"({level.usable_banks} usable banks of {level.bank_bytes} B)"
+            )
+        bank = level.bank_bytes
+        return {
+            dt: math.ceil(tile_bytes.get(dt, 0) / bank) for dt in ALL_DATA_TYPES
+        }
+
+
+#: Table I of the paper: Morph-base static partitions.
+MORPH_BASE_L2_PARTITION = StaticPartition(input_frac=0.385, psum_frac=0.40, weight_frac=0.215)
+MORPH_BASE_L1_PARTITION = StaticPartition(input_frac=0.40, psum_frac=0.10, weight_frac=0.50)
+MORPH_BASE_L0_PARTITION = StaticPartition(input_frac=0.40, psum_frac=0.10, weight_frac=0.50)

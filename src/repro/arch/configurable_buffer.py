@@ -1,0 +1,138 @@
+"""Functional model of Morph's configurable banked buffer (Figure 7).
+
+The buffer is split into ``B`` banks, each with a single read and a single
+write port.  At layer-start, software assigns a contiguous range of banks to
+each data type via the *bank assign* registers; mux/demux logic routes each
+access to exactly one bank, so only that bank's array is activated (the
+energy argument behind :meth:`BufferLevel.read_pj_per_byte`).
+
+This model is used by tests to check the routing/fragmentation properties
+the paper claims, and by the scheduler to produce per-layer bank-assignment
+state (Section V-E).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.buffers import BufferLevel
+from repro.core.dims import ALL_DATA_TYPES, DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class BankRange:
+    """Contiguous banks assigned to one data type."""
+
+    first: int
+    count: int
+
+    @property
+    def last(self) -> int:
+        return self.first + self.count - 1
+
+    def contains(self, bank: int) -> bool:
+        return self.first <= bank <= self.last
+
+
+class BankConflictError(RuntimeError):
+    """Two same-cycle accesses hit the same single-ported bank."""
+
+
+class ConfigurableBuffer:
+    """A banked scratchpad with software-assigned per-data-type bank ranges."""
+
+    def __init__(self, level: BufferLevel) -> None:
+        self.level = level
+        self._banks = [bytearray(level.bank_bytes) for _ in range(level.banks)]
+        self._assignment: dict[DataType, BankRange] = {}
+        self.read_count = 0
+        self.write_count = 0
+        self.bank_activations = [0] * level.banks
+
+    # ------------------------------------------------------------------
+    def configure(self, banks_per_type: dict[DataType, int]) -> None:
+        """Program the bank-assign registers (layer start time).
+
+        Banks are handed out contiguously in a fixed data-type order; the
+        total must not exceed the physical bank count.
+        """
+        total = sum(banks_per_type.get(dt, 0) for dt in ALL_DATA_TYPES)
+        if total > self.level.banks:
+            raise ValueError(
+                f"{total} banks requested, {self.level.banks} available"
+            )
+        self._assignment = {}
+        next_bank = 0
+        for data_type in ALL_DATA_TYPES:
+            count = banks_per_type.get(data_type, 0)
+            if count < 0:
+                raise ValueError("bank counts must be non-negative")
+            if count:
+                self._assignment[data_type] = BankRange(next_bank, count)
+                next_bank += count
+
+    @property
+    def assignment(self) -> dict[DataType, BankRange]:
+        return dict(self._assignment)
+
+    def capacity_bytes(self, data_type: DataType) -> int:
+        rng = self._assignment.get(data_type)
+        return 0 if rng is None else rng.count * self.level.bank_bytes
+
+    def fragmentation_bytes(self, tile_bytes: dict[DataType, int]) -> int:
+        """Internal fragmentation: allocated minus used bytes."""
+        wasted = 0
+        for data_type, rng in self._assignment.items():
+            used = tile_bytes.get(data_type, 0)
+            wasted += rng.count * self.level.bank_bytes - used
+        return wasted
+
+    # ------------------------------------------------------------------
+    def _locate(self, data_type: DataType, address: int) -> tuple[int, int]:
+        """Route a per-data-type address to (bank index, offset)."""
+        rng = self._assignment.get(data_type)
+        if rng is None:
+            raise KeyError(f"no banks assigned to {data_type}")
+        if not 0 <= address < rng.count * self.level.bank_bytes:
+            raise IndexError(
+                f"{data_type.value} address {address} outside assigned "
+                f"{rng.count} banks"
+            )
+        bank = rng.first + address // self.level.bank_bytes
+        offset = address % self.level.bank_bytes
+        return bank, offset
+
+    def write(self, data_type: DataType, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            bank, offset = self._locate(data_type, address + i)
+            self._banks[bank][offset] = byte
+            self.bank_activations[bank] += 1
+        self.write_count += 1
+
+    def read(self, data_type: DataType, address: int, length: int) -> bytes:
+        out = bytearray()
+        for i in range(length):
+            bank, offset = self._locate(data_type, address + i)
+            out.append(self._banks[bank][offset])
+            self.bank_activations[bank] += 1
+        self.read_count += 1
+        return bytes(out)
+
+    def parallel_read(self, requests: dict[DataType, int]) -> dict[DataType, int]:
+        """One same-cycle read per data type (the replicated output muxes).
+
+        Returns the activated bank per data type; raises
+        :class:`BankConflictError` if two data types hit one bank — which
+        the contiguous assignment makes impossible, a property the tests
+        verify.
+        """
+        banks_hit: dict[DataType, int] = {}
+        for data_type, address in requests.items():
+            bank, _ = self._locate(data_type, address)
+            if bank in banks_hit.values():
+                raise BankConflictError(f"bank {bank} double-addressed")
+            banks_hit[data_type] = bank
+        for bank in banks_hit.values():
+            self.bank_activations[bank] += 1
+        self.read_count += len(banks_hit)
+        return banks_hit

@@ -1,0 +1,193 @@
+"""Programmable read/write FSM — functional model of the paper's Figure 8.
+
+The flexible Morph replaces fixed-function control with an FSM programmed by
+two sets of registers: *loop bounds* and *loop steps* for a design-time
+number of loops.  Each FSM state is one iteration of the D-level loop; on
+entry the FSM outputs its accumulator and adds the step ``s_j`` of the loop
+``j`` that is currently terminating (or ``s_0`` when none is).
+
+Given strides, the steps that make the accumulator trace a software loop
+nest's ``sum(i_k * stride_k)`` address sequence are the *deltas* at each
+wrap point:
+
+    s_0 = stride_0
+    s_j = stride_j - sum((b_k - 1) * stride_k for k < j)
+
+which :func:`steps_for_strides` computes and the optimizer uses when
+lowering a configuration (Section V-E).  Event *triggers* fire at loop-
+iteration boundaries through a programmable mask over the loop-wrap
+signals — exactly how the paper derives tile-done and psum load/unload
+signals without extra counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopSpec:
+    """One loop of the FSM program: iteration bound and accumulator step."""
+
+    bound: int
+    step: int
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError("loop bound must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class EventTrigger:
+    """Two-level mask logic over loop-wrap signals (Figure 8 "event mask").
+
+    ``mask[k]`` selects loop ``k``'s wrap signal; the event fires on states
+    where **all** selected loops are completing their final iteration.
+    """
+
+    name: str
+    mask: tuple[bool, ...]
+
+    def fires(self, wrapping: Sequence[bool]) -> bool:
+        if len(wrapping) != len(self.mask):
+            raise ValueError("mask length must equal loop depth")
+        return all(w for w, m in zip(wrapping, self.mask) if m) and any(self.mask)
+
+
+@dataclasses.dataclass(frozen=True)
+class FsmState:
+    """One emitted FSM state: current address plus fired events."""
+
+    address: int
+    indices: tuple[int, ...]
+    events: tuple[str, ...]
+    is_last: bool
+
+
+class ProgrammableFsm:
+    """Walks a D-level loop and emits the accumulator address sequence.
+
+    Loops are ordered innermost first (index 0), matching the paper's
+    ``i_k < b_k`` iteration-index description.
+    """
+
+    def __init__(
+        self,
+        loops: Sequence[LoopSpec],
+        *,
+        base_address: int = 0,
+        triggers: Sequence[EventTrigger] = (),
+    ) -> None:
+        if not loops:
+            raise ValueError("at least one loop required")
+        self.loops = tuple(loops)
+        self.base_address = base_address
+        self.triggers = tuple(triggers)
+        for trig in self.triggers:
+            if len(trig.mask) != len(self.loops):
+                raise ValueError(
+                    f"trigger {trig.name!r} mask must have {len(self.loops)} bits"
+                )
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def total_states(self) -> int:
+        count = 1
+        for loop in self.loops:
+            count *= loop.bound
+        return count
+
+    # ------------------------------------------------------------------
+    def states(self) -> Iterator[FsmState]:
+        """Generate every FSM state in execution order."""
+        indices = [0] * self.depth
+        address = self.base_address
+        total = self.total_states
+        for state_num in range(total):
+            wrapping = self._wrapping(indices)
+            events = tuple(t.name for t in self.triggers if t.fires(wrapping))
+            yield FsmState(
+                address=address,
+                indices=tuple(indices),
+                events=events,
+                is_last=state_num == total - 1,
+            )
+            address += self.loops[self._terminating(indices)].step
+            self._advance(indices)
+
+    def addresses(self) -> list[int]:
+        return [state.address for state in self.states()]
+
+    # ------------------------------------------------------------------
+    def _wrapping(self, indices: list[int]) -> list[bool]:
+        """Which loops are at their final iteration in this state."""
+        return [idx == loop.bound - 1 for idx, loop in zip(indices, self.loops)]
+
+    def _terminating(self, indices: list[int]) -> int:
+        """Paper's ``j``: the loop whose step is applied on state exit.
+
+        ``j`` is the outermost loop such that all loops inside it are on
+        their final iteration (0 if the innermost loop still has work).
+        """
+        j = 0
+        for k in range(self.depth):
+            if indices[k] == self.loops[k].bound - 1:
+                j = k + 1
+            else:
+                break
+        return min(j, self.depth - 1)
+
+    def _advance(self, indices: list[int]) -> None:
+        for k in range(self.depth):
+            indices[k] += 1
+            if indices[k] < self.loops[k].bound:
+                return
+            indices[k] = 0
+
+
+def steps_for_strides(bounds: Sequence[int], strides: Sequence[int]) -> list[int]:
+    """Steps making the FSM trace ``sum(i_k * stride_k)`` (innermost first)."""
+    if len(bounds) != len(strides):
+        raise ValueError("bounds and strides must have equal length")
+    steps = []
+    carried = 0
+    for bound, stride in zip(bounds, strides):
+        steps.append(stride - carried)
+        carried += (bound - 1) * stride
+    return steps
+
+
+def fsm_for_loop_nest(
+    bounds: Sequence[int],
+    strides: Sequence[int],
+    *,
+    base_address: int = 0,
+    triggers: Sequence[EventTrigger] = (),
+) -> ProgrammableFsm:
+    """Build an FSM whose address stream equals the software loop nest."""
+    steps = steps_for_strides(bounds, strides)
+    loops = [LoopSpec(bound=b, step=s) for b, s in zip(bounds, steps)]
+    return ProgrammableFsm(loops, base_address=base_address, triggers=triggers)
+
+
+def reference_addresses(
+    bounds: Sequence[int], strides: Sequence[int], base_address: int = 0
+) -> list[int]:
+    """Software-loop-nest address sequence, for validating the FSM."""
+    if len(bounds) != len(strides):
+        raise ValueError("bounds and strides must have equal length")
+    addresses: list[int] = []
+
+    def recurse(level: int, acc: int) -> None:
+        if level < 0:
+            addresses.append(acc)
+            return
+        for i in range(bounds[level]):
+            recurse(level - 1, acc + i * strides[level])
+
+    recurse(len(bounds) - 1, base_address)
+    return addresses

@@ -1,0 +1,151 @@
+"""Broadcast network-on-chip model (paper Section IV-A4).
+
+All Morph NoCs are simple broadcast buses that implement unicast, multicast
+and broadcast with a destination mask.  Three buses connect the L2 to the
+L1s/clusters (one each for inputs, weights, psums) and each cluster has a
+local set of three buses to its L0s/PEs.
+
+The paper sizes the buses by rate-matching against data reuse: each input is
+reused ``R*S*T`` times, so a bus only needs ``M*N / (R*S*T)`` bytes/cycle to
+keep ``M*N`` PEs fed — 64 bits between L2 and L1s and 32 bits between each
+L1 and its L0s for the evaluated design.  Energy uses low-swing wires, which
+also consume energy every cycle through differential signalling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class BusSpec:
+    """One broadcast bus: width, estimated wire length, destination count."""
+
+    name: str
+    width_bits: int
+    length_mm: float
+    destinations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 1:
+            raise ValueError(f"{self.name}: width must be >= 1 bit")
+        if self.length_mm <= 0:
+            raise ValueError(f"{self.name}: length must be positive")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.width_bits / 8.0
+
+    def transfer_cycles(self, bytes_moved: float) -> int:
+        return math.ceil(bytes_moved / self.bytes_per_cycle)
+
+    def dynamic_pj(self, bytes_moved: float, pj_per_byte_mm: float) -> float:
+        """Energy to move ``bytes_moved`` down the bus (driven once,
+        regardless of how many destinations latch it)."""
+        return bytes_moved * pj_per_byte_mm * self.length_mm
+
+    def static_pj(self, cycles: float, pj_per_bit_cycle: float) -> float:
+        """Differential-signalling energy burned every cycle."""
+        return self.width_bits * cycles * pj_per_bit_cycle
+
+
+@dataclasses.dataclass(frozen=True)
+class NocConfig:
+    """Bus provisioning for the whole chip.
+
+    ``dram_bus`` models the off-chip interface; ``l2_l1`` is the single
+    shared broadcast bus set; ``l1_l0`` describes *one* cluster's local bus
+    set (there are ``clusters`` of them operating in parallel).
+    """
+
+    dram_bus: BusSpec
+    l2_l1: BusSpec
+    l1_l0: BusSpec
+    clusters: int = 1
+
+    def boundary_bus(self, boundary_index: int) -> BusSpec:
+        """Bus crossed at boundary ``i`` (0 = DRAM->L2)."""
+        if boundary_index == 0:
+            return self.dram_bus
+        if boundary_index == 1:
+            return self.l2_l1
+        return self.l1_l0
+
+    def boundary_parallel_buses(self, boundary_index: int) -> int:
+        """Independent buses available at a boundary (clusters for L1->L0)."""
+        return self.clusters if boundary_index >= 2 else 1
+
+    def boundary_bandwidth_bytes_per_cycle(self, boundary_index: int) -> float:
+        bus = self.boundary_bus(boundary_index)
+        return bus.bytes_per_cycle * self.boundary_parallel_buses(boundary_index)
+
+    def total_wire_bits(self) -> int:
+        """On-chip wire count for static-energy accounting (DRAM excluded)."""
+        return self.l2_l1.width_bits + self.l1_l0.width_bits * self.clusters
+
+
+@dataclasses.dataclass(frozen=True)
+class MulticastMask:
+    """Destination mask for one bus transfer (Section IV-B3).
+
+    Morph programs one mask per layer (fixed parallelism within a layer) and
+    a second mask for the final, possibly partial round of tiles.
+    """
+
+    destinations: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError("mask must cover at least one destination")
+
+    @classmethod
+    def broadcast(cls, n: int) -> "MulticastMask":
+        return cls(tuple(True for _ in range(n)))
+
+    @classmethod
+    def unicast(cls, n: int, target: int) -> "MulticastMask":
+        if not 0 <= target < n:
+            raise ValueError("unicast target out of range")
+        return cls(tuple(i == target for i in range(n)))
+
+    @classmethod
+    def first_k(cls, n: int, k: int) -> "MulticastMask":
+        """Mask enabling the first ``k`` destinations — the paper's last
+        partial round of tiles."""
+        if not 0 < k <= n:
+            raise ValueError("k must be in 1..n")
+        return cls(tuple(i < k for i in range(n)))
+
+    @property
+    def fanout(self) -> int:
+        return sum(self.destinations)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return all(self.destinations)
+
+    @property
+    def is_unicast(self) -> bool:
+        return self.fanout == 1
+
+
+def rate_match_width_bits(
+    pes: int,
+    reuse_factor: int,
+    elem_bits: int = 8,
+    margin: float = 1.0,
+) -> int:
+    """Minimum bus width that keeps ``pes`` PEs fed (Section IV-A4).
+
+    With each element reused ``reuse_factor`` times near the PEs, the bus
+    only needs ``pes / reuse_factor`` elements per cycle; rounded up to the
+    next power of two, as hardware buses are.
+    """
+    if pes < 1 or reuse_factor < 1:
+        raise ValueError("pes and reuse_factor must be >= 1")
+    needed = pes * elem_bits * margin / reuse_factor
+    width = 1
+    while width < needed:
+        width *= 2
+    return width

@@ -1,0 +1,70 @@
+"""32 nm technology constants used by all energy/area models.
+
+Sources mirror the paper's measurement setup (Section VI-A):
+
+* arithmetic energies from Horowitz, "Computing's energy problem",
+  ISSCC 2014, scaled from 45 nm to 32 nm;
+* SRAM energies in the style of CACTI 6.0 ``itrs-lop`` (see
+  :mod:`repro.arch.sram`);
+* DRAM access energy of 20 pJ/bit, the figure the paper takes from [46];
+* low-swing on-chip wires for the NoC, which burn energy every cycle via
+  differential signalling (Section VI-A) — modelled as a static component.
+
+Absolute joules are calibrated estimates; every paper result we reproduce is
+a *ratio* between accelerators evaluated under this same model, which is
+also how the paper reports its numbers (normalised plots).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Linear scaling factor applied to published 45 nm dynamic energies to move
+#: them to the paper's 32 nm node (feature-size ratio 32/45, with voltage
+#: held — a deliberately conservative scaling).
+SCALE_45_TO_32 = 32.0 / 45.0
+
+#: Horowitz ISSCC'14, 45 nm: 8-bit multiply 0.2 pJ + 32-bit add 0.1 pJ.
+_MACC_PJ_45NM = 0.2 + 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Energy/latency constants for one process node."""
+
+    name: str = "32nm-1GHz"
+    clock_hz: float = 1e9
+
+    #: DRAM access energy (paper Section VI-A: 20 pJ/bit).
+    dram_pj_per_bit: float = 20.0
+
+    #: One 8-bit multiply-accumulate, including the accumulator update.
+    macc_pj: float = _MACC_PJ_45NM * SCALE_45_TO_32
+
+    #: Low-swing interconnect dynamic energy per byte per millimetre.
+    noc_pj_per_byte_mm: float = 0.08
+
+    #: Low-swing differential signalling keeps the bus toggling every cycle
+    #: regardless of traffic (Section VI-A); charged per wire-bit per cycle.
+    noc_static_pj_per_bit_cycle: float = 0.02
+
+    #: SRAM leakage, itrs-lop flavoured (low operating power transistors).
+    sram_leakage_mw_per_kb: float = 0.006
+
+    #: Datapath leakage per MACC lane, mW — per lane rather than per PE so
+    #: scalar-PE machines (Eyeriss) and vector-PE machines (Morph) with the
+    #: same peak compute carry the same leakage.
+    lane_leakage_mw: float = 0.006
+
+    @property
+    def dram_pj_per_byte(self) -> float:
+        return self.dram_pj_per_bit * 8.0
+
+    def macc_energy_pj(self, maccs: int) -> float:
+        return self.macc_pj * maccs
+
+    def dram_energy_pj(self, bytes_moved: float) -> float:
+        return self.dram_pj_per_byte * bytes_moved
+
+
+DEFAULT_TECHNOLOGY = Technology()

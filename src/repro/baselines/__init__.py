@@ -1,0 +1,6 @@
+"""Comparison accelerators: Morph-base and the Eyeriss-style 2D machine.
+
+Both points of comparison from the paper's evaluation (Section VI-B): the
+same-silicon inflexible baseline, and a row-stationary 2D accelerator that
+must evaluate 3D CNNs frame by frame.
+"""

@@ -1,0 +1,45 @@
+"""Morph-base: the inflexible baseline accelerator (Section VI-B).
+
+Same silicon as Morph — 6 clusters x 16 PEs x 8 lanes, 1 MB / 64 kB / 16 kB
+buffers — but with everything configuration-time-flexible pinned to the
+average-best choice the Morph optimizer produces:
+
+* outer loop order ``[WHCKF]``, inner ``[cfwhk]`` (Section IV-A3),
+* static buffer partitions per Table I,
+* fixed parallelism ``Hp = 16``, ``Kp = 6``.
+
+Tile *sizes* still adapt per layer: Morph-base's FSMs are fixed-function
+for a dataflow, not for a shape, exactly like other inflexible accelerators
+the paper compares against.  The evaluation therefore runs the same search
+as Morph with the dataflow degrees of freedom removed, isolating the value
+of flexibility — the paper's experimental design.
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import AcceleratorConfig, morph_base
+from repro.optimizer.search import (
+    NetworkResult,
+    OptimizerOptions,
+    optimize_network,
+)
+from repro.workloads.networks import Network
+
+
+def morph_base_arch() -> AcceleratorConfig:
+    return morph_base()
+
+
+def evaluate_network_on_morph_base(
+    network: Network,
+    options: OptimizerOptions | None = None,
+) -> NetworkResult:
+    """Per-layer evaluation of a network on the inflexible baseline."""
+    arch = morph_base()
+    options = options or OptimizerOptions()
+    return optimize_network(
+        network.layers,
+        arch,
+        options,
+        network_name=network.name,
+    )

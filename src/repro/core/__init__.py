@@ -1,0 +1,6 @@
+"""Core models: layers, loop orders, tiling, traffic, energy, performance.
+
+This package is the paper's primary contribution rebuilt as a library:
+the flexible-dataflow cost model that Morph's hardware exposes and its
+software optimizer searches (paper Sections II-V).
+"""

@@ -1,0 +1,440 @@
+"""Analytic data-movement model for tiled, loop-ordered 3D convolution.
+
+This is the quantitative core of the reproduction: given a layer and a
+:class:`~repro.core.dataflow.Dataflow` (loop orders + tile hierarchy), it
+computes how many bytes of inputs, weights and partial sums cross every
+buffer boundary (DRAM->L2, L2->L1, L1->L0).  The energy model (Section V-D
+of the paper: "a linear energy model to convert the number of reads/writes/
+operations to expected energy") is a straight dot product over these counts.
+
+Rules implemented (paper Sections II-D/II-E):
+
+* **Fetch rule** — per boundary, a data type is reloaded once per iteration
+  of every loop from the outermost down to the innermost loop *relevant* to
+  it.  Loops with trip count 1 are degenerate and dropped first.
+* **Full residency** — if every relevant loop is degenerate, the data type's
+  whole region fits in the child level and is fetched only when the parent's
+  copy changes.  This reproduces the paper's Figure 4a remark that layers
+  whose data fits in L2 have outer-loop-order-independent DRAM energy.
+* **Slide reuse** — along the innermost relevant loop, overlapping input
+  halos are not refetched, so the byte sum telescopes to the parent extent.
+* **Psum zero-init** — the globally first visit of each psum tile skips the
+  read (initialised by accumulation); every fill is eventually written back.
+  Final outputs leave to DRAM at activation width, intermediate spills at
+  psum width.
+
+Byte counts are exact within each full parent tile (per-dimension sums of
+edge-clipped child extents); raggedness across partial parent tiles is
+approximated by ceil trip counts.  :mod:`repro.sim.trace` walks the actual
+schedule and is used in tests to validate this model (exactly, for evenly
+dividing shapes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.dataflow import Dataflow
+from repro.core.dims import (
+    ALL_DATA_TYPES,
+    ALL_DIMS,
+    SLIDING_DIMS,
+    DataType,
+    Dim,
+    relevant_dims,
+)
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import (
+    DEFAULT_PRECISION,
+    Precision,
+    TileShape,
+    sum_input_extents,
+    union_input_extent,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DataTraffic:
+    """Movement of one data type across one buffer boundary."""
+
+    fills: int  #: number of tile loads into the child level
+    fill_bytes: int  #: bytes logically installed into the child per fill sum
+    load_bytes: int = 0  #: psums only: bytes read from parent (revisits)
+    writeback_bytes: int = 0  #: psums only: bytes written back to parent
+    writeback_count: int = 0
+
+    @property
+    def parent_read_bytes(self) -> int:
+        """Bytes read from the parent level to serve this boundary."""
+        return self.load_bytes if self.load_bytes or self.writeback_bytes else self.fill_bytes
+
+    def describe(self) -> str:
+        return (
+            f"fills={self.fills} fill_bytes={self.fill_bytes} "
+            f"load_bytes={self.load_bytes} wb_bytes={self.writeback_bytes}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryTraffic:
+    """All three data types across one boundary (parent -> child)."""
+
+    name: str
+    parent_level: int  #: 0 = DRAM, 1 = last-level buffer, ...
+    per_type: dict[DataType, DataTraffic]
+
+    def of(self, data_type: DataType) -> DataTraffic:
+        return self.per_type[data_type]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficReport:
+    """Complete data-movement profile of one layer under one dataflow."""
+
+    layer: ConvLayer
+    dataflow: Dataflow
+    precision: Precision
+    boundaries: tuple[BoundaryTraffic, ...]  #: outermost (DRAM->L2) first
+    maccs: int
+
+    # ------------------------------------------------------------------
+    @property
+    def dram_boundary(self) -> BoundaryTraffic:
+        return self.boundaries[0]
+
+    @property
+    def dram_read_bytes(self) -> int:
+        """Bytes read from DRAM (input + weight fetch, psum re-loads)."""
+        b = self.dram_boundary
+        return (
+            b.of(DataType.INPUTS).fill_bytes
+            + b.of(DataType.WEIGHTS).fill_bytes
+            + b.of(DataType.PSUMS).load_bytes
+        )
+
+    @property
+    def dram_write_bytes(self) -> int:
+        """Bytes written to DRAM (psum spills + final outputs)."""
+        return self.dram_boundary.of(DataType.PSUMS).writeback_bytes
+
+    @property
+    def dram_total_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def boundary(self, index: int) -> BoundaryTraffic:
+        return self.boundaries[index]
+
+
+def _innermost_relevant_index(order: tuple[Dim, ...], rel: frozenset[Dim]) -> int:
+    """Index of the innermost loop relevant to a data type, or -1."""
+    for idx in range(len(order) - 1, -1, -1):
+        if order[idx] in rel:
+            return idx
+    return -1
+
+
+def _run_fill_bytes_inputs(
+    layer: ConvLayer,
+    parent: TileShape,
+    child: TileShape,
+    order: tuple[Dim, ...],
+    trips: dict[Dim, int],
+    irrelevant_trips: dict[Dim, int],
+    p: int,
+    elem_bytes: int,
+) -> int:
+    """Bytes of input fetched during one execution of a boundary nest.
+
+    Relevant dims contribute the sum of per-position input extents (halo
+    refetched at every tile), except the dim at the innermost relevant loop
+    position when it slides — there the halo telescopes (slide reuse).
+    Irrelevant dims outside the innermost relevant loop multiply the total
+    (``irrelevant_trips``: their *sequential* rounds — concurrent parallel
+    iterations broadcast one fetch, Section IV-A4).
+    """
+    slide_dim = order[p]
+    bytes_total = elem_bytes
+    rel = relevant_dims(DataType.INPUTS)
+    for dim in rel:
+        total = parent.extent(dim)
+        if dim is slide_dim and dim in SLIDING_DIMS and trips[dim] > 1:
+            bytes_total *= union_input_extent(layer, dim, total)
+        elif dim is Dim.C:
+            bytes_total *= total
+        else:
+            bytes_total *= sum_input_extents(layer, dim, total, child.extent(dim))
+    for idx in range(p + 1):
+        dim = order[idx]
+        if dim not in rel:
+            bytes_total *= irrelevant_trips[dim]
+    return bytes_total
+
+
+def _run_fill_bytes_dense(
+    parent: TileShape,
+    order: tuple[Dim, ...],
+    irrelevant_trips: dict[Dim, int],
+    p: int,
+    data_type: DataType,
+    elem_bytes: int,
+    per_point_elems: int,
+) -> int:
+    """Per-run fill bytes for halo-free data types (weights, psums).
+
+    Per-position extents along relevant dims always sum to the parent
+    extent, so the cross product over relevant dims is the parent region;
+    irrelevant loops outside the innermost relevant one multiply it (by
+    their sequential rounds — see :func:`_run_fill_bytes_inputs`).
+    """
+    rel = relevant_dims(data_type)
+    bytes_total = elem_bytes * per_point_elems
+    for dim in rel:
+        bytes_total *= parent.extent(dim)
+    for idx in range(p + 1):
+        dim = order[idx]
+        if dim not in rel:
+            bytes_total *= irrelevant_trips[dim]
+    return bytes_total
+
+
+def _region_bytes(
+    layer: ConvLayer,
+    parent: TileShape,
+    data_type: DataType,
+    precision: Precision,
+) -> int:
+    """Footprint of the whole parent region for one data type."""
+    return parent.bytes_of(data_type, layer, precision)
+
+
+def compute_traffic(
+    dataflow: Dataflow,
+    precision: Precision = DEFAULT_PRECISION,
+    level_degrees: tuple[dict[Dim, int], ...] | None = None,
+) -> TrafficReport:
+    """Evaluate the analytic model for one layer under one dataflow.
+
+    ``level_degrees[i]`` (from :func:`repro.core.performance_model.
+    parallel_level_degrees`) gives the parallel workers splitting level
+    ``i``'s tiles.  Loop iterations along a parallelised dim execute
+    concurrently, so a data type *insensitive* to that dim is fetched once
+    and broadcast rather than re-fetched per iteration — its sequential
+    refetch rounds shrink to ``ceil(trips / degree)``.
+    """
+    layer = dataflow.layer
+    hierarchy = dataflow.hierarchy
+    level_names = _level_names(hierarchy.levels)
+
+    execs = 1
+    parent_fills: dict[DataType, int] = {dt: 1 for dt in ALL_DATA_TYPES}
+    out_psum_bytes = layer.output_elements * precision.psum_bytes
+
+    boundaries: list[BoundaryTraffic] = []
+    for level_index in range(hierarchy.levels):
+        parent = hierarchy.parent_of(level_index)
+        child = hierarchy.tiles[level_index]
+        order = dataflow.order_for_boundary(level_index)
+        is_dram = level_index == 0
+
+        trips = parent.trip_counts(child)
+        degrees = (
+            level_degrees[level_index]
+            if level_degrees is not None
+            else {}
+        )
+        seq_trips = {
+            dim: -(-count // degrees.get(dim, 1)) for dim, count in trips.items()
+        }
+        nd_order = tuple(d for d in order.dims if trips[d] > 1)
+
+        per_type: dict[DataType, DataTraffic] = {}
+        for data_type in ALL_DATA_TYPES:
+            rel = relevant_dims(data_type)
+            p = _innermost_relevant_index(nd_order, rel)
+            if p < 0:
+                fills = parent_fills[data_type]
+                fill_bytes = fills * _region_bytes(layer, parent, data_type, precision)
+            else:
+                run_fetches = 1
+                for dim in nd_order[: p + 1]:
+                    run_fetches *= trips[dim] if dim in rel else seq_trips[dim]
+                fills = execs * run_fetches
+                if data_type is DataType.INPUTS:
+                    run_bytes = _run_fill_bytes_inputs(
+                        layer, parent, child, nd_order, trips, seq_trips, p,
+                        precision.activation_bytes,
+                    )
+                elif data_type is DataType.WEIGHTS:
+                    run_bytes = _run_fill_bytes_dense(
+                        parent, nd_order, seq_trips, p, data_type,
+                        precision.weight_bytes, layer.r * layer.s * layer.t,
+                    )
+                else:
+                    run_bytes = _run_fill_bytes_dense(
+                        parent, nd_order, seq_trips, p, data_type,
+                        precision.psum_bytes, 1,
+                    )
+                fill_bytes = execs * run_bytes
+
+            if data_type is DataType.PSUMS:
+                load_bytes = max(0, fill_bytes - out_psum_bytes)
+                writeback_bytes = fill_bytes
+                if is_dram:
+                    # Final outputs leave at activation width; only true
+                    # spills (revisited tiles) move at psum width.
+                    spill_bytes = max(0, fill_bytes - out_psum_bytes)
+                    writeback_bytes = spill_bytes + (
+                        layer.output_elements * precision.activation_bytes
+                    )
+                per_type[data_type] = DataTraffic(
+                    fills=fills,
+                    fill_bytes=fill_bytes,
+                    load_bytes=load_bytes,
+                    writeback_bytes=writeback_bytes,
+                    writeback_count=fills,
+                )
+            else:
+                per_type[data_type] = DataTraffic(fills=fills, fill_bytes=fill_bytes)
+
+            parent_fills[data_type] = fills
+
+        boundaries.append(
+            BoundaryTraffic(
+                name=f"{level_names[level_index]}->{level_names[level_index + 1]}",
+                parent_level=level_index,
+                per_type=per_type,
+            )
+        )
+
+        for dim in ALL_DIMS:
+            execs *= trips[dim]
+
+    return TrafficReport(
+        layer=layer,
+        dataflow=dataflow,
+        precision=precision,
+        boundaries=tuple(boundaries),
+        maccs=layer.maccs,
+    )
+
+
+def _level_names(levels: int) -> list[str]:
+    """DRAM plus on-chip buffer names, outermost first (L2, L1, L0 for 3)."""
+    return ["DRAM"] + [f"L{levels - 1 - i}" for i in range(levels)]
+
+
+@dataclasses.dataclass(frozen=True)
+class AluTraffic:
+    """Traffic between the innermost buffer (L0) and the vector ALU.
+
+    Per cycle each PE performs ``Vw`` MACs across output channels sharing
+    one input element (Section IV-A2): one input byte feeds all lanes while
+    each lane reads its own weight.  Accumulator registers keep psums local;
+    they spill to / refill from L0 once per L0-tile residency, mirroring the
+    L0 boundary fill counts.
+    """
+
+    input_read_bytes: int
+    weight_read_bytes: int
+    psum_write_bytes: int
+    psum_read_bytes: int
+
+    @property
+    def l0_read_bytes(self) -> int:
+        return self.input_read_bytes + self.weight_read_bytes + self.psum_read_bytes
+
+    @property
+    def l0_write_bytes(self) -> int:
+        return self.psum_write_bytes
+
+
+def compute_alu_traffic(
+    report: TrafficReport, vector_width: int, precision: Precision | None = None
+) -> AluTraffic:
+    """ALU-side L0 accesses for a traffic report (see :class:`AluTraffic`)."""
+    if vector_width < 1:
+        raise ValueError("vector width must be >= 1")
+    precision = precision or report.precision
+    innermost = report.boundaries[-1].of(DataType.PSUMS)
+    input_reads = -(-report.maccs // vector_width) * precision.activation_bytes
+    weight_reads = report.maccs * precision.weight_bytes
+    return AluTraffic(
+        input_read_bytes=input_reads,
+        weight_read_bytes=weight_reads,
+        psum_write_bytes=innermost.fill_bytes,
+        psum_read_bytes=innermost.load_bytes,
+    )
+
+
+def boundary_fill_profile(
+    layer: ConvLayer,
+    parent: TileShape,
+    child: TileShape,
+    order: LoopOrder,
+    precision: Precision = DEFAULT_PRECISION,
+) -> dict[DataType, tuple[int, int]]:
+    """(fills, fill bytes) per data type for ONE execution of one boundary.
+
+    This is the kernel of the optimizer's ``f_reuse`` scoring function
+    (Section V-C): given candidate sub-tile sizes and an inner loop order,
+    how much data crosses this boundary per pass over the parent tile.
+    Shares all fetch/slide/residency rules with :func:`compute_traffic`.
+    """
+    trips = parent.trip_counts(child)
+    nd_order = tuple(d for d in order.dims if trips[d] > 1)
+    profile: dict[DataType, tuple[int, int]] = {}
+    for data_type in ALL_DATA_TYPES:
+        rel = relevant_dims(data_type)
+        p = _innermost_relevant_index(nd_order, rel)
+        if p < 0:
+            profile[data_type] = (1, _region_bytes(layer, parent, data_type, precision))
+            continue
+        fetches = 1
+        for dim in nd_order[: p + 1]:
+            fetches *= trips[dim]
+        if data_type is DataType.INPUTS:
+            run_bytes = _run_fill_bytes_inputs(
+                layer, parent, child, nd_order, trips, trips, p,
+                precision.activation_bytes,
+            )
+        elif data_type is DataType.WEIGHTS:
+            run_bytes = _run_fill_bytes_dense(
+                parent, nd_order, trips, p, data_type,
+                precision.weight_bytes, layer.r * layer.s * layer.t,
+            )
+        else:
+            run_bytes = _run_fill_bytes_dense(
+                parent, nd_order, trips, p, data_type, precision.psum_bytes, 1,
+            )
+        profile[data_type] = (fetches, run_bytes)
+    return profile
+
+
+def loop_order_signature(
+    parent: TileShape,
+    child: TileShape,
+    order: LoopOrder,
+) -> tuple:
+    """Equivalence-class key of a loop order for fixed tile shapes.
+
+    Two loop orders with the same signature produce identical boundary
+    traffic: costs depend only on, per data type, the *set* of
+    non-degenerate loops at or outside its innermost relevant loop, plus
+    (for inputs) which dim occupies that innermost slot (slide reuse).  The
+    optimizer uses this to dedupe the 120 permutations, often down to a
+    handful (Section V-A search-space discretisation).
+    """
+    trips = parent.trip_counts(child)
+    nd_order = tuple(d for d in order.dims if trips[d] > 1)
+    signature: list = []
+    for data_type in ALL_DATA_TYPES:
+        rel = relevant_dims(data_type)
+        p = _innermost_relevant_index(nd_order, rel)
+        if p < 0:
+            signature.append(None)
+        else:
+            outside = frozenset(nd_order[: p + 1])
+            slide = nd_order[p] if data_type is DataType.INPUTS else None
+            signature.append((outside, slide))
+    return tuple(signature)

@@ -1,0 +1,219 @@
+"""Linear energy model (paper Section V-D and VI-A).
+
+Converts the access counts of :mod:`repro.core.access_model` into energy:
+``E = sum(accesses_i * cost_i)`` with per-component costs from
+:mod:`repro.arch.technology` / :mod:`repro.arch.sram`.  The output
+breakdown matches Figure 9's stacked components: DRAM, L2, L1, L0 and
+compute (we additionally expose NoC and static energy, folded into the
+figure's buckets by :meth:`EnergyBreakdown.figure9_components`).
+
+Multicast replication: data types that are *irrelevant* to a parallelised
+dimension are broadcast — read once from the source buffer, written into
+every destination's private buffer — so child-level write bytes scale with
+the replication factor while parent-level reads do not (Section IV-A4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.arch.sram import sram_leakage_mw
+from repro.core.access_model import TrafficReport, compute_alu_traffic
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.dims import ALL_DATA_TYPES, DataType
+from repro.core.performance_model import PerformanceReport, split_parallelism
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelEnergy:
+    """Read/write bytes and energy of one on-chip buffer level."""
+
+    name: str
+    read_bytes_by_type: dict[DataType, float]
+    write_bytes_by_type: dict[DataType, float]
+    energy_pj: float
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(self.read_bytes_by_type.values())
+
+    @property
+    def write_bytes(self) -> float:
+        return sum(self.write_bytes_by_type.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one layer on one accelerator, by component (in pJ)."""
+
+    dram_pj: float
+    levels: tuple[LevelEnergy, ...]  #: outermost (L2) first
+    noc_pj: float
+    compute_pj: float
+    static_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.dram_pj
+            + sum(level.energy_pj for level in self.levels)
+            + self.noc_pj
+            + self.compute_pj
+            + self.static_pj
+        )
+
+    @property
+    def on_chip_pj(self) -> float:
+        return self.total_pj - self.dram_pj
+
+    def level_pj(self, name: str) -> float:
+        for level in self.levels:
+            if level.name == name:
+                return level.energy_pj
+        return 0.0
+
+    def figure9_components(self) -> dict[str, float]:
+        """The five stacked components of the paper's Figure 9.
+
+        NoC energy rides with the buffer traffic that causes it, so it is
+        folded into the source levels proportionally; static energy joins
+        compute (both scale with runtime, not data movement).
+        """
+        components = {"DRAM": self.dram_pj}
+        sram_total = sum(level.energy_pj for level in self.levels) or 1.0
+        for level in self.levels:
+            share = level.energy_pj / sram_total
+            components[level.name] = level.energy_pj + self.noc_pj * share
+        components["Compute"] = self.compute_pj + self.static_pj
+        for name in ("L2", "L1", "L0"):
+            components.setdefault(name, 0.0)
+        return components
+
+
+def _level_replications(
+    num_levels: int,
+    cluster_par: Parallelism,
+    pe_par: Parallelism,
+) -> list[dict[DataType, int]]:
+    """Replication factor of each data type at each on-chip level.
+
+    The outermost buffer is unique (factor 1).  For a three-level machine
+    the middle level is per-cluster (cluster replication) and the innermost
+    per-PE (cluster x PE replication); shallower machines apply the whole
+    replication at the innermost level.
+    """
+    total = {
+        dt: cluster_par.replication(dt) * pe_par.replication(dt)
+        for dt in ALL_DATA_TYPES
+    }
+    if num_levels == 1:
+        return [total]
+    replications: list[dict[DataType, int]] = [
+        {dt: 1 for dt in ALL_DATA_TYPES} for _ in range(num_levels)
+    ]
+    replications[-1] = total
+    for mid in range(1, num_levels - 1):
+        replications[mid] = {
+            dt: cluster_par.replication(dt) for dt in ALL_DATA_TYPES
+        }
+    return replications
+
+
+def compute_energy(
+    traffic: TrafficReport,
+    arch: AcceleratorConfig,
+    dataflow: Dataflow,
+    performance: PerformanceReport,
+) -> EnergyBreakdown:
+    """Dot product of access counts with technology costs."""
+    tech = arch.technology
+    num_levels = arch.num_levels
+    cluster_par, pe_par = split_parallelism(
+        dataflow.parallelism, arch.clusters, arch.pes_per_cluster
+    )
+    repl = _level_replications(num_levels, cluster_par, pe_par)
+
+    level_reads = [{dt: 0.0 for dt in ALL_DATA_TYPES} for _ in range(num_levels)]
+    level_writes = [{dt: 0.0 for dt in ALL_DATA_TYPES} for _ in range(num_levels)]
+    dram_read = 0.0
+    dram_write = 0.0
+    noc_pj = 0.0
+
+    for index, boundary in enumerate(traffic.boundaries):
+        parent = index - 1  # on-chip parent level; -1 = DRAM
+        child = index
+        parent_repl = repl[parent] if parent >= 0 else {dt: 1 for dt in ALL_DATA_TYPES}
+        bus = arch.noc.boundary_bus(index)
+        boundary_bus_bytes = 0.0
+
+        for data_type in ALL_DATA_TYPES:
+            t = boundary.of(data_type)
+            if data_type is DataType.PSUMS:
+                down = t.load_bytes * parent_repl[data_type]
+                up = t.writeback_bytes * parent_repl[data_type]
+                if parent >= 0:
+                    level_reads[parent][data_type] += down
+                    level_writes[parent][data_type] += up
+                else:
+                    dram_read += down
+                    dram_write += up
+                level_writes[child][data_type] += down
+                level_reads[child][data_type] += up
+                boundary_bus_bytes += down + up
+            else:
+                source_bytes = t.fill_bytes * parent_repl[data_type]
+                dest_bytes = t.fill_bytes * repl[child][data_type]
+                if parent >= 0:
+                    level_reads[parent][data_type] += source_bytes
+                else:
+                    dram_read += source_bytes
+                level_writes[child][data_type] += dest_bytes
+                boundary_bus_bytes += source_bytes
+
+        noc_pj += bus.dynamic_pj(boundary_bus_bytes, tech.noc_pj_per_byte_mm)
+
+    # ALU <-> innermost buffer traffic (Section IV-A2's vector PE).
+    alu = compute_alu_traffic(traffic, arch.vector_width)
+    level_reads[-1][DataType.INPUTS] += alu.input_read_bytes
+    level_reads[-1][DataType.WEIGHTS] += alu.weight_read_bytes
+    level_reads[-1][DataType.PSUMS] += alu.psum_read_bytes
+    level_writes[-1][DataType.PSUMS] += alu.psum_write_bytes
+
+    levels = []
+    for i, level in enumerate(arch.levels):
+        energy = 0.0
+        for data_type in ALL_DATA_TYPES:
+            energy += level_reads[i][data_type] * arch.read_pj_per_byte(i, data_type)
+            energy += level_writes[i][data_type] * arch.write_pj_per_byte(i, data_type)
+        levels.append(
+            LevelEnergy(
+                name=level.name,
+                read_bytes_by_type=dict(level_reads[i]),
+                write_bytes_by_type=dict(level_writes[i]),
+                energy_pj=energy,
+            )
+        )
+
+    dram_pj = tech.dram_energy_pj(dram_read + dram_write)
+    compute_pj = tech.macc_energy_pj(traffic.maccs)
+
+    # Static energy: SRAM leakage + PE leakage + NoC differential
+    # signalling, all proportional to runtime (1 mW at 1 GHz = 1 pJ/cycle).
+    leak_mw = sum(
+        sram_leakage_mw(
+            level.capacity_kb * level.instances, tech.sram_leakage_mw_per_kb
+        )
+        for level in arch.levels
+    )
+    leak_mw += arch.peak_maccs_per_cycle * tech.lane_leakage_mw
+    noc_static_pj = arch.noc.total_wire_bits() * tech.noc_static_pj_per_bit_cycle
+    static_pj = (leak_mw + noc_static_pj) * performance.cycles
+
+    return EnergyBreakdown(
+        dram_pj=dram_pj,
+        levels=tuple(levels),
+        noc_pj=noc_pj,
+        compute_pj=compute_pj,
+        static_pj=static_pj,
+    )

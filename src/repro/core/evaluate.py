@@ -1,0 +1,106 @@
+"""Facade: evaluate one layer under one dataflow on one accelerator.
+
+This is the "Performance and Power Calculation" step of the paper's
+software flow (Section V-D): traffic -> cycles -> energy, bundled into a
+single :class:`Evaluation` the optimizer can rank configurations by.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.access_model import TrafficReport, compute_traffic
+from repro.core.dataflow import Dataflow
+from repro.core.energy_model import EnergyBreakdown, compute_energy
+from repro.core.layer import ConvLayer
+from repro.core.performance_model import (
+    PerformanceReport,
+    compute_performance,
+    parallel_level_degrees,
+)
+
+
+class CapacityError(ValueError):
+    """A tile hierarchy does not fit the accelerator's buffers."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Evaluation:
+    """All model outputs for one (layer, dataflow, accelerator) triple."""
+
+    dataflow: Dataflow
+    arch: AcceleratorConfig
+    traffic: TrafficReport
+    performance: PerformanceReport
+    energy: EnergyBreakdown
+
+    @property
+    def layer(self) -> ConvLayer:
+        return self.traffic.layer
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    @property
+    def cycles(self) -> float:
+        return self.performance.cycles
+
+    @property
+    def runtime_s(self) -> float:
+        return self.performance.runtime_s(self.arch.technology.clock_hz)
+
+    @property
+    def power_w(self) -> float:
+        """Average power: total energy over runtime."""
+        return self.total_energy_pj * 1e-12 / self.runtime_s
+
+    @property
+    def perf_per_watt(self) -> float:
+        """Throughput per watt = MACs per joule (Figure 10's metric)."""
+        return self.traffic.maccs / (self.total_energy_pj * 1e-12)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return self.total_energy_pj * 1e-12 * self.runtime_s
+
+    def describe(self) -> str:
+        return (
+            f"{self.layer.name} on {self.arch.name}: "
+            f"{self.total_energy_pj / 1e6:.2f} uJ, "
+            f"{self.cycles / 1e6:.2f} Mcycles, "
+            f"util {self.performance.utilization:.2f}, "
+            f"{self.dataflow.describe()}"
+        )
+
+
+def evaluate(
+    dataflow: Dataflow,
+    arch: AcceleratorConfig,
+    *,
+    check_capacity: bool = True,
+) -> Evaluation:
+    """Run traffic, performance and energy models for one configuration."""
+    layer = dataflow.layer
+    if check_capacity and not arch.hierarchy_fits(layer, dataflow.hierarchy.tiles):
+        raise CapacityError(
+            f"hierarchy does not fit {arch.name} for layer {layer.name}"
+        )
+    level_degrees = parallel_level_degrees(
+        arch.num_levels,
+        arch.clusters,
+        arch.pes_per_cluster,
+        dataflow.parallelism,
+    )
+    traffic = compute_traffic(dataflow, arch.precision, level_degrees)
+    performance = compute_performance(traffic, arch, dataflow)
+    energy = compute_energy(traffic, arch, dataflow, performance)
+    return Evaluation(
+        dataflow=dataflow,
+        arch=arch,
+        traffic=traffic,
+        performance=performance,
+        energy=energy,
+    )

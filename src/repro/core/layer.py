@@ -1,0 +1,196 @@
+"""3D convolution layer shapes and first-order metrics.
+
+A :class:`ConvLayer` captures everything the paper's models need about one
+layer: input volume ``H x W x C`` over ``F`` frames, ``K`` filters of extent
+``R x S x T`` (height, width, temporal), plus strides and zero padding.  2D
+convolution is the special case ``F == T == 1`` (paper Section II-B remark),
+so 2D networks such as AlexNet reuse the same class.
+
+Derived metrics implemented here back the paper's motivating analysis:
+footprints (Figure 1a), MACs and arithmetic-intensity style reuse
+(Figure 1b), and output geometry used throughout tiling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.core.dims import Dim
+
+#: Default datum widths, per the paper: 8-bit activations and weights
+#: (Section III remark), psums wide enough to avoid overflow (Section IV-B1).
+ACTIVATION_BYTES = 1
+WEIGHT_BYTES = 1
+PSUM_BYTES = 4
+
+
+def conv_output_extent(in_extent: int, kernel: int, stride: int, pad: int) -> int:
+    """Number of output positions of a 1D convolution along one axis."""
+    span = in_extent + 2 * pad - kernel
+    if span < 0:
+        raise ValueError(
+            f"kernel {kernel} larger than padded input {in_extent + 2 * pad}"
+        )
+    return span // stride + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvLayer:
+    """Shape of one (3D) convolution layer.
+
+    Dimension naming follows the paper (Section II-B): the input video has
+    spatial resolution ``H x W``, ``F`` frames and ``C`` channels; each of
+    the ``K`` filters has spatial size ``R x S``, temporal size ``T`` and
+    ``C`` channels.
+    """
+
+    name: str
+    h: int  #: input height
+    w: int  #: input width
+    c: int  #: input channels
+    f: int  #: input frames (1 for a 2D layer)
+    k: int  #: number of filters (output channels)
+    r: int  #: filter height
+    s: int  #: filter width
+    t: int  #: filter temporal depth (1 for a 2D layer)
+    stride_h: int = 1
+    stride_w: int = 1
+    stride_f: int = 1
+    pad_h: int = 0
+    pad_w: int = 0
+    pad_f: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("h", "w", "c", "f", "k", "r", "s", "t"):
+            value = getattr(self, field)
+            if value < 1:
+                raise ValueError(f"{self.name}: {field} must be >= 1, got {value}")
+        for field in ("stride_h", "stride_w", "stride_f"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{self.name}: {field} must be >= 1")
+        for field in ("pad_h", "pad_w", "pad_f"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{self.name}: {field} must be >= 0")
+        if self.r > self.h + 2 * self.pad_h:
+            raise ValueError(f"{self.name}: filter height {self.r} exceeds input")
+        if self.s > self.w + 2 * self.pad_w:
+            raise ValueError(f"{self.name}: filter width {self.s} exceeds input")
+        if self.t > self.f + 2 * self.pad_f:
+            raise ValueError(f"{self.name}: filter depth {self.t} exceeds input")
+
+    # ------------------------------------------------------------------
+    # Output geometry
+    # ------------------------------------------------------------------
+    @property
+    def out_h(self) -> int:
+        return conv_output_extent(self.h, self.r, self.stride_h, self.pad_h)
+
+    @property
+    def out_w(self) -> int:
+        return conv_output_extent(self.w, self.s, self.stride_w, self.pad_w)
+
+    @property
+    def out_f(self) -> int:
+        return conv_output_extent(self.f, self.t, self.stride_f, self.pad_f)
+
+    @property
+    def is_2d(self) -> bool:
+        """True when this layer degenerates to 2D convolution (F = T = 1)."""
+        return self.f == 1 and self.t == 1
+
+    def output_dim(self, dim: Dim) -> int:
+        """Total extent of ``dim`` in the tiled (output-space) loop nest."""
+        if dim is Dim.W:
+            return self.out_w
+        if dim is Dim.H:
+            return self.out_h
+        if dim is Dim.F:
+            return self.out_f
+        if dim is Dim.C:
+            return self.c
+        return self.k
+
+    # ------------------------------------------------------------------
+    # Work and footprint metrics (Figure 1)
+    # ------------------------------------------------------------------
+    @property
+    def maccs(self) -> int:
+        """Multiply-accumulates to evaluate the layer (dense, 100% density)."""
+        return (
+            self.k
+            * self.out_h
+            * self.out_w
+            * self.out_f
+            * self.c
+            * self.r
+            * self.s
+            * self.t
+        )
+
+    @property
+    def input_elements(self) -> int:
+        return self.h * self.w * self.c * self.f
+
+    @property
+    def weight_elements(self) -> int:
+        return self.k * self.r * self.s * self.t * self.c
+
+    @property
+    def output_elements(self) -> int:
+        return self.k * self.out_h * self.out_w * self.out_f
+
+    def input_bytes(self, elem_bytes: int = ACTIVATION_BYTES) -> int:
+        return self.input_elements * elem_bytes
+
+    def weight_bytes(self, elem_bytes: int = WEIGHT_BYTES) -> int:
+        return self.weight_elements * elem_bytes
+
+    def output_bytes(self, elem_bytes: int = ACTIVATION_BYTES) -> int:
+        return self.output_elements * elem_bytes
+
+    def footprint_bytes(self) -> int:
+        """Input + weight footprint, the quantity plotted in Figure 1a."""
+        return self.input_bytes() + self.weight_bytes()
+
+    @property
+    def reuse_maccs_per_byte(self) -> float:
+        """MACs per byte of (input + weight) data — Figure 1b's metric."""
+        return self.maccs / self.footprint_bytes()
+
+    @property
+    def input_slide_reuse(self) -> int:
+        """Per-input-element reuse factor from sliding: R*S*T (Section IV-A)."""
+        return self.r * self.s * self.t
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def scaled(self, *, name: str | None = None, **overrides: int) -> "ConvLayer":
+        """Return a copy with some fields replaced."""
+        return dataclasses.replace(self, name=name or self.name, **overrides)
+
+    def as_2d_frame(self) -> "ConvLayer":
+        """Single-frame, single-tap 2D view of this layer.
+
+        Used by the Eyeriss baseline, which evaluates a 3D CNN "frame by
+        frame" (paper Section IV-A): each temporal tap of each output frame
+        is one 2D convolution of this shape.
+        """
+        return dataclasses.replace(
+            self, name=f"{self.name}/frame", f=1, t=1, stride_f=1, pad_f=0
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: in {self.c}x{self.h}x{self.w}x{self.f}f -> "
+            f"out {self.k}x{self.out_h}x{self.out_w}x{self.out_f}f, "
+            f"filter {self.r}x{self.s}x{self.t}, "
+            f"stride ({self.stride_h},{self.stride_w},{self.stride_f}), "
+            f"pad ({self.pad_h},{self.pad_w},{self.pad_f})"
+        )
+
+
+def total_maccs(layers: Iterator[ConvLayer]) -> int:
+    """Sum of MACs over an iterable of layers."""
+    return sum(layer.maccs for layer in layers)

@@ -1,0 +1,213 @@
+"""Performance model: PE utilisation, cycles and runtime (Section V-D).
+
+The paper converts PE utilisation and configuration metadata into wall-clock
+time with an analytic model.  Ours works the same way:
+
+* **Utilisation** multiplies three effects: PEs left idle because the
+  parallel degree is below the machine's PE count; load imbalance when the
+  number of tiles along a parallelised dim does not divide the parallel
+  degree (the paper's "edge cases such as when tile size is not an integer
+  multiple of the dimension size"); and vector-lane slack when the innermost
+  K tile is not a multiple of ``Vw``.
+* **Cycles** are the maximum of compute-bound cycles and the
+  bandwidth-bound cycles of every bus (Section IV-A4's rate-matching shows
+  compute normally dominates; the model verifies rather than assumes it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.access_model import TrafficReport
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.dims import DataType, Dim
+
+
+def split_parallelism(
+    parallelism: Parallelism, clusters: int, pes_per_cluster: int
+) -> tuple[Parallelism, Parallelism]:
+    """Factor a flat parallel spec into (cluster-level, PE-level) parts.
+
+    Morph distributes work first across its M clusters and then across the
+    N PEs within each (Section IV-A2).  The heuristic mirrors the paper's
+    base design: filter parallelism maps to clusters first (each cluster
+    owns an output-channel group, minimising input replication across
+    clusters), then temporal/spatial dims fill remaining cluster slots, and
+    whatever remains runs across the PEs of each cluster.
+    """
+    dims = (Dim.K, Dim.F, Dim.H, Dim.W)
+    degrees = [parallelism.of(d) for d in dims]
+    divisor_lists = [
+        [d for d in range(1, deg + 1) if deg % d == 0] for deg in degrees
+    ]
+
+    best: tuple[int, int, int, int] | None = None
+    best_rank: tuple | None = None
+
+    def search(index: int, chosen: list[int], cluster_used: int) -> None:
+        nonlocal best, best_rank
+        if cluster_used > clusters:
+            return
+        if index == len(dims):
+            pe_used = 1
+            for deg, c in zip(degrees, chosen):
+                pe_used *= deg // c
+            if pe_used > pes_per_cluster:
+                return
+            # Prefer K (then F, H, W) at the cluster level: each cluster
+            # owning an output-channel group minimises cross-cluster input
+            # replication (the Morph-base arrangement, Section IV-A3).
+            rank = tuple(-c for c in chosen)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = tuple(chosen), rank
+            return
+        for c in reversed(divisor_lists[index]):
+            chosen.append(c)
+            search(index + 1, chosen, cluster_used * c)
+            chosen.pop()
+
+    search(0, [], 1)
+    if best is None:
+        raise ValueError(
+            f"parallelism {parallelism.describe()} does not fit "
+            f"{clusters} clusters x {pes_per_cluster} PEs"
+        )
+    cluster_par = Parallelism.from_mapping(dict(zip(dims, best)))
+    pe_par = Parallelism.from_mapping(
+        {dim: deg // c for dim, deg, c in zip(dims, degrees, best)}
+    )
+    return cluster_par, pe_par
+
+
+def parallel_level_degrees(
+    num_levels: int,
+    clusters: int,
+    pes_per_cluster: int,
+    parallelism: Parallelism,
+) -> tuple[dict[Dim, int], ...]:
+    """Per-level parallel splits, indexed like the tile hierarchy.
+
+    Clusters distribute the tiles of the *middle* level (their L1 tiles
+    within the L2 tile) and PEs the innermost level's; two-level machines
+    apply the whole degree at their single inner level.  Used both to cap
+    sub-tile sizes in the optimizer and to tell the traffic model which
+    loop trips execute concurrently (broadcast rather than re-fetched).
+    """
+    cluster_par, pe_par = split_parallelism(parallelism, clusters, pes_per_cluster)
+    dims = (Dim.W, Dim.H, Dim.K, Dim.F)
+    if num_levels >= 3:
+        degrees: list[dict[Dim, int]] = [{} for _ in range(num_levels)]
+        degrees[1] = {d: cluster_par.of(d) for d in dims}
+        degrees[-1] = {d: pe_par.of(d) for d in dims}
+        return tuple(degrees)
+    if num_levels == 2:
+        return ({}, {d: cluster_par.of(d) * pe_par.of(d) for d in dims})
+    return ({},)
+
+
+def _imbalance_utilisation(tiles: int, degree: int) -> float:
+    """Fraction of PE-rounds doing useful work when ``tiles`` units are
+    dealt round-robin to ``degree`` workers."""
+    if degree <= 1:
+        return 1.0
+    rounds = math.ceil(tiles / degree)
+    return tiles / (rounds * degree)
+
+
+def compute_utilization(
+    hierarchy,
+    arch: AcceleratorConfig,
+    parallelism: Parallelism,
+) -> float:
+    """Fraction of peak MACC throughput sustained (see module docstring).
+
+    Exposed separately so the optimizer can rank parallelisation candidates
+    cheaply before running the full traffic model.
+    """
+    cluster_par, pe_par = split_parallelism(
+        parallelism, arch.clusters, arch.pes_per_cluster
+    )
+    inner = hierarchy.innermost
+    pe_parent = hierarchy.parent_of(hierarchy.levels - 1)
+    cluster_parent = hierarchy.parent_of(max(hierarchy.levels - 2, 0))
+
+    util = parallelism.degree / arch.total_pes
+    for dim in (Dim.W, Dim.H, Dim.K, Dim.F):
+        c_deg = cluster_par.of(dim)
+        p_deg = pe_par.of(dim)
+        if c_deg > 1:
+            mid_tile = hierarchy.tiles[max(hierarchy.levels - 2, 0)]
+            tiles = math.ceil(cluster_parent.extent(dim) / mid_tile.extent(dim))
+            util *= _imbalance_utilisation(tiles, c_deg)
+        if p_deg > 1:
+            tiles = math.ceil(pe_parent.extent(dim) / inner.extent(dim))
+            util *= _imbalance_utilisation(tiles, p_deg)
+
+    # Vector lanes span output channels: slack when the innermost K tile is
+    # not a multiple of Vw (Section IV-A2).
+    k_inner = inner.extent(Dim.K)
+    util *= k_inner / (arch.vector_width * math.ceil(k_inner / arch.vector_width))
+    return util
+
+
+@dataclasses.dataclass(frozen=True)
+class PerformanceReport:
+    """Cycles and utilisation of one layer on one accelerator."""
+
+    cycles: float
+    compute_cycles: float
+    bandwidth_cycles: dict[str, float]
+    utilization: float  #: fraction of peak MACC throughput achieved
+    active_pes: int
+    bound_by: str  #: "compute" or the name of the limiting bus
+
+    def runtime_s(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz
+
+
+def compute_performance(
+    traffic: TrafficReport,
+    arch: AcceleratorConfig,
+    dataflow: Dataflow,
+) -> PerformanceReport:
+    """Evaluate cycles for a layer given its traffic profile."""
+    parallelism = dataflow.parallelism
+    if parallelism.degree > arch.total_pes:
+        raise ValueError(
+            f"{parallelism.describe()} exceeds {arch.total_pes} PEs"
+        )
+    util = compute_utilization(dataflow.hierarchy, arch, parallelism)
+
+    # --- compute-bound cycles ----------------------------------------
+    compute_cycles = traffic.maccs / (arch.peak_maccs_per_cycle * util)
+
+    # --- bandwidth-bound cycles --------------------------------------
+    bandwidth_cycles: dict[str, float] = {}
+    for index, boundary in enumerate(traffic.boundaries):
+        bytes_crossing = 0
+        for data_type in DataType:
+            t = boundary.of(data_type)
+            if data_type is DataType.PSUMS:
+                bytes_crossing += t.load_bytes + t.writeback_bytes
+            else:
+                bytes_crossing += t.fill_bytes
+        bw = arch.noc.boundary_bandwidth_bytes_per_cycle(index)
+        bandwidth_cycles[boundary.name] = bytes_crossing / bw
+
+    cycles = compute_cycles
+    bound_by = "compute"
+    for name, bw_cycles in bandwidth_cycles.items():
+        if bw_cycles > cycles:
+            cycles = bw_cycles
+            bound_by = name
+
+    return PerformanceReport(
+        cycles=cycles,
+        compute_cycles=compute_cycles,
+        bandwidth_cycles=bandwidth_cycles,
+        utilization=util,
+        active_pes=parallelism.degree,
+        bound_by=bound_by,
+    )

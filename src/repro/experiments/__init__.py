@@ -1,0 +1,16 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+==========  ===========================================================
+Module      Paper content
+==========  ===========================================================
+fig1_*      Figure 1a/1b: footprints and reuse, 2D vs 3D CNNs
+fig4_*      Figure 4a/4b/4c: loop-order and allocation motivation (C3D)
+fig5_*      Figure 5: buffer-hierarchy-depth sweep
+fig9_*      Figure 9: energy, Eyeriss vs Morph-base vs Morph
+fig10_*     Figure 10: performance/watt, Morph vs Morph-base
+table3_*    Table III: chosen C3D configurations
+table4_*    Table IV: PE area breakdown
+==========  ===========================================================
+
+Run everything with ``python -m repro.experiments.runner --all``.
+"""

@@ -1,0 +1,126 @@
+"""Ablation: which of Morph's flexibility mechanisms buys what.
+
+The paper bundles three configuration-time mechanisms (Section IV-B):
+flexible **loop orders** (programmable FSMs), flexible **buffer
+partitioning** (banked shared buffers), and flexible **PE parallelism**
+(NoC masks).  Figure 9 only reports them together; this ablation — the
+design-choice study DESIGN.md calls out — enables them one at a time on
+C3D, measuring each mechanism's marginal energy gain over Morph-base.
+
+Machine variants (all with Morph's buffer sizes):
+
+=================  ===========  ==========  ============
+variant            loop orders  partitions  parallelism
+=================  ===========  ==========  ============
+base               fixed        static      fixed
++orders            free         static      fixed
++partitions        fixed        banked      fixed
++parallelism       fixed        static      free
+morph (all)        free         banked      free
+=================  ===========  ==========  ============
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.accelerator import (
+    MORPH_BASE_INNER,
+    MORPH_BASE_OUTER,
+    MORPH_BASE_PARALLELISM,
+    AcceleratorConfig,
+    morph,
+    morph_base,
+)
+from repro.experiments.common import default_options, format_table
+from repro.optimizer.search import OptimizerOptions, optimize_network
+from repro.workloads import c3d
+
+
+def _variant(
+    name: str,
+    *,
+    free_orders: bool,
+    banked_partitions: bool,
+    free_parallelism: bool,
+) -> AcceleratorConfig:
+    """Build a Morph variant with a subset of mechanisms enabled."""
+    template = morph() if banked_partitions else morph_base()
+    return dataclasses.replace(
+        template,
+        name=name,
+        fixed_outer_order=None if free_orders else MORPH_BASE_OUTER,
+        fixed_inner_order=None if free_orders else MORPH_BASE_INNER,
+        fixed_parallelism=None if free_parallelism else MORPH_BASE_PARALLELISM,
+    )
+
+
+VARIANTS = (
+    ("base", dict(free_orders=False, banked_partitions=False, free_parallelism=False)),
+    ("+orders", dict(free_orders=True, banked_partitions=False, free_parallelism=False)),
+    ("+partitions", dict(free_orders=False, banked_partitions=True, free_parallelism=False)),
+    ("+parallelism", dict(free_orders=False, banked_partitions=False, free_parallelism=True)),
+    ("morph", dict(free_orders=True, banked_partitions=True, free_parallelism=True)),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    #: variant name -> (energy pJ, cycles)
+    variants: dict[str, tuple[float, float]]
+
+    def energy(self, name: str) -> float:
+        return self.variants[name][0]
+
+    def gain_over_base(self, name: str) -> float:
+        return self.energy("base") / self.energy(name)
+
+    def mechanisms_compose(self) -> bool:
+        """Full Morph should beat every single-mechanism variant."""
+        full = self.energy("morph")
+        return all(
+            full <= self.energy(name) * 1.001
+            for name, _ in VARIANTS
+            if name != "morph"
+        )
+
+
+def run_ablation(
+    fast: bool = True,
+    options: OptimizerOptions | None = None,
+    layers: tuple[str, ...] | None = None,
+) -> AblationResult:
+    options = options or default_options(fast)
+    network = c3d()
+    selected = tuple(
+        layer for layer in network if layers is None or layer.name in layers
+    )
+    results: dict[str, tuple[float, float]] = {}
+    for name, flags in VARIANTS:
+        arch = _variant(f"Morph[{name}]", **flags)
+        outcome = optimize_network(
+            selected, arch, options, network_name=f"c3d-ablation-{name}"
+        )
+        results[name] = (outcome.total_energy_pj, outcome.total_cycles)
+    return AblationResult(variants=results)
+
+
+def main(fast: bool = True) -> str:
+    result = run_ablation(fast)
+    rows = []
+    for name, _ in VARIANTS:
+        energy, cycles = result.variants[name]
+        rows.append(
+            (name, energy / 1e6, cycles / 1e6, result.gain_over_base(name))
+        )
+    report = format_table(
+        ["variant", "energy (uJ)", "Mcycles", "gain vs base"],
+        rows,
+        title="Flexibility ablation on C3D (energy objective)",
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Shared plumbing for the experiment harness.
+
+Every experiment module exposes a ``run_*`` function returning a structured
+result object plus a ``main()`` that pretty-prints it the way the paper's
+figure/table reports the data.  Results carry plain dict/list rows so
+benchmarks and tests can assert on them without parsing text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.optimizer.search import OptimizerOptions
+
+
+def default_options(fast: bool = True, **overrides) -> OptimizerOptions:
+    """Search-effort preset shared by all experiments.
+
+    ``fast=True`` (the default everywhere, including benchmarks) uses the
+    coarser discretisation; pass ``fast=False`` for the thorough sweep the
+    paper's offline optimizer would run.
+    """
+    return (
+        OptimizerOptions.fast(**overrides)
+        if fast
+        else OptimizerOptions(**overrides)
+    )
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table (the harness' replacement for matplotlib)."""
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesResult:
+    """A named series of (label, value) points — one bar group of a figure."""
+
+    name: str
+    labels: tuple[str, ...]
+    values: tuple[float, ...]
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return list(zip(self.labels, self.values))
+
+    def value_for(self, label: str) -> float:
+        try:
+            return self.values[self.labels.index(label)]
+        except ValueError:
+            raise KeyError(f"{self.name} has no point {label!r}") from None

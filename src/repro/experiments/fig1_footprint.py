@@ -1,0 +1,120 @@
+"""Figure 1: memory footprint and data reuse, 2D versus 3D CNNs.
+
+* **Figure 1a** — per-layer input and filter footprints for AlexNet,
+  Inception and ResNet-50 versus C3D, ResNet3D-50 and I3D, under the
+  caption's normalisation: 224 x 224 input frames, 3 channels, 16 frames.
+  The paper's takeaways: 3D footprints far exceed typical on-chip memory
+  (Observation 1) and vary dramatically across layers (Observation 2).
+* **Figure 1b** — average MACs per byte of input+filter data (Observation
+  3: 3D CNNs have far higher reuse, making on-chip energy dominant).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.common import format_table
+from repro.workloads import build_network
+from repro.workloads.networks import Network
+
+#: Figure 1's normalisation: 224x224 frames, 16 of them for the 3D nets.
+FIG1_BUILDS = {
+    "AlexNet": dict(name="alexnet"),
+    "Inception": dict(name="inception"),
+    "ResNet-50": dict(name="resnet50"),
+    "C3D": dict(name="c3d", input_hw=224, frames=16),
+    "ResNet3D-50": dict(name="resnet3d50", input_hw=224, frames=16),
+    "I3D": dict(name="i3d", input_hw=224, frames=16),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerFootprint:
+    network: str
+    layer: str
+    input_bytes: int
+    weight_bytes: int
+    is_3d: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure1Result:
+    footprints: tuple[LayerFootprint, ...]  #: Figure 1a
+    reuse: dict[str, float]  #: Figure 1b, MACs per byte
+
+    def network_layers(self, network: str) -> list[LayerFootprint]:
+        return [fp for fp in self.footprints if fp.network == network]
+
+    def max_footprint(self, network: str) -> int:
+        return max(
+            fp.input_bytes + fp.weight_bytes for fp in self.network_layers(network)
+        )
+
+    def reuse_ratio_3d_over_2d(self) -> float:
+        """How much more reuse the average 3D net has over the average 2D."""
+        three_d = [v for k, v in self.reuse.items() if k in ("C3D", "ResNet3D-50", "I3D")]
+        two_d = [v for k, v in self.reuse.items() if k in ("AlexNet", "Inception", "ResNet-50")]
+        return (sum(three_d) / len(three_d)) / (sum(two_d) / len(two_d))
+
+
+def _build(label: str) -> Network:
+    spec = dict(FIG1_BUILDS[label])
+    return build_network(spec.pop("name"), **spec)
+
+
+def run_figure1() -> Figure1Result:
+    footprints: list[LayerFootprint] = []
+    reuse: dict[str, float] = {}
+    for label in FIG1_BUILDS:
+        network = _build(label)
+        for layer in network:
+            footprints.append(
+                LayerFootprint(
+                    network=label,
+                    layer=layer.name,
+                    input_bytes=layer.input_bytes(),
+                    weight_bytes=layer.weight_bytes(),
+                    is_3d=network.is_3d,
+                )
+            )
+        reuse[label] = network.average_reuse
+    return Figure1Result(footprints=tuple(footprints), reuse=reuse)
+
+
+def main() -> str:
+    result = run_figure1()
+    out = []
+    rows_a = []
+    for label in FIG1_BUILDS:
+        layers = result.network_layers(label)
+        rows_a.append(
+            (
+                label,
+                len(layers),
+                max(fp.input_bytes for fp in layers) / 1e6,
+                max(fp.weight_bytes for fp in layers) / 1e6,
+                result.max_footprint(label) / 1e6,
+            )
+        )
+    out.append(
+        format_table(
+            ["network", "layers", "max input MB", "max weight MB", "max total MB"],
+            rows_a,
+            title="Figure 1a: memory footprints (224x224, 16 frames for 3D)",
+        )
+    )
+    rows_b = [(label, result.reuse[label]) for label in FIG1_BUILDS]
+    out.append(
+        format_table(
+            ["network", "MACs/byte"],
+            rows_b,
+            title="\nFigure 1b: average data reuse",
+        )
+    )
+    report = "\n".join(out)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,205 @@
+"""Figure 5: how many levels of on-chip buffer hierarchy are worth it.
+
+The paper sweeps buffer hierarchies of one to four levels for a
+representative convolution (112 x 112 x 3 input, 16 frames, 3 x 3 x 3
+filter; the 2D variant sets F = T = 1), sweeping loop orders and tile sizes
+and *fixing the physical buffer size to the tile size* to isolate the
+effect of hierarchy depth.  Findings to reproduce: both 2D and 3D prefer
+three levels; the benefit is much larger for 3D (7.8x over one level,
+versus 3.8x for 2D) because halo effects push 3D towards large tiles whose
+per-access energy only a deeper hierarchy can amortise; a fourth level adds
+traffic without new reuse and efficiency drops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+
+from repro.arch.sram import sram_read_pj_per_byte, sram_write_pj_per_byte
+from repro.arch.technology import DEFAULT_TECHNOLOGY
+from repro.core.access_model import compute_alu_traffic, compute_traffic
+from repro.core.dataflow import Dataflow
+from repro.core.dims import ALL_DIMS, DataType, Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.experiments.common import format_table
+from repro.optimizer.space import (
+    REPRESENTATIVE_INNER_ORDERS,
+    REPRESENTATIVE_OUTER_ORDERS,
+)
+
+#: The representative layer from the figure's caption.
+LAYER_3D = ConvLayer("fig5-3d", h=112, w=112, c=3, f=16, k=64, r=3, s=3, t=3)
+LAYER_2D = ConvLayer("fig5-2d", h=112, w=112, c=3, f=1, k=64, r=3, s=3, t=1)
+
+#: Buffer-size grid the per-level tile sizes are drawn from (bytes).
+SIZE_GRID = (
+    2 * 2**20, 1 * 2**20, 512 * 2**10, 128 * 2**10, 64 * 2**10,
+    32 * 2**10, 8 * 2**10, 2 * 2**10,
+)
+
+VECTOR_WIDTH = 8
+
+#: Shrink priorities: which dims to halve first when a tile is too big.
+#: Different data-type balances want different shapes — e.g. cutting K
+#: first shrinks the 4-byte psums while preserving input slide reuse.
+_SHRINK_STRATEGIES = (
+    None,  # heaviest footprint first
+    (Dim.K, Dim.F, Dim.W, Dim.H, Dim.C),  # psums first
+    (Dim.C, Dim.K, Dim.F, Dim.H, Dim.W),  # channels first
+)
+
+
+def _greedy_tile(
+    layer: ConvLayer,
+    parent: TileShape,
+    capacity: int,
+    priority: tuple[Dim, ...] | None = None,
+) -> TileShape:
+    """Shrink from the parent, halving dims by ``priority`` (or by largest
+    footprint saving), until the tile fits ``capacity``."""
+    current = {dim: parent.extent(dim) for dim in ALL_DIMS}
+    for _ in range(64):
+        tile = TileShape.from_mapping(current)
+        if tile.total_bytes(layer) <= capacity:
+            return tile
+        if priority is not None:
+            target = next((d for d in priority if current[d] > 1), None)
+        else:
+            target = max(
+                (d for d in ALL_DIMS if current[d] > 1),
+                key=lambda d: _shrink_gain(layer, current, d),
+                default=None,
+            )
+        if target is None:
+            return tile
+        current[target] = math.ceil(current[target] / 2)
+    return TileShape.from_mapping(current)
+
+
+def _shrink_gain(layer: ConvLayer, current: dict, dim) -> int:
+    tile = TileShape.from_mapping(current)
+    halved = dict(current)
+    halved[dim] = math.ceil(current[dim] / 2)
+    return tile.total_bytes(layer) - TileShape.from_mapping(halved).total_bytes(layer)
+
+
+def _tile_candidates(
+    layer: ConvLayer, parent: TileShape, capacity: int
+) -> list[TileShape]:
+    """Distinct fitting tiles from all shrink strategies."""
+    tiles = []
+    for priority in _SHRINK_STRATEGIES:
+        tile = _greedy_tile(layer, parent, capacity, priority)
+        if tile.total_bytes(layer) <= capacity and tile not in tiles:
+            tiles.append(tile)
+    return tiles
+
+
+def _energy_pj(dataflow: Dataflow) -> float:
+    """DRAM + per-level SRAM energy with buffers sized to their tiles."""
+    layer = dataflow.layer
+    traffic = compute_traffic(dataflow)
+    tech = DEFAULT_TECHNOLOGY
+    energy = tech.dram_energy_pj(
+        traffic.dram_read_bytes + traffic.dram_write_bytes
+    )
+    levels = dataflow.hierarchy.levels
+    reads = [0.0] * levels
+    writes = [0.0] * levels
+    for index, boundary in enumerate(traffic.boundaries):
+        for data_type in DataType:
+            t = boundary.of(data_type)
+            if data_type is DataType.PSUMS:
+                down, up = t.load_bytes, t.writeback_bytes
+                if index > 0:
+                    reads[index - 1] += down
+                    writes[index - 1] += up
+                writes[index] += down
+                reads[index] += up
+            else:
+                if index > 0:
+                    reads[index - 1] += t.fill_bytes
+                writes[index] += t.fill_bytes
+    alu = compute_alu_traffic(traffic, VECTOR_WIDTH)
+    reads[-1] += alu.l0_read_bytes
+    writes[-1] += alu.l0_write_bytes
+    for index in range(levels):
+        tile_kb = max(
+            dataflow.hierarchy.tiles[index].total_bytes(layer) / 1024.0, 0.25
+        )
+        energy += reads[index] * sram_read_pj_per_byte(tile_kb)
+        energy += writes[index] * sram_write_pj_per_byte(tile_kb)
+    return energy
+
+
+def best_energy_for_levels(layer: ConvLayer, levels: int) -> float:
+    """Sweep size assignments and loop orders for a fixed hierarchy depth."""
+    outer_orders = [LoopOrder.parse(o) for o in REPRESENTATIVE_OUTER_ORDERS[:6]]
+    inner_orders = [LoopOrder.parse(o) for o in REPRESENTATIVE_INNER_ORDERS[:6]]
+    best = float("inf")
+    for sizes in itertools.combinations(SIZE_GRID, levels):
+        # Beam over shrink-strategy variants at each level.
+        beams: list[tuple[TileShape, ...]] = [()]
+        for size in sizes:  # grid is descending, so nesting is monotone
+            new_beams = []
+            for beam in beams:
+                parent = beam[-1] if beam else TileShape.full(layer)
+                for tile in _tile_candidates(layer, parent, size):
+                    new_beams.append(beam + (tile,))
+            beams = new_beams[:9]
+        for beam in beams:
+            hierarchy = TileHierarchy(layer, beam)
+            for outer in outer_orders:
+                for inner in inner_orders if levels > 1 else inner_orders[:1]:
+                    energy = _energy_pj(Dataflow(outer, inner, hierarchy))
+                    best = min(best, energy)
+    return best
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure5Result:
+    levels: tuple[int, ...]
+    energy_3d: tuple[float, ...]
+    energy_2d: tuple[float, ...]
+
+    def advantage(self, is_3d: bool) -> tuple[float, ...]:
+        """Energy advantage over a single-level hierarchy (the figure's y)."""
+        series = self.energy_3d if is_3d else self.energy_2d
+        return tuple(series[0] / e for e in series)
+
+    def best_depth(self, is_3d: bool) -> int:
+        adv = self.advantage(is_3d)
+        return self.levels[adv.index(max(adv))]
+
+
+def run_figure5(max_levels: int = 4) -> Figure5Result:
+    levels = tuple(range(1, max_levels + 1))
+    return Figure5Result(
+        levels=levels,
+        energy_3d=tuple(best_energy_for_levels(LAYER_3D, n) for n in levels),
+        energy_2d=tuple(best_energy_for_levels(LAYER_2D, n) for n in levels),
+    )
+
+
+def main() -> str:
+    result = run_figure5()
+    adv3, adv2 = result.advantage(True), result.advantage(False)
+    rows = [
+        (n, result.energy_3d[i] / 1e6, adv3[i], result.energy_2d[i] / 1e6, adv2[i])
+        for i, n in enumerate(result.levels)
+    ]
+    report = format_table(
+        ["levels", "3D energy (uJ)", "3D advantage", "2D energy (uJ)", "2D advantage"],
+        rows,
+        title="Figure 5: multi-level buffer hierarchy advantage",
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Figure 9: energy of the five CNNs on Eyeriss, Morph-base and Morph.
+
+Each network is evaluated on all three machines; energies are normalised to
+Eyeriss with the component split (DRAM / L2 / L1 / L0 / compute) the figure
+stacks.  Paper headlines to reproduce:
+
+* Morph averages ~2.5x lower energy than Morph-base across the 3D CNNs
+  (up to 3.4x);
+* both Morph variants beat Eyeriss heavily on 3D CNNs — 15.9x on average
+  for Morph — with the gap widening with frame count (I3D vs C3D);
+* Eyeriss beats Morph-base on AlexNet (2D), while Morph still edges
+  Eyeriss there thanks to tiling and loop-order flexibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.accelerator import morph
+from repro.baselines.eyeriss import evaluate_network_on_eyeriss
+from repro.baselines.morph_base import evaluate_network_on_morph_base
+from repro.experiments.common import default_options, format_table
+from repro.optimizer.search import OptimizerOptions, optimize_network
+from repro.workloads import build_network
+
+#: Display order follows the figure: 3D CNNs first, then 2D.
+FIG9_NETWORKS = ("c3d", "resnet3d50", "i3d", "two_stream", "alexnet")
+THREE_D = ("C3D", "ResNet3D-50", "I3D")
+
+COMPONENTS = ("DRAM", "L2", "L1", "L0", "Compute")
+ACCELERATORS = ("Eyeriss", "Morph_base", "Morph")
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkEnergy:
+    network: str
+    is_3d: bool
+    #: accelerator -> component -> pJ
+    components: dict[str, dict[str, float]]
+
+    def total(self, accelerator: str) -> float:
+        return sum(self.components[accelerator].values())
+
+    def normalised_total(self, accelerator: str) -> float:
+        return self.total(accelerator) / self.total("Eyeriss")
+
+    def reduction_vs(self, accelerator: str, baseline: str) -> float:
+        """How many times less energy ``accelerator`` uses than ``baseline``."""
+        return self.total(baseline) / self.total(accelerator)
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure9Result:
+    networks: tuple[NetworkEnergy, ...]
+
+    def by_name(self, network: str) -> NetworkEnergy:
+        for entry in self.networks:
+            if entry.network == network:
+                return entry
+        raise KeyError(network)
+
+    def average_reduction_3d(self, accelerator: str, baseline: str) -> float:
+        values = [
+            n.reduction_vs(accelerator, baseline)
+            for n in self.networks
+            if n.network in THREE_D
+        ]
+        return sum(values) / len(values)
+
+
+def run_figure9(
+    fast: bool = True,
+    options: OptimizerOptions | None = None,
+    networks: tuple[str, ...] = FIG9_NETWORKS,
+) -> Figure9Result:
+    options = options or default_options(fast)
+    morph_arch = morph()
+    rows = []
+    for name in networks:
+        network = build_network(name)
+        eyeriss = evaluate_network_on_eyeriss(network, options)
+        base = evaluate_network_on_morph_base(network, options)
+        flexible = optimize_network(
+            network.layers, morph_arch, options, network_name=network.name
+        )
+        components = {
+            "Eyeriss": _pad(eyeriss.energy_components_pj()),
+            "Morph_base": _pad(base.energy_components_pj()),
+            "Morph": _pad(flexible.energy_components_pj()),
+        }
+        rows.append(
+            NetworkEnergy(
+                network=network.name, is_3d=network.is_3d, components=components
+            )
+        )
+    return Figure9Result(networks=tuple(rows))
+
+
+def _pad(components: dict[str, float]) -> dict[str, float]:
+    return {name: components.get(name, 0.0) for name in COMPONENTS}
+
+
+def main(fast: bool = True) -> str:
+    result = run_figure9(fast)
+    out = []
+    rows = []
+    for entry in result.networks:
+        for accel in ACCELERATORS:
+            comp = entry.components[accel]
+            rows.append(
+                (
+                    entry.network,
+                    accel,
+                    entry.normalised_total(accel),
+                    *(comp[c] / 1e6 for c in COMPONENTS),
+                )
+            )
+    out.append(
+        format_table(
+            ["network", "accelerator", "norm. energy"]
+            + [f"{c} (uJ)" for c in COMPONENTS],
+            rows,
+            title="Figure 9: energy, normalised to Eyeriss per network",
+        )
+    )
+    out.append(
+        "\nHeadlines: "
+        f"Morph vs Morph_base (3D avg) = "
+        f"{result.average_reduction_3d('Morph', 'Morph_base'):.2f}x; "
+        f"Morph vs Eyeriss (3D avg) = "
+        f"{result.average_reduction_3d('Morph', 'Eyeriss'):.2f}x"
+    )
+    report = "\n".join(out)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

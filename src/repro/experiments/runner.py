@@ -1,0 +1,78 @@
+"""Experiment runner: regenerate any or all paper figures/tables.
+
+Usage::
+
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner fig9 table3 --thorough
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    ablation_flexibility,
+    fig1_footprint,
+    fig4_loop_orders,
+    fig5_hierarchy,
+    fig9_energy,
+    fig10_perf_watt,
+    precision_study,
+    table3_configs,
+    table4_area,
+)
+
+EXPERIMENTS: dict[str, Callable[..., str]] = {
+    "fig1": lambda fast: fig1_footprint.main(),
+    "fig4": fig4_loop_orders.main,
+    "fig5": lambda fast: fig5_hierarchy.main(),
+    "fig9": fig9_energy.main,
+    "fig10": fig10_perf_watt.main,
+    "table3": table3_configs.main,
+    "table4": lambda fast: table4_area.main(),
+    "ablation": ablation_flexibility.main,
+    "precision": precision_study.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate Morph (MICRO 2018) figures and tables."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"which to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--thorough",
+        action="store_true",
+        help="full search-space sweep (slow; default uses the fast preset)",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = list(args.experiments or [])
+    unknown = [name for name in chosen if name not in EXPERIMENTS and name != "all"]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{', '.join(EXPERIMENTS)} or 'all'"
+        )
+    if args.all or "all" in chosen or not chosen:
+        chosen = list(EXPERIMENTS)
+
+    fast = not args.thorough
+    for name in chosen:
+        print(f"\n=== {name} " + "=" * (70 - len(name)))
+        start = time.time()
+        EXPERIMENTS[name](fast)
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

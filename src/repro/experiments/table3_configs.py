@@ -1,0 +1,96 @@
+"""Table III: the Morph software analysis' chosen C3D configurations.
+
+For each C3D layer, the energy-optimised configuration on the Morph
+machine: outer and inner loop order plus the headline tile/parallelism
+parameters the paper tabulates (Kt, Ht, Ft, Kp * Vw).  Ht and Ft are
+reported in *input space* as the paper does (layer1's Ht = 114 = 112 rows
++ 2 padding).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.accelerator import morph
+from repro.core.dims import Dim
+from repro.core.tiling import input_extent
+from repro.experiments.common import default_options, format_table
+from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+from repro.workloads import c3d
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Row:
+    layer: str
+    outer_order: str
+    inner_order: str
+    kt: int
+    ht: int  #: input-space rows, halo/padding included
+    ft: int  #: input-space frames
+    kp_vw: int
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.layer,
+            self.outer_order,
+            self.inner_order,
+            self.kt,
+            self.ht,
+            self.ft,
+            self.kp_vw,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Result:
+    rows: tuple[Table3Row, ...]
+
+    def row(self, layer: str) -> Table3Row:
+        for entry in self.rows:
+            if entry.layer == layer:
+                return entry
+        raise KeyError(layer)
+
+
+def run_table3(
+    fast: bool = True,
+    options: OptimizerOptions | None = None,
+    layers: tuple[str, ...] | None = None,
+) -> Table3Result:
+    options = options or default_options(fast)
+    arch = morph()
+    optimizer = LayerOptimizer(arch, options)
+    rows = []
+    for layer in c3d():
+        if layers is not None and layer.name not in layers:
+            continue
+        ev = optimizer.optimize(layer).best
+        tile = ev.dataflow.hierarchy.outermost
+        rows.append(
+            Table3Row(
+                layer=layer.name,
+                outer_order=ev.dataflow.outer_order.format(),
+                inner_order=ev.dataflow.inner_order.format(lower=True),
+                kt=tile.extent(Dim.K),
+                ht=input_extent(layer, Dim.H, tile.extent(Dim.H)),
+                ft=input_extent(layer, Dim.F, tile.extent(Dim.F)),
+                kp_vw=ev.dataflow.parallelism.k * arch.vector_width,
+            )
+        )
+    return Table3Result(rows=tuple(rows))
+
+
+def main(fast: bool = True) -> str:
+    result = run_table3(fast)
+    report = format_table(
+        ["layer", "outer", "inner", "Kt", "Ht", "Ft", "Kp*Vw"],
+        [row.as_tuple() for row in result.rows],
+        title="Table III: C3D configurations chosen by the Morph optimizer "
+        "(energy objective)",
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""The Morph software optimizer (paper Section V).
+
+Enumerates per-layer configurations (loop orders x tile sizes x
+parallelism), allocates sub-tiles with the corner/f_reuse heuristic,
+evaluates each candidate with the analytic models, and lowers the winner
+to hardware programming state (FSM programs, bank assignments, NoC masks).
+"""

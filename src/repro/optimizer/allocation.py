@@ -1,0 +1,214 @@
+"""Sub-tile memory allocation heuristic (paper Section V-C).
+
+Given a level-``n+1`` tile, ``allocate`` finds level-``n`` sub-tile shapes
+such that ``Tmin <= Tn <= Tn+1``, the summed footprints respect the buffer
+(policy-aware: static partitions or bank-granular sharing), and ``f_reuse``
+— the ratio of compute per byte filled across the boundary — is maximised.
+
+The candidate generator follows the paper: for a D-dimensional tile it
+proposes the ``2^D`` corners where each dimension is at its minimum or
+maximum, which we extend with geometric midpoints and a greedy
+"halve-the-biggest-footprint" ladder so that layers whose corners are all
+infeasible still allocate well.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.access_model import boundary_fill_profile
+from repro.core.dims import ALL_DIMS, Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileShape
+
+
+def f_reuse(
+    layer: ConvLayer,
+    parent: TileShape,
+    child: TileShape,
+    inner_order: LoopOrder,
+    arch: AcceleratorConfig,
+) -> float:
+    """Compute per fill-byte across the boundary (higher is better).
+
+    The paper's ``freuse`` "calculates the ratio of buffer fills (from a
+    higher level buffer) to reads and updates (from lower levels)"; we score
+    the equivalent compute-per-byte so bigger parents aren't penalised.
+    """
+    profile = boundary_fill_profile(layer, parent, child, inner_order, arch.precision)
+    fill_bytes = sum(bytes_ for _, bytes_ in profile.values())
+    return parent.maccs(layer) / max(fill_bytes, 1)
+
+
+def _mid(lo: int, hi: int) -> int:
+    """Geometric midpoint, biased up, clamped to [lo, hi]."""
+    return max(lo, min(hi, round(math.sqrt(lo * hi))))
+
+
+def candidate_sub_tiles(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    level_index: int,
+    parent: TileShape,
+    *,
+    cap: TileShape | None = None,
+) -> list[TileShape]:
+    """Corner + midpoint + halving-ladder candidates, capacity-filtered.
+
+    ``cap`` bounds each dimension's maximum from above; the search uses it
+    to guarantee enough sub-tiles exist along parallelised dims for every
+    PE/cluster to receive work (tile sizes and parallelism are co-designed,
+    Section V-A's joint configuration vector).
+    """
+    dims = list(ALL_DIMS)
+    bounds = {
+        dim: (1, min(parent.extent(dim), cap.extent(dim) if cap else parent.extent(dim)))
+        for dim in dims
+    }
+    candidates: set[tuple[int, ...]] = set()
+
+    # 2^D corners (Section V-C).
+    for mask in itertools.product((0, 1), repeat=len(dims)):
+        extents = tuple(
+            bounds[dim][bit] for dim, bit in zip(dims, mask)
+        )
+        candidates.add(extents)
+
+    # Geometric midpoints: all-mid, and each dim at max with others mid.
+    mid = tuple(_mid(*bounds[dim]) for dim in dims)
+    candidates.add(mid)
+    for i, dim in enumerate(dims):
+        boosted = list(mid)
+        boosted[i] = bounds[dim][1]
+        candidates.add(tuple(boosted))
+
+    # Halving ladder: from the largest allowed shape, repeatedly halve the
+    # dimension contributing most footprint until the tile fits.
+    current = {dim: bounds[dim][1] for dim in dims}
+    for _ in range(40):
+        tile = TileShape.from_mapping(current)
+        candidates.add(tuple(current[d] for d in dims))
+        if arch.tile_fits(level_index, layer, tile):
+            break
+        heaviest = max(
+            dims,
+            key=lambda d: _footprint_gradient(layer, tile, d, arch),
+        )
+        if current[heaviest] == 1:
+            break
+        current[heaviest] = math.ceil(current[heaviest] / 2)
+
+    feasible = []
+    for extents in candidates:
+        tile = TileShape.from_mapping(dict(zip(dims, extents)))
+        if arch.tile_fits(level_index, layer, tile):
+            feasible.append(tile)
+    return feasible
+
+
+def _footprint_gradient(
+    layer: ConvLayer, tile: TileShape, dim: Dim, arch: AcceleratorConfig
+) -> int:
+    """Bytes freed by halving ``dim`` — used to pick what to shrink."""
+    if tile.extent(dim) == 1:
+        return -1
+    halved = TileShape.from_mapping(
+        {d: (math.ceil(tile.extent(d) / 2) if d is dim else tile.extent(d))
+         for d in ALL_DIMS}
+    )
+    return tile.total_bytes(layer, arch.precision) - halved.total_bytes(
+        layer, arch.precision
+    )
+
+
+def allocate_level(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    level_index: int,
+    parent: TileShape,
+    inner_order: LoopOrder,
+    *,
+    keep: int = 6,
+    cap: TileShape | None = None,
+) -> list[TileShape]:
+    """Top-``keep`` sub-tile shapes for one level by ``f_reuse`` score."""
+    feasible = candidate_sub_tiles(layer, arch, level_index, parent, cap=cap)
+    if not feasible:
+        raise ValueError(
+            f"no feasible sub-tile at level {level_index} of {arch.name} "
+            f"for {layer.name} (parent {parent.describe()})"
+        )
+    scored = sorted(
+        feasible,
+        key=lambda tile: f_reuse(layer, parent, tile, inner_order, arch),
+        reverse=True,
+    )
+    return scored[:keep]
+
+
+def parallel_caps(
+    parent: TileShape, degrees: dict[Dim, int]
+) -> TileShape:
+    """Largest child tile leaving one sub-tile per parallel worker.
+
+    With ``degrees[d]`` workers splitting the parent along ``d``, the child
+    extent must not exceed ``ceil(parent / degree)`` or some workers idle.
+    """
+    return TileShape.from_mapping(
+        {
+            dim: max(1, math.ceil(parent.extent(dim) / degrees.get(dim, 1)))
+            for dim in ALL_DIMS
+        }
+    )
+
+
+def allocate_hierarchy(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    last_level_tile: TileShape,
+    inner_order: LoopOrder,
+    *,
+    keep_per_level: int = 4,
+    level_degrees: tuple[dict[Dim, int], ...] | None = None,
+) -> list[tuple[TileShape, ...]]:
+    """Candidate full hierarchies below a chosen last-level tile.
+
+    Called level by level from ``N-1`` down to 0 as in the paper; at each
+    level the best few allocations are kept and expanded (beam search).
+    ``level_degrees[i]`` gives the parallel split applied when tiles of
+    level ``i`` are distributed (clusters at the middle level, PEs at the
+    innermost), which caps tile extents so every worker gets a sub-tile.
+    """
+    beams: list[tuple[TileShape, ...]] = [(last_level_tile,)]
+    for level_index in range(1, arch.num_levels):
+        degrees = None
+        if level_degrees is not None:
+            degrees = level_degrees[level_index]
+        new_beams: list[tuple[TileShape, ...]] = []
+        for beam in beams:
+            parent = beam[-1]
+            cap = parallel_caps(parent, degrees) if degrees else None
+            try:
+                tiles = allocate_level(
+                    layer, arch, level_index, parent, inner_order,
+                    keep=keep_per_level, cap=cap,
+                )
+            except ValueError:
+                continue
+            for tile in tiles:
+                new_beams.append(beam + (tile.clipped(parent),))
+        if not new_beams:
+            raise ValueError(
+                f"no feasible allocation below {last_level_tile.describe()} "
+                f"for {layer.name} on {arch.name}"
+            )
+        # Keep the globally best few beams by last-boundary f_reuse.
+        new_beams.sort(
+            key=lambda b: f_reuse(layer, b[-2], b[-1], inner_order, arch),
+            reverse=True,
+        )
+        beams = new_beams[: max(keep_per_level, 2)]
+    return beams

@@ -1,0 +1,141 @@
+"""Persist and recall optimizer configurations (paper Section V).
+
+"These optimizations need only be performed once per CNN. After best-fit
+parameters are found once, a configuration file can be saved and recalled
+instead of re-running the analysis."  This module is that configuration
+file: JSON with one record per layer capturing exactly the paper's
+configuration vector — ``[outer loop order, inner loop order, Ht, Wt, Ct,
+Kt, Ft (per level), Hp, Wp, Kp]`` — plus enough layer shape to detect
+mismatches on recall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.evaluate import Evaluation, evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.optimizer.search import NetworkResult
+
+FORMAT_VERSION = 1
+
+
+def _tile_to_json(tile: TileShape) -> dict:
+    return {"w": tile.w, "h": tile.h, "c": tile.c, "k": tile.k, "f": tile.f}
+
+
+def _tile_from_json(data: dict) -> TileShape:
+    return TileShape(**data)
+
+
+def _layer_signature(layer: ConvLayer) -> dict:
+    return {
+        "name": layer.name,
+        "h": layer.h, "w": layer.w, "c": layer.c, "f": layer.f,
+        "k": layer.k, "r": layer.r, "s": layer.s, "t": layer.t,
+        "stride": [layer.stride_h, layer.stride_w, layer.stride_f],
+        "pad": [layer.pad_h, layer.pad_w, layer.pad_f],
+    }
+
+
+def dataflow_to_json(dataflow: Dataflow) -> dict:
+    par = dataflow.parallelism
+    return {
+        "outer_order": dataflow.outer_order.format().strip("[]"),
+        "inner_order": dataflow.inner_order.format().strip("[]"),
+        "tiles": [_tile_to_json(t) for t in dataflow.hierarchy.tiles],
+        "parallelism": {"w": par.w, "h": par.h, "k": par.k, "f": par.f},
+    }
+
+
+def dataflow_from_json(layer: ConvLayer, data: dict) -> Dataflow:
+    return Dataflow(
+        outer_order=LoopOrder.parse(data["outer_order"]),
+        inner_order=LoopOrder.parse(data["inner_order"]),
+        hierarchy=TileHierarchy(
+            layer, tuple(_tile_from_json(t) for t in data["tiles"])
+        ),
+        parallelism=Parallelism(**data["parallelism"]),
+    )
+
+
+class ConfigMismatchError(ValueError):
+    """A stored configuration does not match the layer or machine."""
+
+
+def save_network_configs(result: NetworkResult, path: str | Path) -> None:
+    """Write every layer's chosen configuration to a JSON file."""
+    records = []
+    for layer_result in result.layers:
+        ev = layer_result.best
+        records.append(
+            {
+                "layer": _layer_signature(ev.layer),
+                "dataflow": dataflow_to_json(ev.dataflow),
+                "expected_energy_pj": ev.total_energy_pj,
+            }
+        )
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "network": result.network_name,
+        "accelerator": result.arch_name,
+        "layers": records,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+@dataclasses.dataclass(frozen=True)
+class RecalledNetwork:
+    """Configurations recalled from disk, re-evaluated on the machine."""
+
+    network_name: str
+    evaluations: tuple[Evaluation, ...]
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(ev.total_energy_pj for ev in self.evaluations)
+
+
+def load_network_configs(
+    path: str | Path,
+    layers: tuple[ConvLayer, ...],
+    arch: AcceleratorConfig,
+) -> RecalledNetwork:
+    """Recall configurations and re-evaluate them (no search).
+
+    Verifies layer shapes and the target machine name; a mismatch means
+    the file belongs to a different network or accelerator and raises
+    :class:`ConfigMismatchError` rather than silently mis-scheduling.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ConfigMismatchError(
+            f"unsupported config format {payload.get('format_version')}"
+        )
+    if payload["accelerator"] != arch.name:
+        raise ConfigMismatchError(
+            f"config saved for {payload['accelerator']!r}, "
+            f"recalling on {arch.name!r}"
+        )
+    records = payload["layers"]
+    if len(records) != len(layers):
+        raise ConfigMismatchError(
+            f"config has {len(records)} layers, network has {len(layers)}"
+        )
+    evaluations = []
+    for record, layer in zip(records, layers):
+        if record["layer"] != _layer_signature(layer):
+            raise ConfigMismatchError(
+                f"layer {layer.name!r} does not match the stored shape"
+            )
+        dataflow = dataflow_from_json(layer, record["dataflow"])
+        evaluations.append(evaluate(dataflow, arch))
+    return RecalledNetwork(
+        network_name=payload["network"], evaluations=tuple(evaluations)
+    )

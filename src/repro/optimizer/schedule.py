@@ -1,0 +1,150 @@
+"""Lowering: turn a chosen configuration into hardware programming state.
+
+The last step of the paper's software flow (Section V-E): "The final
+configuration can then be used to derive all state needed to configure
+Morph, e.g., bank assignments and FSM state."  This module produces, for
+one evaluated layer:
+
+* per-level **bank assignments** for the configurable buffers (Figure 7),
+* per-boundary **FSM programs** — loop bounds and steps whose accumulator
+  traces the tile-origin sequence of the chosen loop order (Figure 8),
+  with tile-done event triggers,
+* **NoC multicast masks** for the chosen PE parallelism, including the
+  second mask for the final partial round (Section IV-B3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.arch.buffers import FlexiblePartition
+from repro.arch.fsm import EventTrigger, ProgrammableFsm, fsm_for_loop_nest
+from repro.arch.noc import MulticastMask
+from repro.core.dims import ALL_DIMS, DataType, Dim
+from repro.core.evaluate import Evaluation
+from repro.core.performance_model import split_parallelism
+from repro.core.tiling import TileShape
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryProgram:
+    """FSM program for one boundary: walks child-tile origins in order."""
+
+    name: str
+    dims: tuple[Dim, ...]  #: loop dims, outermost first (degenerate removed)
+    bounds: tuple[int, ...]  #: trip counts, innermost first (FSM convention)
+    fsm: ProgrammableFsm
+
+    def origins(self) -> list[int]:
+        """Linearised tile-origin sequence the FSM generates."""
+        return self.fsm.addresses()
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerProgram:
+    """Everything software writes into the accelerator at layer start."""
+
+    layer_name: str
+    bank_assignments: tuple[dict[DataType, int] | None, ...]  #: per level
+    boundary_programs: tuple[BoundaryProgram, ...]
+    pe_mask: MulticastMask
+    last_round_mask: MulticastMask
+    cluster_mask: MulticastMask
+
+
+def _linear_strides(parent: TileShape, child: TileShape) -> dict[Dim, int]:
+    """Strides of a row-major [W,H,C,K,F] linearisation of the parent."""
+    strides: dict[Dim, int] = {}
+    stride = 1
+    for dim in reversed(ALL_DIMS):
+        strides[dim] = stride
+        stride *= parent.extent(dim)
+    return strides
+
+
+def program_boundary(
+    name: str,
+    parent: TileShape,
+    child: TileShape,
+    order_dims: tuple[Dim, ...],
+) -> BoundaryProgram:
+    """FSM walking child-tile origins within the parent, in loop order."""
+    trips = parent.trip_counts(child)
+    active = [d for d in order_dims if trips[d] > 1] or [order_dims[-1]]
+    strides = _linear_strides(parent, child)
+    # Innermost loop first, per the FSM convention.
+    bounds = [trips[d] for d in reversed(active)]
+    loop_strides = [strides[d] * child.extent(d) for d in reversed(active)]
+    triggers = [
+        EventTrigger("tile_done", tuple(True for _ in bounds)),
+    ]
+    fsm = fsm_for_loop_nest(bounds, loop_strides, triggers=triggers)
+    return BoundaryProgram(
+        name=name,
+        dims=tuple(active),
+        bounds=tuple(bounds),
+        fsm=fsm,
+    )
+
+
+def lower(evaluation: Evaluation) -> LayerProgram:
+    """Produce the full layer-start programming state for an evaluation."""
+    arch: AcceleratorConfig = evaluation.arch
+    layer = evaluation.layer
+    dataflow = evaluation.dataflow
+    hierarchy = dataflow.hierarchy
+
+    bank_assignments: list[dict[DataType, int] | None] = []
+    for index, (level, policy) in enumerate(zip(arch.levels, arch.partitions)):
+        if isinstance(policy, FlexiblePartition):
+            tile = hierarchy.tiles[index]
+            tile_bytes = {
+                dt: tile.bytes_of(dt, layer, arch.precision) for dt in DataType
+            }
+            bank_assignments.append(policy.bank_assignment(level, tile_bytes))
+        else:
+            bank_assignments.append(None)  # static partitions need no state
+
+    programs = []
+    parent = TileShape.full(layer)
+    for index, tile in enumerate(hierarchy.tiles):
+        order = dataflow.order_for_boundary(index)
+        programs.append(
+            program_boundary(
+                name=f"boundary{index}",
+                parent=parent,
+                child=tile,
+                order_dims=order.dims,
+            )
+        )
+        parent = tile
+
+    cluster_par, pe_par = split_parallelism(
+        dataflow.parallelism, arch.clusters, arch.pes_per_cluster
+    )
+    pe_active = min(pe_par.degree, arch.pes_per_cluster)
+    cluster_active = min(cluster_par.degree, arch.clusters)
+
+    # Final partial round: leftover tiles when the PE-parallel trip counts
+    # do not divide evenly (Section IV-B3's second mask + counter).
+    inner = hierarchy.innermost
+    pe_parent = hierarchy.parent_of(hierarchy.levels - 1)
+    last_round = pe_active
+    for dim in (Dim.W, Dim.H, Dim.K, Dim.F):
+        degree = pe_par.of(dim)
+        if degree > 1:
+            tiles = math.ceil(pe_parent.extent(dim) / inner.extent(dim))
+            remainder = tiles % degree
+            if remainder:
+                last_round = max(1, last_round * remainder // degree)
+
+    return LayerProgram(
+        layer_name=layer.name,
+        bank_assignments=tuple(bank_assignments),
+        boundary_programs=tuple(programs),
+        pe_mask=MulticastMask.first_k(arch.pes_per_cluster, pe_active),
+        last_round_mask=MulticastMask.first_k(arch.pes_per_cluster, last_round),
+        cluster_mask=MulticastMask.first_k(arch.clusters, cluster_active),
+    )

@@ -1,0 +1,291 @@
+"""Per-layer configuration search (paper Section V).
+
+For every layer the optimizer enumerates [outer order, inner order, last-
+level tile, sub-tile allocation, parallelism] configurations, evaluates each
+with the analytic models and returns the best under the chosen objective
+("it is straightforward to optimize for power or performance or
+performance/power", Section V-E).
+
+Inflexible machines reuse the same search with their dataflow pinned:
+Morph-base fixes loop orders, static partitions and parallelism but still
+sizes tiles per layer (its FSMs are fixed-function *per dataflow*, not per
+shape); Eyeriss additionally has only two buffer levels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.dims import Dim
+from repro.core.evaluate import CapacityError, Evaluation, evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.performance_model import parallel_level_degrees
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.optimizer.allocation import allocate_hierarchy
+from repro.optimizer.space import (
+    REPRESENTATIVE_INNER_ORDERS,
+    REPRESENTATIVE_OUTER_ORDERS,
+    dedupe_orders_by_signature,
+    last_level_tile_candidates,
+    loop_order_candidates,
+    parallelism_candidates,
+)
+
+#: Objective -> scalar score (lower is better).
+OBJECTIVES: dict[str, Callable[[Evaluation], float]] = {
+    "energy": lambda ev: ev.total_energy_pj,
+    "latency": lambda ev: ev.cycles,
+    "edp": lambda ev: ev.edp,
+    "perf_per_watt": lambda ev: -ev.perf_per_watt,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizerOptions:
+    """Search-effort knobs (the paper's space discretisation)."""
+
+    objective: str = "energy"
+    exhaustive_orders: bool = False
+    max_l2_candidates: int = 16
+    keep_allocations: int = 3
+    keep_per_level: int = 4
+    max_parallelism_candidates: int = 4
+    #: Overrides for motivation-style sweeps (Figure 4 fixes one order and
+    #: sweeps everything else).
+    fixed_outer_order: LoopOrder | None = None
+    fixed_inner_order: LoopOrder | None = None
+    fixed_parallelism: Parallelism | None = None
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {sorted(OBJECTIVES)}"
+            )
+
+    @classmethod
+    def fast(cls, **overrides) -> "OptimizerOptions":
+        """Coarser discretisation for benchmarks and CI."""
+        defaults = dict(
+            max_l2_candidates=8,
+            keep_allocations=2,
+            keep_per_level=3,
+            max_parallelism_candidates=2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def thorough(cls, **overrides) -> "OptimizerOptions":
+        defaults = dict(
+            max_l2_candidates=32,
+            keep_allocations=4,
+            keep_per_level=5,
+            max_parallelism_candidates=6,
+            exhaustive_orders=True,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_(self, **overrides) -> "OptimizerOptions":
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerResult:
+    """Best configuration found for one layer."""
+
+    layer: ConvLayer
+    best: Evaluation
+    evaluated: int
+
+    @property
+    def score(self) -> float:
+        return OBJECTIVES["energy"](self.best)
+
+
+class LayerOptimizer:
+    """Searches configurations for single layers on one accelerator."""
+
+    def __init__(
+        self,
+        arch: AcceleratorConfig,
+        options: OptimizerOptions | None = None,
+    ) -> None:
+        self.arch = arch
+        self.options = options or OptimizerOptions()
+        self._score = OBJECTIVES[self.options.objective]
+
+    # ------------------------------------------------------------------
+    def _outer_orders(self, layer: ConvLayer, l2_tile: TileShape) -> list[LoopOrder]:
+        fixed = self.options.fixed_outer_order or self.arch.fixed_outer_order
+        if fixed is not None:
+            return [fixed]
+        orders = loop_order_candidates(
+            exhaustive=self.options.exhaustive_orders,
+            representative=REPRESENTATIVE_OUTER_ORDERS,
+        )
+        return dedupe_orders_by_signature(orders, TileShape.full(layer), l2_tile)
+
+    def _inner_orders(self) -> list[LoopOrder]:
+        fixed = self.options.fixed_inner_order or self.arch.fixed_inner_order
+        if fixed is not None:
+            return [fixed]
+        return loop_order_candidates(
+            exhaustive=self.options.exhaustive_orders,
+            representative=REPRESENTATIVE_INNER_ORDERS,
+        )
+
+    def _parallelisms(self, layer: ConvLayer) -> list[Parallelism]:
+        fixed = self.options.fixed_parallelism or self.arch.fixed_parallelism
+        if fixed is not None:
+            return [fixed]
+        candidates = parallelism_candidates(self.arch, layer)
+        chosen = candidates[: self.options.max_parallelism_candidates]
+        # Always keep the canonical arrangement (K across clusters, H
+        # across PEs — Morph-base's choice) in the search so a flexible
+        # machine can never do worse than the inflexible default.
+        default = Parallelism(k=self.arch.clusters, h=self.arch.pes_per_cluster)
+        if default not in chosen:
+            chosen.append(default)
+        return chosen
+
+    def _level_degrees(
+        self, parallelism: Parallelism
+    ) -> tuple[dict[Dim, int], ...]:
+        """Per-level parallel splits capping sub-tile sizes."""
+        return parallel_level_degrees(
+            self.arch.num_levels,
+            self.arch.clusters,
+            self.arch.pes_per_cluster,
+            parallelism,
+        )
+
+    # ------------------------------------------------------------------
+    def optimize(self, layer: ConvLayer) -> LayerResult:
+        """Find the best configuration for ``layer`` under the objective."""
+        best: Evaluation | None = None
+        best_score = float("inf")
+        evaluated = 0
+
+        l2_tiles = last_level_tile_candidates(
+            layer, self.arch, max_candidates=self.options.max_l2_candidates
+        )
+        inner_orders = self._inner_orders()
+        parallelisms = self._parallelisms(layer)
+
+        for par in parallelisms:
+            level_degrees = self._level_degrees(par)
+            for l2_tile in l2_tiles:
+                outer_orders = self._outer_orders(layer, l2_tile)
+                for inner in inner_orders:
+                    try:
+                        beams = allocate_hierarchy(
+                            layer,
+                            self.arch,
+                            l2_tile,
+                            inner,
+                            keep_per_level=self.options.keep_per_level,
+                            level_degrees=level_degrees,
+                        )
+                    except ValueError:
+                        continue
+                    for tiles in beams[: self.options.keep_allocations]:
+                        hierarchy = TileHierarchy(layer, tiles)
+                        for outer in outer_orders:
+                            dataflow = Dataflow(outer, inner, hierarchy, par)
+                            try:
+                                ev = evaluate(dataflow, self.arch)
+                            except CapacityError:
+                                continue
+                            evaluated += 1
+                            score = self._score(ev)
+                            if score < best_score:
+                                best, best_score = ev, score
+
+        if best is None:
+            raise CapacityError(
+                f"no feasible configuration for {layer.name} on {self.arch.name}"
+            )
+        return LayerResult(layer=layer, best=best, evaluated=evaluated)
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class NetworkResult:
+    """Per-layer best configurations plus network-level aggregates."""
+
+    network_name: str
+    arch_name: str
+    layers: tuple[LayerResult, ...]
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(r.best.total_energy_pj for r in self.layers)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(r.best.cycles for r in self.layers)
+
+    @property
+    def total_maccs(self) -> int:
+        return sum(r.best.traffic.maccs for r in self.layers)
+
+    @property
+    def perf_per_watt(self) -> float:
+        """Network MACs per joule (energy includes runtime-static)."""
+        return self.total_maccs / (self.total_energy_pj * 1e-12)
+
+    def energy_components_pj(self) -> dict[str, float]:
+        """Summed Figure 9 components across layers."""
+        totals: dict[str, float] = {}
+        for result in self.layers:
+            for name, pj in result.best.energy.figure9_components().items():
+                totals[name] = totals.get(name, 0.0) + pj
+        return totals
+
+    def layer_result(self, layer_name: str) -> LayerResult:
+        for result in self.layers:
+            if result.layer.name == layer_name:
+                return result
+        raise KeyError(layer_name)
+
+
+_NETWORK_CACHE: dict[tuple, NetworkResult] = {}
+
+
+def optimize_network(
+    layers: Iterable[ConvLayer],
+    arch: AcceleratorConfig,
+    options: OptimizerOptions | None = None,
+    *,
+    network_name: str = "network",
+    use_cache: bool = True,
+) -> NetworkResult:
+    """Optimize each layer of a network; results are memoised in-process.
+
+    The paper notes these optimizations "need only be performed once per
+    CNN" with the configuration saved and recalled (Section V) — the cache
+    plays that role for the experiment harness.
+    """
+    layers = tuple(layers)
+    options = options or OptimizerOptions()
+    key = (network_name, arch.name, options, tuple(layers))
+    if use_cache and key in _NETWORK_CACHE:
+        return _NETWORK_CACHE[key]
+    optimizer = LayerOptimizer(arch, options)
+    results = tuple(optimizer.optimize(layer) for layer in layers)
+    outcome = NetworkResult(
+        network_name=network_name, arch_name=arch.name, layers=results
+    )
+    if use_cache:
+        _NETWORK_CACHE[key] = outcome
+    return outcome
+
+
+def clear_cache() -> None:
+    _NETWORK_CACHE.clear()

@@ -1,0 +1,196 @@
+"""Configuration-space enumeration (paper Section V-A).
+
+The optimizer's parameter list is the cartesian product of loop orders,
+last-level tile sizes and parallelisation parameters.  Taken literally that
+space is enormous, and the paper notes it "can be discretized" to reduce
+search time.  This module provides the discretisations:
+
+* per-dimension tile extents on a halving ladder (full, 1/2, 1/4, ... 1),
+  pruned by buffer capacity, which is monotone in every extent;
+* loop orders either exhaustively (all 120 permutations, deduplicated by
+  the cost-equivalence signature of :func:`loop_order_signature`) or from a
+  curated representative set for fast runs;
+* PE parallelisations as factorisations of the PE count over H/W/K/F.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Sequence
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.dims import ALL_DIMS, DataType, Dim
+from repro.core.dataflow import Parallelism
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder, all_loop_orders
+from repro.core.tiling import TileShape
+
+#: Curated loop orders covering the distinct reuse regimes: which data type
+#: is kept stationary at the boundary and which dim provides slide reuse.
+#: Includes every order the paper reports (Figure 4, Table III).
+REPRESENTATIVE_OUTER_ORDERS = (
+    "KWHCF", "KWFHC", "WFHCK", "WHCKF", "WFKHC", "FWHCK",
+    "KCWHF", "WHFCK", "FKWHC", "CWHKF", "WHCFK", "CKWHF",
+)
+REPRESENTATIVE_INNER_ORDERS = (
+    "CFWHK", "CWHFK", "KCFWH", "WHCKF", "WHKFC", "KFWHC",
+    "FWHCK", "KWHCF", "WFKHC", "CKWHF", "FKCWH", "WFHCK",
+)
+
+
+def halving_ladder(extent: int, *, max_steps: int = 8) -> list[int]:
+    """Candidate tile extents: full size repeatedly halved, down to 1."""
+    values: list[int] = []
+    current = extent
+    for _ in range(max_steps):
+        if current not in values:
+            values.append(current)
+        if current == 1:
+            break
+        current = math.ceil(current / 2)
+    if 1 not in values:
+        values.append(1)
+    return values
+
+
+def last_level_tile_candidates(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    *,
+    max_candidates: int = 24,
+    level_index: int = 0,
+) -> list[TileShape]:
+    """Feasible last-level (L2) tile shapes, largest-reuse first.
+
+    Walks the per-dimension halving ladders depth-first, pruning branches
+    whose *smallest* completion already exceeds capacity (footprints are
+    monotone in every extent).  Candidates that keep one data type fully
+    resident are always retained — Figure 4b shows the best configurations
+    pin a whole data type in the L2 whenever possible.
+    """
+    full = TileShape.full(layer)
+    ladders = {dim: halving_ladder(full.extent(dim)) for dim in ALL_DIMS}
+    feasible: list[TileShape] = []
+    order = list(ALL_DIMS)
+
+    def recurse(index: int, chosen: dict[Dim, int]) -> None:
+        if index == len(order):
+            tile = TileShape.from_mapping(chosen)
+            if arch.tile_fits(level_index, layer, tile):
+                feasible.append(tile)
+            return
+        dim = order[index]
+        for value in ladders[dim]:
+            probe = dict(chosen)
+            probe[dim] = value
+            for rest in order[index + 1:]:
+                probe[rest] = 1
+            if not arch.tile_fits(level_index, layer, TileShape.from_mapping(probe)):
+                continue  # even the minimal completion is too big
+            chosen[dim] = value
+            recurse(index + 1, chosen)
+        chosen.pop(dim, None)
+
+    recurse(0, {})
+    if not feasible:
+        raise ValueError(
+            f"no feasible last-level tile for {layer.name} on {arch.name}"
+        )
+
+    def pins_data_type(tile: TileShape) -> bool:
+        return (
+            (tile.c == full.c and tile.k == full.k)  # all weights resident
+            or all(
+                tile.extent(d) == full.extent(d)
+                for d in (Dim.W, Dim.H, Dim.C, Dim.F)
+            )  # all inputs resident
+            or all(
+                tile.extent(d) == full.extent(d)
+                for d in (Dim.W, Dim.H, Dim.K, Dim.F)
+            )  # all outputs resident
+        )
+
+    pinned = [t for t in feasible if pins_data_type(t)]
+    rest = [t for t in feasible if not pins_data_type(t)]
+    pinned.sort(key=lambda t: t.maccs(layer), reverse=True)
+    rest.sort(key=lambda t: t.maccs(layer), reverse=True)
+    take_pinned = pinned[: max(max_candidates // 3, 4)]
+    result = take_pinned + rest[: max_candidates - len(take_pinned)]
+    return result[:max_candidates]
+
+
+def loop_order_candidates(
+    *, exhaustive: bool, representative: Sequence[str]
+) -> list[LoopOrder]:
+    if exhaustive:
+        return list(all_loop_orders())
+    return [LoopOrder.parse(spec) for spec in representative]
+
+
+_PARALLEL_DEGREE_GRID = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 768)
+
+
+def parallelism_candidates(
+    arch: AcceleratorConfig,
+    layer: ConvLayer,
+    *,
+    max_candidates: int = 12,
+) -> list[Parallelism]:
+    """Factorisations of the PE count over the parallelisable dims.
+
+    Full-machine factorisations are preferred (idle PEs never help); each
+    dim's degree is capped by the layer's extent along it, since more
+    workers than work guarantees idling.
+    """
+    total = arch.total_pes
+    caps = {
+        Dim.K: layer.k,
+        Dim.H: layer.out_h,
+        Dim.W: layer.out_w,
+        Dim.F: layer.out_f,
+    }
+    grid = [d for d in _PARALLEL_DEGREE_GRID if d <= total]
+    seen: set[tuple[int, int, int, int]] = set()
+    results: list[Parallelism] = []
+    for k, h, w, f in itertools.product(grid, repeat=4):
+        if k * h * w * f != total:
+            continue
+        key = (k, h, w, f)
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(Parallelism(k=k, h=h, w=w, f=f))
+
+    def slack(par: Parallelism) -> float:
+        """How badly the degrees overshoot the available work (lower is
+        better): product of per-dim overshoot ratios."""
+        penalty = 1.0
+        for dim, cap in caps.items():
+            penalty *= max(1.0, par.of(dim) / max(cap, 1))
+        return penalty
+
+    results.sort(key=lambda p: (slack(p), p.replication(DataType.INPUTS)
+                                + p.replication(DataType.WEIGHTS)))
+    if not results:
+        results = [Parallelism.none()]
+    return results[:max_candidates]
+
+
+def dedupe_orders_by_signature(
+    orders: Iterator[LoopOrder] | Sequence[LoopOrder],
+    parent: TileShape,
+    child: TileShape,
+) -> list[LoopOrder]:
+    """One representative per cost-equivalence class (see
+    :func:`repro.core.access_model.loop_order_signature`)."""
+    from repro.core.access_model import loop_order_signature
+
+    seen: set[tuple] = set()
+    result: list[LoopOrder] = []
+    for order in orders:
+        sig = loop_order_signature(parent, child, order)
+        if sig not in seen:
+            seen.add(sig)
+            result.append(order)
+    return result

@@ -1,0 +1,10 @@
+"""Functional simulators that validate the analytic models.
+
+* :mod:`repro.sim.conv3d_ref` — numpy reference 3D convolution
+  (Algorithm 1 of the paper).
+* :mod:`repro.sim.tiled_executor` — executes a configuration's actual tile
+  schedule; must be bit-identical to the reference for every legal config.
+* :mod:`repro.sim.trace` — walks the schedule with buffer-residency
+  tracking; the analytic access model must agree exactly on
+  evenly-dividing shapes.
+"""

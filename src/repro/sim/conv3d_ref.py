@@ -1,0 +1,120 @@
+"""Reference 3D convolution (numpy) — functional ground truth.
+
+Implements Algorithm 1 of the paper directly (as a vectorised einsum over
+extracted windows plus a naive loop version for cross-checking).  The tiled
+executor must produce bit-identical results to :func:`conv3d_reference`
+under every tiling/loop-order configuration — the paper's observation that
+"the result of 3D convolution remains the same irrespective of the loop
+order" (Section II-E) becomes a testable property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layer import ConvLayer
+
+
+def make_inputs(layer: ConvLayer, rng: np.random.Generator) -> np.ndarray:
+    """Random int32 input tensor, shape (C, F, H, W)."""
+    return rng.integers(-8, 8, size=(layer.c, layer.f, layer.h, layer.w)).astype(
+        np.int64
+    )
+
+
+def make_weights(layer: ConvLayer, rng: np.random.Generator) -> np.ndarray:
+    """Random int32 weights, shape (K, C, T, R, S)."""
+    return rng.integers(
+        -8, 8, size=(layer.k, layer.c, layer.t, layer.r, layer.s)
+    ).astype(np.int64)
+
+
+def pad_inputs(layer: ConvLayer, inputs: np.ndarray) -> np.ndarray:
+    """Apply the layer's zero padding; result shape (C, F+2pf, H+2ph, W+2pw)."""
+    return np.pad(
+        inputs,
+        (
+            (0, 0),
+            (layer.pad_f, layer.pad_f),
+            (layer.pad_h, layer.pad_h),
+            (layer.pad_w, layer.pad_w),
+        ),
+    )
+
+
+def conv3d_reference(
+    layer: ConvLayer, inputs: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Dense 3D convolution; output shape (K, F_out, H_out, W_out)."""
+    _check_shapes(layer, inputs, weights)
+    padded = pad_inputs(layer, inputs)
+    out = np.zeros(
+        (layer.k, layer.out_f, layer.out_h, layer.out_w), dtype=np.int64
+    )
+    for t in range(layer.t):
+        for r in range(layer.r):
+            for s in range(layer.s):
+                window = padded[
+                    :,
+                    t : t + layer.out_f * layer.stride_f : layer.stride_f,
+                    r : r + layer.out_h * layer.stride_h : layer.stride_h,
+                    s : s + layer.out_w * layer.stride_w : layer.stride_w,
+                ]
+                # (K, C) x (C, F, H, W) -> (K, F, H, W)
+                out += np.einsum(
+                    "kc,cfhw->kfhw", weights[:, :, t, r, s], window
+                )
+    return out
+
+
+def conv3d_naive(
+    layer: ConvLayer, inputs: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Direct loop-nest transliteration of the paper's Algorithm 1.
+
+    Exponentially slower than :func:`conv3d_reference`; used in tests on
+    tiny layers to validate the vectorised version itself.
+    """
+    _check_shapes(layer, inputs, weights)
+    padded = pad_inputs(layer, inputs)
+    out = np.zeros(
+        (layer.k, layer.out_f, layer.out_h, layer.out_w), dtype=np.int64
+    )
+    for k in range(layer.k):
+        for f in range(layer.out_f):
+            for h in range(layer.out_h):
+                for w in range(layer.out_w):
+                    acc = 0
+                    for c in range(layer.c):
+                        for t in range(layer.t):
+                            for r in range(layer.r):
+                                for s in range(layer.s):
+                                    acc += (
+                                        padded[
+                                            c,
+                                            f * layer.stride_f + t,
+                                            h * layer.stride_h + r,
+                                            w * layer.stride_w + s,
+                                        ]
+                                        * weights[k, c, t, r, s]
+                                    )
+                    out[k, f, h, w] = acc
+    return out
+
+
+def conv2d_reference(
+    layer: ConvLayer, inputs: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """2D convolution through the 3D path (F = T = 1), Section II-B remark."""
+    if not layer.is_2d:
+        raise ValueError(f"{layer.name} is not a 2D layer")
+    return conv3d_reference(layer, inputs, weights)
+
+
+def _check_shapes(layer: ConvLayer, inputs: np.ndarray, weights: np.ndarray) -> None:
+    expected_in = (layer.c, layer.f, layer.h, layer.w)
+    expected_w = (layer.k, layer.c, layer.t, layer.r, layer.s)
+    if inputs.shape != expected_in:
+        raise ValueError(f"inputs shape {inputs.shape} != {expected_in}")
+    if weights.shape != expected_w:
+        raise ValueError(f"weights shape {weights.shape} != {expected_w}")

@@ -1,0 +1,216 @@
+"""Residency-tracking trace simulator for validating the analytic model.
+
+Walks the *complete* multi-level tile schedule of a dataflow (every loop
+iteration at every boundary) maintaining, per buffer level and data type,
+which global tile region is currently resident.  A mismatch between needed
+and resident region is a fill; evicting a dirty psum region is a writeback;
+slide reuse is credited when the new input region differs from the resident
+one along exactly one axis with overlap (the paper's "do not re-fetch the
+overlapped region in the major dimension").
+
+This is exponentially slower than :func:`repro.core.access_model.
+compute_traffic` but assumption-free: the test suite asserts exact
+agreement on evenly-dividing shapes and close agreement elsewhere (the
+analytic model approximates ragged-edge trip counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.dataflow import Dataflow
+from repro.core.dims import ALL_DATA_TYPES, DataType, Dim
+from repro.core.layer import ConvLayer
+from repro.core.tiling import DEFAULT_PRECISION, Precision, kernel_and_stride
+from repro.sim.tiled_executor import TileCoord, iter_tiles
+
+#: Axes of each data type's storage region, in a fixed order.
+_REGION_DIMS: dict[DataType, tuple[Dim, ...]] = {
+    DataType.INPUTS: (Dim.W, Dim.H, Dim.C, Dim.F),
+    DataType.WEIGHTS: (Dim.C, Dim.K),
+    DataType.PSUMS: (Dim.W, Dim.H, Dim.K, Dim.F),
+}
+
+
+def _interval(
+    layer: ConvLayer, data_type: DataType, dim: Dim, origin: int, extent: int
+) -> tuple[int, int]:
+    """Half-open storage interval along one axis (input space for sliding
+    dims of inputs, element space otherwise)."""
+    if data_type is DataType.INPUTS and dim in (Dim.W, Dim.H, Dim.F):
+        kernel, stride = kernel_and_stride(layer, dim)
+        start = origin * stride
+        length = (extent - 1) * stride + kernel
+        return (start, start + length)
+    return (origin, origin + extent)
+
+
+def _region(
+    layer: ConvLayer, data_type: DataType, coord: TileCoord
+) -> tuple[tuple[int, int], ...]:
+    return tuple(
+        _interval(layer, data_type, dim, coord.origin[dim], coord.extent[dim])
+        for dim in _REGION_DIMS[data_type]
+    )
+
+
+def _region_bytes(
+    region: tuple[tuple[int, int], ...], elem_bytes: int, per_point: int = 1
+) -> int:
+    """``per_point`` carries the untiled R*S*T factor for weight regions."""
+    size = elem_bytes * per_point
+    for lo, hi in region:
+        size *= hi - lo
+    return size
+
+
+def _fetch_bytes_with_slide(
+    new: tuple[tuple[int, int], ...],
+    old: tuple[tuple[int, int], ...] | None,
+    elem_bytes: int,
+) -> int:
+    """Bytes to load ``new`` given ``old`` resident, with slide reuse.
+
+    Reuse is credited only for a *forward* slide along exactly one axis —
+    the paper's major-dimension slide.  A backward wrap (the major dim
+    resetting when an outer loop steps) refetches in full, because by then
+    the overlapped rows have been overwritten by later tiles.
+    """
+    full = _region_bytes(new, elem_bytes)
+    if old is None:
+        return full
+    differing = [i for i, (n, o) in enumerate(zip(new, old)) if n != o]
+    if len(differing) != 1:
+        return full
+    axis = differing[0]
+    n_lo, n_hi = new[axis]
+    o_lo, o_hi = old[axis]
+    if n_lo <= o_lo:
+        return full  # backward or in-place: no slide credit
+    overlap = max(0, min(n_hi, o_hi) - max(n_lo, o_lo))
+    if overlap == 0:
+        return full
+    reused = elem_bytes * overlap
+    for i, (lo, hi) in enumerate(new):
+        if i != axis:
+            reused *= hi - lo
+    return full - reused
+
+
+@dataclasses.dataclass
+class TraceBoundary:
+    """Observed traffic at one boundary (child-level fills/evictions)."""
+
+    fills: dict[DataType, int]
+    fill_bytes: dict[DataType, int]
+    psum_load_bytes: int = 0
+    psum_writeback_bytes: int = 0
+
+
+@dataclasses.dataclass
+class TraceReport:
+    """Trace-simulator counterpart of :class:`TrafficReport`."""
+
+    layer: ConvLayer
+    boundaries: list[TraceBoundary]
+    precision: Precision
+
+    def dram_psum_writeback_bytes(self) -> int:
+        """With the final-output width adjustment the analytic model uses:
+        spills at psum width, final outputs at activation width."""
+        raw = self.boundaries[0].psum_writeback_bytes
+        out_psum = self.layer.output_elements * self.precision.psum_bytes
+        out_act = self.layer.output_elements * self.precision.activation_bytes
+        return raw - out_psum + out_act
+
+
+class _LevelState:
+    def __init__(self) -> None:
+        self.resident: dict[DataType, tuple | None] = {
+            dt: None for dt in ALL_DATA_TYPES
+        }
+        self.visited_psums: set[tuple] = set()
+
+
+def trace_dataflow(
+    dataflow: Dataflow, precision: Precision = DEFAULT_PRECISION
+) -> TraceReport:
+    """Simulate the full schedule and return observed per-boundary traffic."""
+    layer = dataflow.layer
+    levels = dataflow.hierarchy.levels
+    states = [_LevelState() for _ in range(levels)]
+    boundaries = [
+        TraceBoundary(
+            fills={dt: 0 for dt in ALL_DATA_TYPES},
+            fill_bytes={dt: 0 for dt in ALL_DATA_TYPES},
+        )
+        for _ in range(levels)
+    ]
+
+    weight_taps = layer.r * layer.s * layer.t
+
+    def visit(level_index: int, region_coord: TileCoord) -> None:
+        tile = dataflow.hierarchy.tiles[level_index]
+        order = dataflow.order_for_boundary(level_index)
+        state = states[level_index]
+        boundary = boundaries[level_index]
+        for index, coord in enumerate(
+            iter_tiles(region_coord.origin, region_coord.extent, tile, order)
+        ):
+            run_start = index == 0
+            for data_type in ALL_DATA_TYPES:
+                needed = _region(layer, data_type, coord)
+                resident = state.resident[data_type]
+                if needed == resident:
+                    continue
+                elem = precision.bytes_of(data_type)
+                if data_type is DataType.PSUMS:
+                    if resident is not None:
+                        boundary.psum_writeback_bytes += _region_bytes(
+                            resident, elem
+                        )
+                    boundary.fills[data_type] += 1
+                    boundary.fill_bytes[data_type] += _region_bytes(needed, elem)
+                    if needed in state.visited_psums:
+                        boundary.psum_load_bytes += _region_bytes(needed, elem)
+                    state.visited_psums.add(needed)
+                elif data_type is DataType.INPUTS:
+                    boundary.fills[data_type] += 1
+                    # Slide reuse only applies within one execution of this
+                    # boundary's loop nest: a fill triggered by the parent
+                    # tile changing lands in a freshly swapped double
+                    # buffer and cannot reuse stale rows.
+                    boundary.fill_bytes[data_type] += (
+                        _region_bytes(needed, elem)
+                        if run_start
+                        else _fetch_bytes_with_slide(needed, resident, elem)
+                    )
+                else:
+                    boundary.fills[data_type] += 1
+                    boundary.fill_bytes[data_type] += _region_bytes(
+                        needed, elem, weight_taps
+                    )
+                state.resident[data_type] = needed
+            if level_index + 1 < levels:
+                visit(level_index + 1, coord)
+
+    root = TileCoord(
+        origin={d: 0 for d in Dim},
+        extent={
+            Dim.W: layer.out_w,
+            Dim.H: layer.out_h,
+            Dim.C: layer.c,
+            Dim.K: layer.k,
+            Dim.F: layer.out_f,
+        },
+    )
+    visit(0, root)
+
+    # End-of-layer flush: resident dirty psums drain up the hierarchy.
+    psum_bytes = precision.bytes_of(DataType.PSUMS)
+    for state, boundary in zip(states, boundaries):
+        resident = state.resident[DataType.PSUMS]
+        if resident is not None:
+            boundary.psum_writeback_bytes += _region_bytes(resident, psum_bytes)
+
+    return TraceReport(layer=layer, boundaries=boundaries, precision=precision)

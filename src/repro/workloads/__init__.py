@@ -1,0 +1,43 @@
+"""Workload library: every CNN the paper profiles or evaluates.
+
+Importing this package populates the network registry; use
+:func:`build_network` / :func:`network_names` or the individual factories.
+"""
+
+from repro.workloads.networks import (
+    Network,
+    ShapeTracker,
+    build_network,
+    network_names,
+)
+from repro.workloads.alexnet import alexnet
+from repro.workloads.c3d import c3d
+from repro.workloads.i3d import i3d
+from repro.workloads.inception2d import inception
+from repro.workloads.r2plus1d import r2plus1d
+from repro.workloads.resnet2d import resnet50
+from repro.workloads.resnet3d import resnet3d50
+from repro.workloads.two_stream import two_stream
+
+#: The five networks of the paper's accelerator evaluation (Section VI-C).
+EVALUATED_NETWORKS = ("c3d", "resnet3d50", "i3d", "two_stream", "alexnet")
+
+#: The six networks of Figure 1's motivating footprint/reuse analysis.
+FIGURE1_NETWORKS = ("alexnet", "inception", "resnet50", "c3d", "resnet3d50", "i3d")
+
+__all__ = [
+    "Network",
+    "ShapeTracker",
+    "build_network",
+    "network_names",
+    "alexnet",
+    "c3d",
+    "i3d",
+    "inception",
+    "r2plus1d",
+    "resnet50",
+    "resnet3d50",
+    "two_stream",
+    "EVALUATED_NETWORKS",
+    "FIGURE1_NETWORKS",
+]

@@ -1,0 +1,23 @@
+"""AlexNet (Krizhevsky et al., NIPS 2012) — the 2D CNN baseline workload.
+
+Five convolution layers; group convolutions of the original are modelled as
+dense (standard practice in accelerator studies, and what 100 % density in
+the paper's Eyeriss comparison implies).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+
+
+@register("alexnet")
+def alexnet(input_hw: int = 227) -> Network:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3)
+    net.conv("conv1", k=96, r=11, stride=4, pad=0)
+    net.pool(size=3, stride=2)
+    net.conv("conv2", k=256, r=5, pad=2)
+    net.pool(size=3, stride=2)
+    net.conv("conv3", k=384, r=3)
+    net.conv("conv4", k=384, r=3)
+    net.conv("conv5", k=256, r=3)
+    return net.build("AlexNet", is_3d=False)

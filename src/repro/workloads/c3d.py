@@ -1,0 +1,31 @@
+"""C3D (Tran et al., ICCV 2015) — the paper's representative 3D CNN.
+
+Eight 3x3x3 convolution layers over 16-frame 112x112 clips, with pooling
+that halves spatial dims after every block and temporal dims after blocks
+2-4.  Layer names follow the paper's Table III (layer1 ... layer5b); the
+shapes reproduce its tile bounds, e.g. layer1's input-space Ht of
+114 = 112 + 2 padding rows.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+
+
+@register("c3d")
+def c3d(input_hw: int = 112, frames: int = 16) -> Network:
+    """Build C3D; Figure 1a uses ``input_hw=224`` per its caption."""
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3, f=frames)
+    net.conv("layer1", k=64, r=3, t=3)
+    net.pool(size=2, size_f=1)  # pool1: (1, 2, 2), keeps all frames
+    net.conv("layer2", k=128, r=3, t=3)
+    net.pool(size=2, size_f=2)  # pool2: (2, 2, 2)
+    net.conv("layer3a", k=256, r=3, t=3)
+    net.conv("layer3b", k=256, r=3, t=3)
+    net.pool(size=2, size_f=2)
+    net.conv("layer4a", k=512, r=3, t=3)
+    net.conv("layer4b", k=512, r=3, t=3)
+    net.pool(size=2, size_f=2)
+    net.conv("layer5a", k=512, r=3, t=3)
+    net.conv("layer5b", k=512, r=3, t=3)
+    return net.build("C3D", is_3d=True, input_frames=frames)

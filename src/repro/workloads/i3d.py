@@ -1,0 +1,37 @@
+"""I3D (Carreira & Zisserman, CVPR 2017) — inflated Inception-v1.
+
+The state-of-the-art 3D CNN in the paper's evaluation: GoogLeNet inflated
+to 3D and run over 64-frame 224x224 clips (Section VI-D notes I3D's 64
+frames versus C3D's 16 as the source of its larger temporal reuse).
+
+Structure per the public kinetics-i3d model: 7x7x7 stem with stride 2 in
+all dims, two temporal-preserving max-pools, then the nine inception
+modules with 3x3x3 inflations, with (2,2,2) pools before modules 4a/5a.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.inception2d import INCEPTION_MODULES, inception_module_layers
+from repro.workloads.networks import Network, ShapeTracker, register
+
+
+@register("i3d")
+def i3d(input_hw: int = 224, frames: int = 64) -> Network:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3, f=frames)
+    net.conv("conv1a_7x7", k=64, r=7, t=7, stride=2, stride_f=2)
+    net.pool(size=3, stride=2, size_f=1)  # MaxPool3d_2a: (1, 3, 3)
+    net.conv("conv2b_1x1", k=64, r=1, t=1)
+    net.conv("conv2c_3x3", k=192, r=3, t=3)
+    net.pool(size=3, stride=2, size_f=1)  # MaxPool3d_3a: (1, 3, 3)
+    for name, *spec in INCEPTION_MODULES:
+        if name in ("4a", "5a"):
+            # MaxPool3d (3,3,3)/(2,2,2) and (2,2,2)/(2,2,2) respectively.
+            net.pool(size=3 if name == "4a" else 2, stride=2,
+                     size_f=3 if name == "4a" else 2, stride_f=2)
+        layers, out_c = inception_module_layers(
+            f"mixed_{name}", net.h, net.w, net.c, tuple(spec),
+            f=net.f, temporal=True,
+        )
+        net.layers.extend(layers)
+        net.set_channels(out_c)
+    return net.build("I3D", is_3d=True, input_frames=frames)

@@ -1,0 +1,83 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015) — Figure 1's
+"Inception" 2D comparison network.
+
+Nine inception modules; each module's four branches (1x1; 1x1->3x3;
+1x1->5x5; pool->1x1 projection) all read the same input volume.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+from repro.workloads.networks import Network, ShapeTracker, register
+
+#: Inception module channel table: (name, #1x1, #3x3red, #3x3, #5x5red,
+#: #5x5, pool_proj), straight from the GoogLeNet paper.
+INCEPTION_MODULES = (
+    ("3a", 64, 96, 128, 16, 32, 32),
+    ("3b", 128, 128, 192, 32, 96, 64),
+    ("4a", 192, 96, 208, 16, 48, 64),
+    ("4b", 160, 112, 224, 24, 64, 64),
+    ("4c", 128, 128, 256, 24, 64, 64),
+    ("4d", 112, 144, 288, 32, 64, 64),
+    ("4e", 256, 160, 320, 32, 128, 128),
+    ("5a", 256, 160, 320, 32, 128, 128),
+    ("5b", 384, 192, 384, 48, 128, 128),
+)
+
+
+def inception_module_layers(
+    name: str,
+    h: int,
+    w: int,
+    c: int,
+    spec: tuple[int, int, int, int, int, int],
+    *,
+    f: int = 1,
+    temporal: bool = False,
+) -> tuple[list[ConvLayer], int]:
+    """Layers of one module plus its output channel count.
+
+    With ``temporal=True`` the spatial kernels inflate to 3D (used by the
+    I3D builder): 3x3 -> 3x3x3 and the 5x5 branch's conv becomes 3x3x3, as
+    in the public I3D implementation.
+    """
+    n1, n3r, n3, n5r, n5, npp = spec
+    t_small = 3 if temporal else 1
+    layers = []
+
+    def conv(suffix: str, c_in: int, k: int, r: int, t: int) -> ConvLayer:
+        return ConvLayer(
+            name=f"{name}_{suffix}", h=h, w=w, c=c_in, f=f, k=k,
+            r=r, s=r, t=t,
+            pad_h=(r - 1) // 2, pad_w=(r - 1) // 2, pad_f=(t - 1) // 2,
+        )
+
+    layers.append(conv("1x1", c, n1, 1, 1))
+    layers.append(conv("3x3_reduce", c, n3r, 1, 1))
+    layers.append(conv("3x3", n3r, n3, 3, t_small))
+    layers.append(conv("5x5_reduce", c, n5r, 1, 1))
+    if temporal:
+        layers.append(conv("5x5", n5r, n5, 3, 3))
+    else:
+        layers.append(conv("5x5", n5r, n5, 5, 1))
+    layers.append(conv("pool_proj", c, npp, 1, 1))
+    return layers, n1 + n3 + n5 + npp
+
+
+@register("inception")
+def inception(input_hw: int = 224) -> Network:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3)
+    net.conv("conv1_7x7", k=64, r=7, stride=2)
+    net.pool(size=3, stride=2)
+    net.conv("conv2_3x3_reduce", k=64, r=1)
+    net.conv("conv2_3x3", k=192, r=3)
+    net.pool(size=3, stride=2)
+    for name, *spec in INCEPTION_MODULES:
+        if name in ("4a", "5a"):
+            net.pool(size=3, stride=2)
+        layers, out_c = inception_module_layers(
+            f"inception_{name}", net.h, net.w, net.c, tuple(spec)
+        )
+        net.layers.extend(layers)
+        net.set_channels(out_c)
+    return net.build("Inception", is_3d=False)

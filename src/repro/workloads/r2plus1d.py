@@ -1,0 +1,48 @@
+"""R(2+1)D (Tran et al., "A closer look at spatiotemporal convolutions").
+
+Cited by the paper as a 3D-convolution derivative [32]: every 3x3x3
+convolution factorises into a 2D spatial convolution (1x3x3, with an
+expanded intermediate channel count ``M``) followed by a 1D temporal one
+(3x1x1).  Hardware-wise this stresses Morph differently from C3D — the
+temporal taps concentrate in T-only layers where the ``F`` dimension
+carries all slide reuse — making it a good extension workload for the
+flexible dataflow.
+
+The 18-layer variant (R(2+1)D-18) over 16-frame 112x112 clips.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+
+
+def _mid_channels(c_in: int, k: int, t: int = 3, d: int = 3) -> int:
+    """The paper's M_i: chosen so the factorised pair matches the 3D
+    conv's parameter count: M = t*d^2*c*k / (d^2*c + t*k)."""
+    return max(1, round(t * d * d * c_in * k / (d * d * c_in + t * k)))
+
+
+def _block(net: ShapeTracker, name: str, k: int, *, stride: int = 1,
+           stride_f: int = 1) -> None:
+    """One (2+1)D residual block: two factorised convolutions."""
+    for half, (s_hw, s_f) in (("a", (stride, stride_f)), ("b", (1, 1))):
+        mid = _mid_channels(net.c, k)
+        net.conv(f"{name}{half}_spatial", k=mid, r=3, t=1, stride=s_hw)
+        net.conv(f"{name}{half}_temporal", k=k, r=1, t=3, stride_f=s_f)
+
+
+@register("r2plus1d")
+def r2plus1d(input_hw: int = 112, frames: int = 16) -> Network:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3, f=frames)
+    # Factorised stem: 1x7x7 spatial (stride 2) then 3x1x1 temporal.
+    net.conv("stem_spatial", k=45, r=7, t=1, stride=2)
+    net.conv("stem_temporal", k=64, r=1, t=3)
+    _block(net, "res2a", 64)
+    _block(net, "res2b", 64)
+    _block(net, "res3a", 128, stride=2, stride_f=2)
+    _block(net, "res3b", 128)
+    _block(net, "res4a", 256, stride=2, stride_f=2)
+    _block(net, "res4b", 256)
+    _block(net, "res5a", 512, stride=2, stride_f=2)
+    _block(net, "res5b", 512)
+    return net.build("R(2+1)D-18", is_3d=True, input_frames=frames)

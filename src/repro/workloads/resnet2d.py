@@ -1,0 +1,59 @@
+"""2D ResNet-50 (He et al., CVPR 2016) — used in Figure 1's comparison.
+
+Bottleneck residual network: conv1 then four stages of [3, 4, 6, 3]
+bottlenecks (1x1 reduce, 3x3, 1x1 expand) with projection shortcuts at
+stage entries.  Downsampling follows the v1.5 convention (stride on the
+3x3), which does not change footprints materially.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+
+#: (bottleneck channels, output channels, block count) per stage.
+RESNET50_STAGES = (
+    (64, 256, 3),
+    (128, 512, 4),
+    (256, 1024, 6),
+    (512, 2048, 3),
+)
+
+
+def _bottleneck(
+    net: ShapeTracker,
+    name: str,
+    mid: int,
+    out: int,
+    *,
+    stride: int,
+    project: bool,
+) -> None:
+    in_h, in_w, in_c = net.h, net.w, net.c
+    net.conv(f"{name}_1x1a", k=mid, r=1)
+    net.conv(f"{name}_3x3", k=mid, r=3, stride=stride)
+    net.conv(f"{name}_1x1b", k=out, r=1)
+    if project:
+        # Projection shortcut runs on the block input in parallel.
+        shortcut = ShapeTracker(h=in_h, w=in_w, c=in_c)
+        net.layers.append(
+            shortcut.conv(f"{name}_proj", k=out, r=1, stride=stride, pad=0)
+        )
+
+
+@register("resnet50")
+def resnet50(input_hw: int = 224) -> Network:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3)
+    net.conv("conv1", k=64, r=7, stride=2)
+    net.pool(size=3, stride=2)
+    for stage_index, (mid, out, blocks) in enumerate(RESNET50_STAGES, start=2):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage_index > 2) else 1
+            _bottleneck(
+                net,
+                f"res{stage_index}{chr(ord('a') + block)}",
+                mid,
+                out,
+                stride=stride,
+                project=block == 0,
+            )
+    return net.build("ResNet-50", is_3d=False)

@@ -1,0 +1,58 @@
+"""3D ResNet-50 (Hara et al., "Can spatiotemporal 3D CNNs retrace ...").
+
+The 2D ResNet-50 inflated to 3D: conv1 becomes 7x7x7 and every bottleneck's
+3x3 becomes 3x3x3, over 16-frame 112x112 clips.  Temporal striding follows
+the reference implementation: conv1 keeps all frames, stages 3-5 halve
+frames alongside the spatial downsampling.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+from repro.workloads.resnet2d import RESNET50_STAGES
+
+
+def _bottleneck3d(
+    net: ShapeTracker,
+    name: str,
+    mid: int,
+    out: int,
+    *,
+    stride: int,
+    stride_f: int,
+    project: bool,
+) -> None:
+    in_h, in_w, in_c, in_f = net.h, net.w, net.c, net.f
+    net.conv(f"{name}_1x1a", k=mid, r=1, t=1)
+    net.conv(f"{name}_3x3", k=mid, r=3, t=3, stride=stride, stride_f=stride_f)
+    net.conv(f"{name}_1x1b", k=out, r=1, t=1)
+    if project:
+        shortcut = ShapeTracker(h=in_h, w=in_w, c=in_c, f=in_f)
+        net.layers.append(
+            shortcut.conv(
+                f"{name}_proj", k=out, r=1, t=1,
+                stride=stride, stride_f=stride_f, pad=0, pad_f=0,
+            )
+        )
+
+
+@register("resnet3d50")
+def resnet3d50(input_hw: int = 112, frames: int = 16) -> Network:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3, f=frames)
+    net.conv("conv1", k=64, r=7, t=7, stride=2)
+    net.pool(size=3, stride=2)
+    for stage_index, (mid, out, blocks) in enumerate(RESNET50_STAGES, start=2):
+        for block in range(blocks):
+            first = block == 0
+            stride = 2 if (first and stage_index > 2) else 1
+            stride_f = 2 if (first and stage_index > 2) else 1
+            _bottleneck3d(
+                net,
+                f"res{stage_index}{chr(ord('a') + block)}",
+                mid,
+                out,
+                stride=stride,
+                stride_f=stride_f,
+                project=first,
+            )
+    return net.build("ResNet3D-50", is_3d=True, input_frames=frames)

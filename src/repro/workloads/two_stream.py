@@ -1,0 +1,37 @@
+"""Two-Stream network (Simonyan & Zisserman, NIPS 2014).
+
+Two CNN-M-2048 towers: a spatial stream over one RGB frame and a temporal
+stream over a stack of 2L = 20 optical-flow channels.  The paper lists it
+as "a 2D network that runs on multiple input frames" (Section VI-C); both
+towers are 2D convolutions, so hardware-wise this exercises the F = T = 1
+special case with an unusually deep first-layer channel count.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+
+
+def _cnn_m_tower(prefix: str, in_channels: int, input_hw: int) -> list:
+    net = ShapeTracker(h=input_hw, w=input_hw, c=in_channels)
+    net.conv(f"{prefix}_conv1", k=96, r=7, stride=2, pad=0)
+    net.pool(size=3, stride=2)
+    net.conv(f"{prefix}_conv2", k=256, r=5, stride=2, pad=1)
+    net.pool(size=3, stride=2)
+    net.conv(f"{prefix}_conv3", k=512, r=3)
+    net.conv(f"{prefix}_conv4", k=512, r=3)
+    net.conv(f"{prefix}_conv5", k=512, r=3)
+    return net.layers
+
+
+@register("two_stream")
+def two_stream(input_hw: int = 224, flow_stack: int = 10) -> Network:
+    """Both towers; the temporal stream sees ``2 * flow_stack`` channels."""
+    layers = _cnn_m_tower("spatial", 3, input_hw)
+    layers += _cnn_m_tower("temporal", 2 * flow_stack, input_hw)
+    return Network(
+        name="Two_Stream",
+        layers=tuple(layers),
+        is_3d=False,
+        input_frames=flow_stack,
+    )

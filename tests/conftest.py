@@ -1,0 +1,59 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.arch.accelerator import eyeriss_like, morph, morph_base
+from repro.core.layer import ConvLayer
+
+# Model evaluations inside property tests are CPU-bound, not flaky: disable
+# the deadline and the too-slow health check, and keep example counts modest.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # Immutable layer/arch fixtures are safe to share across examples.
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def morph_arch():
+    return morph()
+
+
+@pytest.fixture(scope="session")
+def morph_base_arch():
+    return morph_base()
+
+
+@pytest.fixture(scope="session")
+def eyeriss_arch():
+    return eyeriss_like()
+
+
+@pytest.fixture
+def small_layer() -> ConvLayer:
+    """A small 3D layer whose dims divide evenly for exact-match tests."""
+    return ConvLayer("small", h=12, w=12, c=8, f=6, k=8, r=3, s=3, t=3)
+
+
+@pytest.fixture
+def c3d_layer1() -> ConvLayer:
+    return ConvLayer(
+        "layer1", h=112, w=112, c=3, f=16, k=64, r=3, s=3, t=3,
+        pad_h=1, pad_w=1, pad_f=1,
+    )
+
+
+@pytest.fixture
+def layer_2d() -> ConvLayer:
+    """2D convolution as the F = T = 1 special case."""
+    return ConvLayer("conv2d", h=28, w=28, c=16, f=1, k=32, r=3, s=3, t=1)

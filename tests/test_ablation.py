@@ -1,0 +1,29 @@
+"""Reduced-scope test of the flexibility ablation experiment."""
+
+import pytest
+
+from repro.experiments.ablation_flexibility import VARIANTS, run_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation(fast=True, layers=("layer2", "layer5a"))
+
+
+class TestAblation:
+    def test_all_variants_present(self, result):
+        assert set(result.variants) == {name for name, _ in VARIANTS}
+
+    def test_each_mechanism_helps_or_is_neutral(self, result):
+        for name in ("+orders", "+partitions", "+parallelism"):
+            assert result.gain_over_base(name) >= 0.999, name
+
+    def test_full_morph_composes(self, result):
+        assert result.mechanisms_compose()
+
+    def test_full_morph_beats_base(self, result):
+        assert result.gain_over_base("morph") > 1.1
+
+    def test_cycles_tracked(self, result):
+        for energy, cycles in result.variants.values():
+            assert energy > 0 and cycles > 0

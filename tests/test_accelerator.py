@@ -1,0 +1,139 @@
+"""Tests for the three machine configurations (paper Table II)."""
+
+import pytest
+
+from repro.arch.accelerator import (
+    MORPH_BASE_INNER,
+    MORPH_BASE_OUTER,
+    MORPH_BASE_PARALLELISM,
+    eyeriss_like,
+    morph,
+    morph_base,
+)
+from repro.core.dims import DataType
+from repro.core.layer import ConvLayer
+from repro.core.tiling import TileShape
+
+
+class TestTable2Parameters:
+    def test_morph_compute(self, morph_arch):
+        """6 clusters x 16 PEs x Vw=8 = 768 MACCs/cycle."""
+        assert morph_arch.clusters == 6
+        assert morph_arch.pes_per_cluster == 16
+        assert morph_arch.vector_width == 8
+        assert morph_arch.peak_maccs_per_cycle == 768
+
+    def test_eyeriss_compute_normalised(self, eyeriss_arch, morph_arch):
+        """24 x 32 scalar PEs: same peak as Morph (fair comparison)."""
+        assert eyeriss_arch.total_pes == 768
+        assert eyeriss_arch.vector_width == 1
+        assert eyeriss_arch.peak_maccs_per_cycle == morph_arch.peak_maccs_per_cycle
+
+    def test_morph_buffer_sizes(self, morph_arch):
+        assert morph_arch.levels[0].capacity_kb == 1024
+        assert morph_arch.levels[1].capacity_kb == 64
+        assert morph_arch.levels[2].capacity_kb == 16
+
+    def test_eyeriss_buffer_sizes(self, eyeriss_arch):
+        assert eyeriss_arch.levels[0].capacity_kb == 1408
+        assert eyeriss_arch.levels[1].capacity_kb == 2
+
+    def test_instance_counts(self, morph_arch, eyeriss_arch):
+        assert morph_arch.levels[1].instances == 6  # one L1 per cluster
+        assert morph_arch.levels[2].instances == 96  # one L0 per PE
+        assert eyeriss_arch.levels[1].instances == 768
+
+    def test_total_sram_comparable(self, morph_arch, eyeriss_arch):
+        """On-chip SRAM normalised within ~5%."""
+        ratio = morph_arch.on_chip_sram_kb() / eyeriss_arch.on_chip_sram_kb()
+        assert 0.95 <= ratio <= 1.05
+
+    def test_sixteen_banks(self, morph_arch):
+        """Section VI-B: L2, L1, L0 divided into 16 banks each."""
+        assert all(level.banks == 16 for level in morph_arch.levels)
+
+
+class TestFlexibilityFlags:
+    def test_morph_is_flexible(self, morph_arch):
+        assert morph_arch.is_flexible
+        assert morph_arch.fixed_outer_order is None
+
+    def test_base_dataflow_pinned(self, morph_base_arch):
+        assert not morph_base_arch.is_flexible
+        assert morph_base_arch.fixed_outer_order == MORPH_BASE_OUTER
+        assert morph_base_arch.fixed_inner_order == MORPH_BASE_INNER
+        assert morph_base_arch.fixed_parallelism == MORPH_BASE_PARALLELISM
+
+    def test_base_orders_match_paper(self):
+        """Section IV-A3: outer [WHCKF], inner [cfwhk]."""
+        assert MORPH_BASE_OUTER.format() == "[WHCKF]"
+        assert MORPH_BASE_INNER.format(lower=True) == "[cfwhk]"
+
+    def test_base_parallelism_uses_all_pes(self, morph_base_arch):
+        assert MORPH_BASE_PARALLELISM.degree == morph_base_arch.total_pes
+
+    def test_eyeriss_orders_frame_by_frame(self, eyeriss_arch):
+        """F outermost: one frame at a time."""
+        assert eyeriss_arch.fixed_outer_order.outermost.value == "F"
+
+
+class TestCapacityChecks:
+    LAYER = ConvLayer("t", h=28, w=28, c=64, f=8, k=64, r=3, s=3, t=3,
+                      pad_h=1, pad_w=1, pad_f=1)
+
+    def test_fitting_tile(self, morph_arch):
+        tile = TileShape(w=14, h=14, c=32, k=8, f=4)
+        assert morph_arch.tile_fits(0, self.LAYER, tile)
+
+    def test_oversized_tile(self, morph_arch):
+        tile = TileShape(w=28, h=28, c=64, k=64, f=8)
+        assert not morph_arch.tile_fits(0, self.LAYER, tile)
+
+    def test_hierarchy_fits_validates_length(self, morph_arch):
+        with pytest.raises(ValueError, match="levels"):
+            morph_arch.hierarchy_fits(self.LAYER, (TileShape(w=1, h=1, c=1, k=1, f=1),))
+
+    def test_access_energy_asymmetry(self, morph_arch, morph_base_arch):
+        """The paper's Morph-base L0 penalty: its monolithic weight
+        partition costs more per byte than Morph's single bank."""
+        morph_pj = morph_arch.read_pj_per_byte(2, DataType.WEIGHTS)
+        base_pj = morph_base_arch.read_pj_per_byte(2, DataType.WEIGHTS)
+        assert base_pj > 1.5 * morph_pj
+
+    def test_eyeriss_rf_cheaper_than_base_l0(self, eyeriss_arch, morph_base_arch):
+        """Section VI-D: Eyeriss' small RF wins per access on 2D CNNs."""
+        rf_pj = eyeriss_arch.read_pj_per_byte(1, DataType.WEIGHTS)
+        base_pj = morph_base_arch.read_pj_per_byte(2, DataType.WEIGHTS)
+        assert rf_pj < base_pj
+
+    def test_describe_mentions_resources(self, morph_arch):
+        text = morph_arch.describe()
+        assert "768 MACC/cycle" in text
+        assert "L2" in text
+
+
+class TestConstruction:
+    def test_partition_count_must_match_levels(self):
+        from repro.arch.buffers import BufferLevel, FlexiblePartition
+        from repro.arch.accelerator import AcceleratorConfig
+        from repro.arch.noc import BusSpec, NocConfig
+
+        with pytest.raises(ValueError, match="partition"):
+            AcceleratorConfig(
+                name="bad",
+                clusters=1,
+                pes_per_cluster=1,
+                vector_width=1,
+                levels=(BufferLevel("L0", 1024, banks=1),),
+                partitions=(),
+                noc=NocConfig(
+                    dram_bus=BusSpec("d", 8, 1.0),
+                    l2_l1=BusSpec("a", 8, 1.0),
+                    l1_l0=BusSpec("b", 8, 1.0),
+                ),
+            )
+
+    def test_custom_morph_sizes(self):
+        small = morph(l2_kb=512, l1_kb=32, l0_kb=8)
+        assert small.levels[0].capacity_kb == 512
+        assert small.on_chip_sram_kb() < morph().on_chip_sram_kb()

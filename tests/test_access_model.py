@@ -1,0 +1,254 @@
+"""Unit tests for the analytic access model (the reproduction's core)."""
+
+import pytest
+
+from repro.core.access_model import (
+    boundary_fill_profile,
+    compute_alu_traffic,
+    compute_traffic,
+    loop_order_signature,
+)
+from repro.core.dataflow import Dataflow, single_tile_dataflow
+from repro.core.dims import DataType, Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder, all_loop_orders
+from repro.core.tiling import TileHierarchy, TileShape
+
+
+def make_dataflow(layer, tiles, outer="WHCKF", inner="CFWHK"):
+    return Dataflow(
+        LoopOrder.parse(outer),
+        LoopOrder.parse(inner),
+        TileHierarchy(layer, tiles),
+    )
+
+
+class TestSingleTilePassThrough:
+    """With everything resident everywhere, each byte moves exactly once."""
+
+    def test_each_boundary_moves_region_once(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        full = TileShape.full(small_layer)
+        for boundary in report.boundaries:
+            assert boundary.of(DataType.INPUTS).fills == 1
+            assert boundary.of(DataType.INPUTS).fill_bytes == full.bytes_of(
+                DataType.INPUTS, small_layer
+            )
+            assert boundary.of(DataType.WEIGHTS).fill_bytes == full.bytes_of(
+                DataType.WEIGHTS, small_layer
+            )
+
+    def test_no_psum_spills(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        for boundary in report.boundaries:
+            assert boundary.of(DataType.PSUMS).load_bytes == 0
+
+    def test_final_output_written_once_as_activations(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        assert report.dram_write_bytes == small_layer.output_elements
+
+    def test_dram_reads_are_compulsory_traffic(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        full = TileShape.full(small_layer)
+        expected = full.bytes_of(DataType.INPUTS, small_layer) + full.bytes_of(
+            DataType.WEIGHTS, small_layer
+        )
+        assert report.dram_read_bytes == expected
+
+    def test_independent_of_loop_order(self, small_layer):
+        """Everything resident => loop order cannot matter."""
+        totals = set()
+        for outer in ("WHCKF", "KWHCF", "FCKHW"):
+            df = single_tile_dataflow(small_layer, outer=outer)
+            totals.add(compute_traffic(df).dram_total_bytes)
+        assert len(totals) == 1
+
+
+class TestFullResidencyRemark:
+    """Figure 4a remark: when one data type fits entirely in the L2, its
+    DRAM traffic is loop-order independent (fetched exactly once)."""
+
+    def test_weights_fetched_once_when_resident(self, small_layer):
+        tiles = (
+            TileShape(w=3, h=3, c=8, k=8, f=2),  # full C, K: weights resident
+            TileShape(w=3, h=3, c=4, k=4, f=2),
+            TileShape(w=3, h=3, c=2, k=2, f=1),
+        )
+        for outer in ("WHCKF", "KWHCF", "WFHCK"):
+            report = compute_traffic(make_dataflow(small_layer, tiles, outer=outer))
+            weights = report.dram_boundary.of(DataType.WEIGHTS)
+            assert weights.fills == 1
+            assert weights.fill_bytes == small_layer.weight_bytes()
+
+    def test_weights_refetched_when_tiled(self, small_layer):
+        tiles = (
+            TileShape(w=3, h=3, c=8, k=4, f=2),  # half of K per tile
+            TileShape(w=3, h=3, c=4, k=4, f=2),
+            TileShape(w=3, h=3, c=2, k=2, f=1),
+        )
+        report = compute_traffic(make_dataflow(small_layer, tiles, outer="WHCKF"))
+        weights = report.dram_boundary.of(DataType.WEIGHTS)
+        assert weights.fill_bytes > small_layer.weight_bytes()
+
+
+class TestSlideReuse:
+    def test_slide_telescopes_along_innermost_relevant(self, small_layer):
+        """With W innermost and no other input-relevant loops active, input
+        bytes equal the union (full extent fetched once)."""
+        tiles = (
+            TileShape(w=5, h=10, c=8, k=8, f=4),  # only W tiled
+            TileShape(w=5, h=10, c=8, k=8, f=4),
+            TileShape(w=5, h=10, c=8, k=8, f=4),
+        )
+        report = compute_traffic(
+            make_dataflow(small_layer, tiles, outer="HCKFW")
+        )
+        inputs = report.dram_boundary.of(DataType.INPUTS)
+        full = TileShape.full(small_layer)
+        assert inputs.fill_bytes == full.bytes_of(DataType.INPUTS, small_layer)
+
+    def test_halo_refetched_without_slide(self, small_layer):
+        """W tiled but outside the innermost relevant loop: halos cost."""
+        tiles = (
+            TileShape(w=5, h=10, c=4, k=8, f=4),  # W and C tiled
+            TileShape(w=5, h=10, c=4, k=8, f=4),
+            TileShape(w=5, h=10, c=4, k=8, f=4),
+        )
+        report = compute_traffic(make_dataflow(small_layer, tiles, outer="WHKFC"))
+        inputs = report.dram_boundary.of(DataType.INPUTS)
+        full_bytes = TileShape.full(small_layer).bytes_of(
+            DataType.INPUTS, small_layer
+        )
+        assert inputs.fill_bytes > full_bytes
+
+
+class TestPsumAccounting:
+    def test_zero_init_skips_first_visit(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        psums = report.dram_boundary.of(DataType.PSUMS)
+        assert psums.load_bytes == 0  # single visit per tile
+
+    def test_fully_fitting_psums_never_spill(self, small_layer):
+        """C tiled but psum tiles cover the whole output: accumulation
+        happens in place, no DRAM psum traffic regardless of C revisits."""
+        tiles = (TileShape(w=10, h=10, c=2, k=8, f=4),) * 3
+        report = compute_traffic(make_dataflow(small_layer, tiles, outer="CWHKF"))
+        psums = report.dram_boundary.of(DataType.PSUMS)
+        assert psums.fills == 1
+        assert psums.load_bytes == 0
+
+    def test_revisits_cause_loads(self, small_layer):
+        """W and C tiled with C outermost: every psum tile is revisited
+        once per C tile, re-loading it from DRAM after the first pass."""
+        tiles = (TileShape(w=5, h=10, c=2, k=8, f=4),) * 3
+        report = compute_traffic(make_dataflow(small_layer, tiles, outer="CWHKF"))
+        psums = report.dram_boundary.of(DataType.PSUMS)
+        out_psum_bytes = small_layer.output_elements * 4
+        assert psums.load_bytes == out_psum_bytes * 3  # 4 visits, 3 re-loads
+
+    def test_writeback_bytes_at_least_final_output(self, small_layer):
+        for outer in ("WHCKF", "CKWHF"):
+            report = compute_traffic(
+                make_dataflow(
+                    small_layer,
+                    (TileShape(w=5, h=5, c=2, k=4, f=2),) * 3,
+                    outer=outer,
+                )
+            )
+            assert (
+                report.dram_write_bytes >= small_layer.output_elements
+            )
+
+    def test_load_store_balance(self, small_layer):
+        """Loads = stores - first visits, in psum-width bytes."""
+        tiles = (TileShape(w=5, h=5, c=2, k=4, f=2),) * 3
+        report = compute_traffic(make_dataflow(small_layer, tiles, outer="CKWHF"))
+        psums = report.boundaries[1].of(DataType.PSUMS)
+        out_bytes = small_layer.output_elements * 4
+        assert psums.load_bytes == psums.fill_bytes - out_bytes
+
+
+class TestAluTraffic:
+    def test_weight_bytes_equal_maccs(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        alu = compute_alu_traffic(report, vector_width=8)
+        assert alu.weight_read_bytes == small_layer.maccs
+
+    def test_input_reads_amortised_by_lanes(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        alu = compute_alu_traffic(report, vector_width=8)
+        assert alu.input_read_bytes == -(-small_layer.maccs // 8)
+
+    def test_vector_width_one(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        alu = compute_alu_traffic(report, vector_width=1)
+        assert alu.input_read_bytes == small_layer.maccs
+
+    def test_rejects_bad_vector_width(self, small_layer):
+        report = compute_traffic(single_tile_dataflow(small_layer))
+        with pytest.raises(ValueError):
+            compute_alu_traffic(report, vector_width=0)
+
+    def test_psum_traffic_mirrors_innermost_boundary(self, small_layer):
+        tiles = (TileShape(w=5, h=5, c=2, k=4, f=2),) * 3
+        report = compute_traffic(make_dataflow(small_layer, tiles))
+        alu = compute_alu_traffic(report, vector_width=8)
+        innermost = report.boundaries[-1].of(DataType.PSUMS)
+        assert alu.psum_write_bytes == innermost.fill_bytes
+        assert alu.psum_read_bytes == innermost.load_bytes
+
+
+class TestSignatureDedup:
+    def test_equal_signature_implies_equal_traffic(self, small_layer):
+        """The optimizer's dedup must be cost-preserving."""
+        parent = TileShape.full(small_layer)
+        child = TileShape(w=5, h=5, c=4, k=4, f=2)
+        groups = {}
+        for order in all_loop_orders():
+            sig = loop_order_signature(parent, child, order)
+            groups.setdefault(sig, []).append(order)
+        assert len(groups) < 120  # dedup actually collapses classes
+        tiles = (child, TileShape(w=5, h=5, c=2, k=2, f=2),
+                 TileShape(w=5, h=5, c=1, k=2, f=1))
+        for sig, orders in groups.items():
+            if len(orders) < 2:
+                continue
+            reference = None
+            for order in orders[:3]:
+                report = compute_traffic(
+                    Dataflow(order, LoopOrder.parse("CFWHK"),
+                             TileHierarchy(small_layer, tiles))
+                )
+                key = tuple(
+                    (b.of(dt).fill_bytes, b.of(dt).load_bytes)
+                    for b in (report.dram_boundary,)
+                    for dt in DataType
+                )
+                if reference is None:
+                    reference = key
+                else:
+                    assert key == reference
+
+    def test_profile_matches_compute_traffic_first_boundary(self, small_layer):
+        tiles = (TileShape(w=5, h=5, c=4, k=4, f=2),) * 3
+        df = make_dataflow(small_layer, tiles, outer="KWHCF")
+        report = compute_traffic(df)
+        profile = boundary_fill_profile(
+            small_layer, TileShape.full(small_layer), tiles[0],
+            LoopOrder.parse("KWHCF"),
+        )
+        for dt in DataType:
+            fills, bytes_ = profile[dt]
+            assert report.dram_boundary.of(dt).fills == fills
+            assert report.dram_boundary.of(dt).fill_bytes == bytes_
+
+
+class TestMaccsInvariance:
+    def test_maccs_independent_of_tiling(self, small_layer):
+        reports = [
+            compute_traffic(single_tile_dataflow(small_layer)),
+            compute_traffic(
+                make_dataflow(small_layer, (TileShape(w=3, h=4, c=2, k=4, f=2),) * 3)
+            ),
+        ]
+        assert reports[0].maccs == reports[1].maccs == small_layer.maccs

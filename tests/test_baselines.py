@@ -1,0 +1,138 @@
+"""Tests for the Morph-base and Eyeriss baseline evaluations."""
+
+import pytest
+
+from repro.baselines.eyeriss import (
+    evaluate_layer_on_eyeriss,
+    evaluate_network_on_eyeriss,
+    tap_convolutions,
+)
+from repro.baselines.morph_base import evaluate_network_on_morph_base
+from repro.core.layer import ConvLayer
+from repro.optimizer.search import OptimizerOptions
+from repro.workloads.networks import Network
+
+FAST = OptimizerOptions.fast()
+
+LAYER_3D = ConvLayer(
+    "l3d", h=14, w=14, c=64, f=8, k=128, r=3, s=3, t=3,
+    pad_h=1, pad_w=1, pad_f=1,
+)
+LAYER_2D = ConvLayer("l2d", h=14, w=14, c=64, f=1, k=128, r=3, s=3, t=1,
+                     pad_h=1, pad_w=1)
+MINI_3D = Network("mini3d", (LAYER_3D,), is_3d=True, input_frames=8)
+MINI_2D = Network("mini2d", (LAYER_2D,), is_3d=False)
+
+
+class TestTapConvolutions:
+    def test_no_padding(self):
+        """(F - T + 1) output frames x T taps each."""
+        layer = ConvLayer("t", h=8, w=8, c=4, f=10, k=4, r=3, s=3, t=3)
+        assert tap_convolutions(layer) == 8 * 3
+
+    def test_with_temporal_padding(self):
+        """Edge frames lose their out-of-range taps."""
+        layer = ConvLayer("t", h=8, w=8, c=4, f=8, k=4, r=3, s=3, t=3, pad_f=1)
+        assert tap_convolutions(layer) == 8 * 3 - 2
+
+    def test_2d_layer_is_one_tap_per_frame(self):
+        assert tap_convolutions(LAYER_2D) == 1
+
+    def test_temporal_stride(self):
+        layer = ConvLayer("t", h=8, w=8, c=4, f=9, k=4, r=3, s=3, t=3,
+                          stride_f=2)
+        assert tap_convolutions(layer) == 4 * 3
+
+
+class TestEyerissLayer:
+    def test_3d_layer_pays_merge_traffic(self):
+        result = evaluate_layer_on_eyeriss(LAYER_3D, FAST)
+        assert result.taps == tap_convolutions(LAYER_3D)
+        assert result.merge_buffer_bytes > 0
+
+    def test_2d_layer_has_no_merges(self):
+        """Section VI-D: Eyeriss is competitive on 2D because there is no
+        frame-by-frame overhead."""
+        result = evaluate_layer_on_eyeriss(LAYER_2D, FAST)
+        assert result.merge_buffer_bytes == 0
+        assert result.taps == 1
+
+    def test_energy_scales_superlinearly_with_frames(self):
+        """More frames => more taps AND more merge traffic per output."""
+        short = evaluate_layer_on_eyeriss(LAYER_3D.scaled(f=4), FAST)
+        long = evaluate_layer_on_eyeriss(LAYER_3D.scaled(f=16), FAST)
+        assert long.energy_pj > 3.5 * short.energy_pj
+
+    def test_figure9_components_shape(self):
+        components = evaluate_layer_on_eyeriss(LAYER_3D, FAST).figure9_components()
+        assert {"DRAM", "L2", "L1", "L0", "Compute"} <= set(components)
+        assert components["L1"] == 0.0  # Eyeriss has no cluster level
+
+    def test_maccs_preserved(self):
+        result = evaluate_layer_on_eyeriss(LAYER_3D, FAST)
+        assert result.maccs == LAYER_3D.maccs
+
+
+class TestNetworkEvaluations:
+    def test_eyeriss_network_aggregate(self):
+        result = evaluate_network_on_eyeriss(MINI_3D, FAST)
+        assert result.total_energy_pj == pytest.approx(
+            sum(r.energy_pj for r in result.layers)
+        )
+        assert result.total_maccs == LAYER_3D.maccs
+        assert result.perf_per_watt > 0
+
+    def test_eyeriss_result_cached(self):
+        a = evaluate_network_on_eyeriss(MINI_3D, FAST)
+        b = evaluate_network_on_eyeriss(MINI_3D, FAST)
+        assert a is b
+
+    def test_morph_base_network(self):
+        result = evaluate_network_on_morph_base(MINI_3D, FAST)
+        assert result.arch_name == "Morph_base"
+        assert len(result.layers) == 1
+
+    def test_paper_shape_3d_ranking(self):
+        """On a 3D layer Morph beats both comparison points by a clear
+        margin.  (Morph-base <= Eyeriss holds network-wide — asserted in
+        the Figure 9 tests — but not necessarily for every single layer.)"""
+        from repro.arch.accelerator import morph
+        from repro.optimizer.search import optimize_network
+
+        eye = evaluate_network_on_eyeriss(MINI_3D, FAST).total_energy_pj
+        base = evaluate_network_on_morph_base(MINI_3D, FAST).total_energy_pj
+        flex = optimize_network(
+            MINI_3D.layers, morph(), FAST, network_name="mini3d"
+        ).total_energy_pj
+        assert flex < 0.8 * base
+        assert flex < 0.8 * eye
+
+    def test_paper_shape_2d_gap_narrows(self):
+        """Eyeriss' disadvantage shrinks dramatically on the 2D layer."""
+        eye3 = evaluate_network_on_eyeriss(MINI_3D, FAST).total_energy_pj
+        base3 = evaluate_network_on_morph_base(MINI_3D, FAST).total_energy_pj
+        eye2 = evaluate_network_on_eyeriss(MINI_2D, FAST).total_energy_pj
+        base2 = evaluate_network_on_morph_base(MINI_2D, FAST).total_energy_pj
+        assert eye2 / base2 < eye3 / base3
+
+
+class TestMergeDestination:
+    def test_small_frame_maps_merge_on_chip(self):
+        """A layer whose per-frame psum map fits the GLB's leftover psum
+        space merges on-chip: DRAM only carries inputs/weights/outputs."""
+        small = ConvLayer("tinymap", h=14, w=14, c=32, f=6, k=8, r=3, s=3, t=3,
+                          pad_h=1, pad_w=1, pad_f=1)
+        result = evaluate_layer_on_eyeriss(small, FAST)
+        assert result.merge_buffer_bytes > 0
+        merge_only_dram = result.merge_dram_bytes
+        # Final outputs still leave through DRAM at activation width.
+        assert merge_only_dram == small.output_elements
+
+    def test_large_frame_maps_spill_to_dram(self):
+        """C3D-layer2-sized maps cannot stay on-chip: psum-width round
+        trips hit DRAM, the paper's frame-by-frame overhead."""
+        big = ConvLayer("bigmap", h=56, w=56, c=64, f=8, k=128, r=3, s=3, t=3,
+                        pad_h=1, pad_w=1, pad_f=1)
+        result = evaluate_layer_on_eyeriss(big, FAST)
+        frame_psums = big.k * big.out_h * big.out_w * 4
+        assert result.merge_dram_bytes > frame_psums  # spills, not just outputs

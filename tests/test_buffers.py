@@ -1,0 +1,154 @@
+"""Unit tests for buffer levels and partitioning policies."""
+
+import pytest
+
+from repro.arch.buffers import (
+    MORPH_BASE_L0_PARTITION,
+    MORPH_BASE_L1_PARTITION,
+    MORPH_BASE_L2_PARTITION,
+    BufferLevel,
+    FlexiblePartition,
+    StaticPartition,
+)
+from repro.core.dims import DataType
+
+
+class TestBufferLevel:
+    def test_basic_properties(self):
+        level = BufferLevel("L2", 1024 * 1024, banks=16)
+        assert level.bank_bytes == 64 * 1024
+        assert level.bank_kb == 64.0
+        assert level.capacity_kb == 1024.0
+
+    def test_double_buffering_halves_usable(self):
+        """Section III footnote: 1 MB L2 bounds live tiles by 512 kB."""
+        level = BufferLevel("L2", 1024 * 1024, banks=16)
+        assert level.usable_bytes == 512 * 1024
+        assert level.usable_banks == 8
+
+    def test_single_buffered(self):
+        level = BufferLevel("L", 4096, banks=4, double_buffered=False)
+        assert level.usable_bytes == 4096
+        assert level.usable_banks == 4
+
+    def test_rejects_non_dividing_banks(self):
+        with pytest.raises(ValueError, match="divide"):
+            BufferLevel("L", 1000, banks=16)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            BufferLevel("L", 0, banks=1)
+
+    def test_energy_grows_with_bank_size(self):
+        small = BufferLevel("a", 16 * 1024, banks=16)
+        big = BufferLevel("b", 1024 * 1024, banks=16)
+        assert big.read_pj_per_byte() > small.read_pj_per_byte()
+
+    def test_write_costs_more_than_read(self):
+        level = BufferLevel("L", 64 * 1024, banks=16)
+        assert level.write_pj_per_byte() > level.read_pj_per_byte()
+
+
+class TestStaticPartition:
+    def test_table1_l2_fractions(self):
+        """Paper Table I: L2 = 38.5% inputs / 40% outputs / 21.5% weights."""
+        assert MORPH_BASE_L2_PARTITION.input_frac == 0.385
+        assert MORPH_BASE_L2_PARTITION.psum_frac == 0.40
+        assert MORPH_BASE_L2_PARTITION.weight_frac == 0.215
+
+    def test_table1_l1_l0_fractions(self):
+        for partition in (MORPH_BASE_L1_PARTITION, MORPH_BASE_L0_PARTITION):
+            assert partition.input_frac == 0.40
+            assert partition.psum_frac == 0.10
+            assert partition.weight_frac == 0.50
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            StaticPartition(input_frac=0.5, psum_frac=0.5, weight_frac=0.5)
+
+    def test_capacity_for(self):
+        level = BufferLevel("L", 1000 * 16, banks=1)
+        partition = StaticPartition(input_frac=0.5, psum_frac=0.3, weight_frac=0.2)
+        assert partition.capacity_for(level, DataType.INPUTS) == 4000  # of 8000
+
+    def test_fits_respects_each_partition(self):
+        level = BufferLevel("L", 16000, banks=1)
+        partition = StaticPartition(input_frac=0.5, psum_frac=0.3, weight_frac=0.2)
+        ok = {DataType.INPUTS: 4000, DataType.PSUMS: 2400, DataType.WEIGHTS: 1600}
+        assert partition.fits(level, ok)
+        # Inputs fit globally but exceed their partition: must fail even
+        # though total is under capacity (fragmentation, Observation 2).
+        bad = {DataType.INPUTS: 4500, DataType.PSUMS: 100, DataType.WEIGHTS: 100}
+        assert not partition.fits(level, bad)
+
+    def test_monolithic_macro_energy(self):
+        level = BufferLevel("L0", 16 * 1024, banks=1)
+        partition = StaticPartition(input_frac=0.40, psum_frac=0.10, weight_frac=0.50)
+        assert partition.activated_macro_kb(level, DataType.WEIGHTS) == 8.0
+        assert partition.activated_macro_kb(level, DataType.PSUMS) == pytest.approx(1.6)
+
+    def test_banked_partition_macro(self):
+        level = BufferLevel("GLB", 1408 * 1024, banks=16)
+        partition = StaticPartition(
+            input_frac=0.5, psum_frac=0.45, weight_frac=0.05, banks_per_partition=8
+        )
+        assert partition.activated_macro_kb(level, DataType.INPUTS) == 88.0
+
+
+class TestFlexiblePartition:
+    LEVEL = BufferLevel("L2", 1024 * 1024, banks=16)
+
+    def test_fits_at_bank_granularity(self):
+        """Tiles occupy whole banks: 8 usable banks of 64 kB."""
+        policy = FlexiblePartition()
+        ok = {
+            DataType.INPUTS: 300 * 1024,  # 5 banks
+            DataType.PSUMS: 120 * 1024,  # 2 banks
+            DataType.WEIGHTS: 60 * 1024,  # 1 bank
+        }
+        assert policy.fits(self.LEVEL, ok)
+
+    def test_fragmentation_can_reject(self):
+        """Three tiles of 2.1 banks each need 9 banks > 8 usable, even
+        though their byte total would fit — the paper's internal
+        fragmentation trade-off."""
+        policy = FlexiblePartition()
+        size = int(2.1 * 64 * 1024)
+        tiles = {dt: size for dt in DataType}
+        assert sum(tiles.values()) < self.LEVEL.usable_bytes
+        assert not policy.fits(self.LEVEL, tiles)
+
+    def test_bank_assignment_counts(self):
+        policy = FlexiblePartition()
+        tiles = {
+            DataType.INPUTS: 130 * 1024,
+            DataType.PSUMS: 64 * 1024,
+            DataType.WEIGHTS: 1,
+        }
+        assignment = policy.bank_assignment(self.LEVEL, tiles)
+        assert assignment[DataType.INPUTS] == 3
+        assert assignment[DataType.PSUMS] == 1
+        assert assignment[DataType.WEIGHTS] == 1
+
+    def test_bank_assignment_rejects_overflow(self):
+        policy = FlexiblePartition()
+        tiles = {dt: 512 * 1024 for dt in DataType}
+        with pytest.raises(ValueError, match="exceed"):
+            policy.bank_assignment(self.LEVEL, tiles)
+
+    def test_activated_macro_is_one_bank(self):
+        policy = FlexiblePartition()
+        assert policy.activated_macro_kb(self.LEVEL, DataType.INPUTS) == 64.0
+
+    def test_flexible_beats_static_on_skewed_tiles(self):
+        """The paper's point: flexible sharing stores skewed tile mixes a
+        static split cannot."""
+        flexible = FlexiblePartition()
+        static = MORPH_BASE_L2_PARTITION
+        skewed = {
+            DataType.INPUTS: 380 * 1024,  # 6 banks; 74% of usable space
+            DataType.PSUMS: 32 * 1024,
+            DataType.WEIGHTS: 32 * 1024,
+        }
+        assert flexible.fits(self.LEVEL, skewed)
+        assert not static.fits(self.LEVEL, skewed)

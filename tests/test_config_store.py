@@ -1,0 +1,90 @@
+"""Tests for saving/recalling optimizer configurations (Section V)."""
+
+import json
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.optimizer.config_store import (
+    ConfigMismatchError,
+    dataflow_from_json,
+    dataflow_to_json,
+    load_network_configs,
+    save_network_configs,
+)
+from repro.optimizer.search import OptimizerOptions, optimize_network
+
+LAYERS = (
+    ConvLayer("a", h=14, w=14, c=32, f=4, k=64, r=3, s=3, t=3,
+              pad_h=1, pad_w=1, pad_f=1),
+    ConvLayer("b", h=7, w=7, c=64, f=2, k=64, r=3, s=3, t=3,
+              pad_h=1, pad_w=1, pad_f=1),
+)
+
+
+@pytest.fixture(scope="module")
+def optimized():
+    from repro.arch.accelerator import morph
+
+    return optimize_network(
+        LAYERS, morph(), OptimizerOptions.fast(), network_name="store-test"
+    )
+
+
+class TestRoundTrip:
+    def test_dataflow_json_roundtrip(self, optimized):
+        ev = optimized.layers[0].best
+        restored = dataflow_from_json(ev.layer, dataflow_to_json(ev.dataflow))
+        assert restored.outer_order == ev.dataflow.outer_order
+        assert restored.hierarchy.tiles == ev.dataflow.hierarchy.tiles
+        assert restored.parallelism == ev.dataflow.parallelism
+
+    def test_save_and_recall_reproduces_energy(self, optimized, tmp_path, morph_arch):
+        """Recall skips the search but must land on identical numbers —
+        the whole point of the paper's configuration file."""
+        path = tmp_path / "c3d.morph.json"
+        save_network_configs(optimized, path)
+        recalled = load_network_configs(path, LAYERS, morph_arch)
+        assert recalled.total_energy_pj == pytest.approx(
+            optimized.total_energy_pj
+        )
+
+    def test_file_is_human_readable(self, optimized, tmp_path):
+        path = tmp_path / "cfg.json"
+        save_network_configs(optimized, path)
+        payload = json.loads(path.read_text())
+        assert payload["network"] == "store-test"
+        first = payload["layers"][0]["dataflow"]
+        assert set(first) == {"outer_order", "inner_order", "tiles", "parallelism"}
+
+
+class TestMismatchDetection:
+    def test_wrong_machine_rejected(self, optimized, tmp_path):
+        from repro.arch.accelerator import morph_base
+
+        path = tmp_path / "cfg.json"
+        save_network_configs(optimized, path)
+        with pytest.raises(ConfigMismatchError, match="Morph_base"):
+            load_network_configs(path, LAYERS, morph_base())
+
+    def test_wrong_layer_shape_rejected(self, optimized, tmp_path, morph_arch):
+        path = tmp_path / "cfg.json"
+        save_network_configs(optimized, path)
+        mutated = (LAYERS[0].scaled(h=28), LAYERS[1])
+        with pytest.raises(ConfigMismatchError, match="does not match"):
+            load_network_configs(path, mutated, morph_arch)
+
+    def test_wrong_layer_count_rejected(self, optimized, tmp_path, morph_arch):
+        path = tmp_path / "cfg.json"
+        save_network_configs(optimized, path)
+        with pytest.raises(ConfigMismatchError, match="layers"):
+            load_network_configs(path, LAYERS[:1], morph_arch)
+
+    def test_bad_version_rejected(self, optimized, tmp_path, morph_arch):
+        path = tmp_path / "cfg.json"
+        save_network_configs(optimized, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigMismatchError, match="format"):
+            load_network_configs(path, LAYERS, morph_arch)

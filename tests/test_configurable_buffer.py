@@ -1,0 +1,150 @@
+"""Functional tests for the configurable banked buffer (paper Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.buffers import BufferLevel
+from repro.arch.configurable_buffer import (
+    BankConflictError,
+    BankRange,
+    ConfigurableBuffer,
+)
+from repro.core.dims import DataType
+
+
+def make_buffer(capacity=16 * 1024, banks=16):
+    return ConfigurableBuffer(BufferLevel("L0", capacity, banks=banks))
+
+
+class TestConfiguration:
+    def test_contiguous_assignment(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 6, DataType.WEIGHTS: 8, DataType.PSUMS: 2})
+        ranges = buf.assignment
+        assert ranges[DataType.INPUTS] == BankRange(0, 6)
+        assert ranges[DataType.WEIGHTS] == BankRange(6, 8)
+        assert ranges[DataType.PSUMS] == BankRange(14, 2)
+
+    def test_no_overlap_between_types(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 5, DataType.WEIGHTS: 5, DataType.PSUMS: 5})
+        used = []
+        for rng in buf.assignment.values():
+            used.extend(range(rng.first, rng.first + rng.count))
+        assert len(used) == len(set(used))
+
+    def test_rejects_over_allocation(self):
+        buf = make_buffer()
+        with pytest.raises(ValueError, match="available"):
+            buf.configure({DataType.INPUTS: 10, DataType.WEIGHTS: 10, DataType.PSUMS: 1})
+
+    def test_rejects_negative(self):
+        buf = make_buffer()
+        with pytest.raises(ValueError):
+            buf.configure({DataType.INPUTS: -1})
+
+    def test_reconfiguration_replaces_layout(self):
+        """Per-layer reconfiguration: bank split changes at layer start."""
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 12, DataType.WEIGHTS: 2, DataType.PSUMS: 2})
+        assert buf.capacity_bytes(DataType.INPUTS) == 12 * 1024
+        buf.configure({DataType.INPUTS: 2, DataType.WEIGHTS: 12, DataType.PSUMS: 2})
+        assert buf.capacity_bytes(DataType.WEIGHTS) == 12 * 1024
+
+    def test_fragmentation_accounting(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 2, DataType.WEIGHTS: 1, DataType.PSUMS: 1})
+        tile_bytes = {
+            DataType.INPUTS: 1500,
+            DataType.WEIGHTS: 1024,
+            DataType.PSUMS: 100,
+        }
+        expected_waste = (2 * 1024 - 1500) + 0 + (1024 - 100)
+        assert buf.fragmentation_bytes(tile_bytes) == expected_waste
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 8, DataType.WEIGHTS: 4, DataType.PSUMS: 4})
+        buf.write(DataType.WEIGHTS, 100, b"morph")
+        assert buf.read(DataType.WEIGHTS, 100, 5) == b"morph"
+
+    def test_types_are_isolated(self):
+        """Same address, different type => different physical banks."""
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 8, DataType.WEIGHTS: 4, DataType.PSUMS: 4})
+        buf.write(DataType.INPUTS, 0, b"\x11")
+        buf.write(DataType.WEIGHTS, 0, b"\x22")
+        assert buf.read(DataType.INPUTS, 0, 1) == b"\x11"
+        assert buf.read(DataType.WEIGHTS, 0, 1) == b"\x22"
+
+    def test_write_spanning_banks(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 8, DataType.WEIGHTS: 4, DataType.PSUMS: 4})
+        data = bytes(range(64))
+        buf.write(DataType.INPUTS, 1024 - 32, data)  # crosses bank 0 -> 1
+        assert buf.read(DataType.INPUTS, 1024 - 32, 64) == data
+
+    def test_out_of_range_address(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 1, DataType.WEIGHTS: 1, DataType.PSUMS: 1})
+        with pytest.raises(IndexError, match="outside"):
+            buf.read(DataType.INPUTS, 1024, 1)
+
+    def test_unassigned_type_rejected(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 8})
+        with pytest.raises(KeyError):
+            buf.read(DataType.WEIGHTS, 0, 1)
+
+    def test_access_counters(self):
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 8, DataType.WEIGHTS: 4, DataType.PSUMS: 4})
+        buf.write(DataType.INPUTS, 0, b"ab")
+        buf.read(DataType.INPUTS, 0, 2)
+        assert buf.write_count == 1
+        assert buf.read_count == 1
+        assert sum(buf.bank_activations) == 4  # 2 written + 2 read bytes
+
+
+class TestParallelRead:
+    def test_one_read_per_type_no_conflict(self):
+        """Figure 7: replicated output muxes serve all three types in one
+        cycle; contiguous assignment makes bank conflicts impossible."""
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 6, DataType.WEIGHTS: 6, DataType.PSUMS: 4})
+        hits = buf.parallel_read(
+            {DataType.INPUTS: 0, DataType.WEIGHTS: 0, DataType.PSUMS: 0}
+        )
+        assert len(set(hits.values())) == 3
+
+    @given(
+        banks=st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 4)),
+        addr_frac=st.tuples(st.floats(0, 0.99), st.floats(0, 0.99), st.floats(0, 0.99)),
+    )
+    def test_property_contiguous_assignment_never_conflicts(self, banks, addr_frac):
+        buf = make_buffer()
+        n_in, n_w, n_p = banks
+        buf.configure(
+            {DataType.INPUTS: n_in, DataType.WEIGHTS: n_w, DataType.PSUMS: n_p}
+        )
+        requests = {}
+        for dt, count, frac in zip(
+            (DataType.INPUTS, DataType.WEIGHTS, DataType.PSUMS),
+            banks,
+            addr_frac,
+        ):
+            requests[dt] = int(frac * count * 1024)
+        hits = buf.parallel_read(requests)  # must not raise
+        assert len(set(hits.values())) == 3
+
+    def test_conflict_detection_exists(self):
+        """The error path is exercised directly (cannot happen through the
+        public configure/read API)."""
+        buf = make_buffer()
+        buf.configure({DataType.INPUTS: 8, DataType.WEIGHTS: 4, DataType.PSUMS: 4})
+        buf._assignment[DataType.WEIGHTS] = BankRange(0, 4)  # force overlap
+        with pytest.raises(BankConflictError):
+            buf.parallel_read({DataType.INPUTS: 0, DataType.WEIGHTS: 0})

@@ -1,0 +1,63 @@
+"""Direct tests for the Dataflow bundle and its helpers."""
+
+import pytest
+
+from repro.core.dataflow import Dataflow, Parallelism, single_tile_dataflow
+from repro.core.dims import Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileHierarchy, TileShape
+
+LAYER = ConvLayer("t", h=12, w=12, c=8, f=6, k=8, r=3, s=3, t=3)
+
+
+class TestDataflow:
+    def test_order_for_boundary(self):
+        df = single_tile_dataflow(LAYER, outer="KWHCF", inner="CFWHK")
+        assert df.order_for_boundary(0).format() == "[KWHCF]"
+        assert df.order_for_boundary(1).format() == "[CFWHK]"
+        assert df.order_for_boundary(2).format() == "[CFWHK]"
+
+    def test_shared_inner_order(self):
+        """Section III: the same inner order schedules L2-L1 and L1-L0."""
+        df = single_tile_dataflow(LAYER)
+        assert df.order_for_boundary(1) is df.order_for_boundary(2)
+
+    def test_layer_accessor(self):
+        df = single_tile_dataflow(LAYER)
+        assert df.layer is LAYER
+
+    def test_describe_includes_everything(self):
+        hierarchy = TileHierarchy(LAYER, (TileShape(w=5, h=5, c=4, k=4, f=2),))
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"),
+            LoopOrder.parse("CFWHK"),
+            hierarchy,
+            Parallelism(k=6, h=16),
+        )
+        text = df.describe()
+        assert "[WHCKF]" in text
+        assert "[cfwhk]" in text
+        assert "Kp=6" in text
+
+    def test_single_tile_levels(self):
+        assert single_tile_dataflow(LAYER, levels=2).hierarchy.levels == 2
+
+
+class TestParallelismValidation:
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            Parallelism(h=0)
+
+    def test_none_factory(self):
+        assert Parallelism.none().degree == 1
+
+    def test_from_mapping_defaults(self):
+        par = Parallelism.from_mapping({Dim.K: 4})
+        assert par.k == 4 and par.h == 1
+
+    def test_of_channel_dim_is_one(self):
+        assert Parallelism(k=4).of(Dim.C) == 1
+
+    def test_equality(self):
+        assert Parallelism(k=6, h=16) == Parallelism(h=16, k=6)

@@ -1,0 +1,102 @@
+"""Unit tests for dimension names and data-type relevance sets."""
+
+import pytest
+
+from repro.core.dims import (
+    ALL_DATA_TYPES,
+    ALL_DIMS,
+    PSUM_REDUCTION_DIMS,
+    RELEVANT_DIMS,
+    SLIDING_DIMS,
+    DataType,
+    Dim,
+    format_dims,
+    parse_dims,
+    relevant_dims,
+)
+
+
+class TestDim:
+    def test_five_dims(self):
+        assert len(ALL_DIMS) == 5
+        assert set(ALL_DIMS) == {Dim.W, Dim.H, Dim.C, Dim.K, Dim.F}
+
+    def test_from_letter_upper(self):
+        assert Dim.from_letter("W") is Dim.W
+        assert Dim.from_letter("K") is Dim.K
+
+    def test_from_letter_lower(self):
+        """Paper writes inner orders lower-case ([cfwhk])."""
+        assert Dim.from_letter("c") is Dim.C
+        assert Dim.from_letter("f") is Dim.F
+
+    def test_from_letter_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown dimension"):
+            Dim.from_letter("X")
+
+    def test_sliding_dims_are_spatial_and_temporal(self):
+        assert SLIDING_DIMS == {Dim.W, Dim.H, Dim.F}
+
+    def test_channel_dims_do_not_slide(self):
+        assert Dim.C not in SLIDING_DIMS
+        assert Dim.K not in SLIDING_DIMS
+
+
+class TestRelevance:
+    """Section II-E: which loops move which data type's tiles."""
+
+    def test_inputs_relevant_dims(self):
+        assert relevant_dims(DataType.INPUTS) == {Dim.W, Dim.H, Dim.C, Dim.F}
+
+    def test_weights_relevant_dims(self):
+        assert relevant_dims(DataType.WEIGHTS) == {Dim.C, Dim.K}
+
+    def test_psums_relevant_dims(self):
+        assert relevant_dims(DataType.PSUMS) == {Dim.W, Dim.H, Dim.K, Dim.F}
+
+    def test_inputs_insensitive_to_k(self):
+        """Every filter reads the same input (filter reuse, Section IV-A)."""
+        assert Dim.K not in relevant_dims(DataType.INPUTS)
+
+    def test_psums_insensitive_to_c(self):
+        """C iterations accumulate into the same psums."""
+        assert Dim.C not in relevant_dims(DataType.PSUMS)
+
+    def test_reduction_dims(self):
+        assert PSUM_REDUCTION_DIMS == {Dim.C}
+
+    def test_every_data_type_has_relevance(self):
+        for data_type in ALL_DATA_TYPES:
+            assert RELEVANT_DIMS[data_type]
+
+    def test_union_of_relevance_covers_all_dims(self):
+        union = set()
+        for data_type in ALL_DATA_TYPES:
+            union |= relevant_dims(data_type)
+        assert union == set(ALL_DIMS)
+
+
+class TestParseFormat:
+    def test_parse_plain_string(self):
+        assert parse_dims("WHCKF") == (Dim.W, Dim.H, Dim.C, Dim.K, Dim.F)
+
+    def test_parse_bracketed_string(self):
+        """The paper prints orders as [WHCKF]."""
+        assert parse_dims("[KWHCF]")[0] is Dim.K
+
+    def test_parse_lowercase(self):
+        assert parse_dims("cfwhk") == (Dim.C, Dim.F, Dim.W, Dim.H, Dim.K)
+
+    def test_parse_iterable_passthrough(self):
+        dims = (Dim.K, Dim.C)
+        assert parse_dims(dims) == dims
+
+    def test_format_upper(self):
+        assert format_dims((Dim.W, Dim.H)) == "[WH]"
+
+    def test_format_lower(self):
+        assert format_dims((Dim.C, Dim.F), lower=True) == "[cf]"
+
+    def test_roundtrip(self):
+        spec = "WHCKF"
+        assert format_dims(parse_dims(spec)) == f"[{spec}]"

@@ -1,0 +1,184 @@
+"""Tests for the linear energy model (paper Section V-D)."""
+
+import pytest
+
+from repro.core.access_model import compute_traffic
+from repro.core.dataflow import Dataflow, Parallelism, single_tile_dataflow
+from repro.core.energy_model import compute_energy
+from repro.core.evaluate import evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.performance_model import compute_performance
+from repro.core.tiling import TileHierarchy, TileShape
+
+LAYER = ConvLayer("t", h=16, w=16, c=8, f=6, k=16, r=3, s=3, t=3)
+
+
+def full_eval(arch, dataflow):
+    traffic = compute_traffic(dataflow, arch.precision)
+    perf = compute_performance(traffic, arch, dataflow)
+    return compute_energy(traffic, arch, dataflow, perf), traffic, perf
+
+
+class TestBreakdownStructure:
+    def test_total_is_sum_of_parts(self, morph_arch):
+        energy, _, _ = full_eval(morph_arch, single_tile_dataflow(LAYER))
+        parts = (
+            energy.dram_pj
+            + sum(level.energy_pj for level in energy.levels)
+            + energy.noc_pj
+            + energy.compute_pj
+            + energy.static_pj
+        )
+        assert energy.total_pj == pytest.approx(parts)
+
+    def test_one_level_entry_per_buffer(self, morph_arch, eyeriss_arch):
+        e_m, _, _ = full_eval(morph_arch, single_tile_dataflow(LAYER))
+        assert [lv.name for lv in e_m.levels] == ["L2", "L1", "L0"]
+        e_e, _, _ = full_eval(eyeriss_arch, single_tile_dataflow(LAYER, levels=2))
+        assert [lv.name for lv in e_e.levels] == ["L2", "L0"]
+
+    def test_figure9_components_complete(self, morph_arch):
+        energy, _, _ = full_eval(morph_arch, single_tile_dataflow(LAYER))
+        components = energy.figure9_components()
+        assert set(components) == {"DRAM", "L2", "L1", "L0", "Compute"}
+        assert sum(components.values()) == pytest.approx(energy.total_pj)
+
+    def test_on_chip_excludes_dram(self, morph_arch):
+        energy, _, _ = full_eval(morph_arch, single_tile_dataflow(LAYER))
+        assert energy.on_chip_pj == pytest.approx(energy.total_pj - energy.dram_pj)
+
+    def test_level_pj_lookup(self, morph_arch):
+        energy, _, _ = full_eval(morph_arch, single_tile_dataflow(LAYER))
+        assert energy.level_pj("L1") == energy.levels[1].energy_pj
+        assert energy.level_pj("missing") == 0.0
+
+
+class TestPhysicalConsistency:
+    def test_dram_energy_matches_bytes(self, morph_arch):
+        dataflow = single_tile_dataflow(LAYER)
+        energy, traffic, _ = full_eval(morph_arch, dataflow)
+        expected = morph_arch.technology.dram_energy_pj(
+            traffic.dram_read_bytes + traffic.dram_write_bytes
+        )
+        assert energy.dram_pj == pytest.approx(expected)
+
+    def test_compute_energy_matches_maccs(self, morph_arch):
+        energy, traffic, _ = full_eval(morph_arch, single_tile_dataflow(LAYER))
+        assert energy.compute_pj == pytest.approx(
+            traffic.maccs * morph_arch.technology.macc_pj
+        )
+
+    def test_static_scales_with_cycles(self, morph_arch):
+        """Static power x runtime: the perf/watt lever of Figure 10."""
+        dataflow = single_tile_dataflow(LAYER)
+        traffic = compute_traffic(dataflow, morph_arch.precision)
+        perf = compute_performance(traffic, morph_arch, dataflow)
+        e1 = compute_energy(traffic, morph_arch, dataflow, perf)
+        slow = type(perf)(
+            cycles=perf.cycles * 2,
+            compute_cycles=perf.compute_cycles,
+            bandwidth_cycles=perf.bandwidth_cycles,
+            utilization=perf.utilization / 2,
+            active_pes=perf.active_pes,
+            bound_by=perf.bound_by,
+        )
+        e2 = compute_energy(traffic, morph_arch, dataflow, slow)
+        assert e2.static_pj == pytest.approx(2 * e1.static_pj)
+
+    def test_worse_tiling_never_cheaper_on_dram(self, morph_arch):
+        """More DRAM traffic => more DRAM energy (linearity)."""
+        good = single_tile_dataflow(LAYER)
+        tiles = (TileShape(w=4, h=4, c=2, k=4, f=2),) * 3
+        bad = Dataflow(
+            LoopOrder.parse("CKWHF"),
+            LoopOrder.parse("CFWHK"),
+            TileHierarchy(LAYER, tiles),
+        )
+        e_good, _, _ = full_eval(morph_arch, good)
+        e_bad, _, _ = full_eval(morph_arch, bad)
+        assert e_bad.dram_pj > e_good.dram_pj
+
+
+class TestReplication:
+    def make(self, par):
+        tiles = (
+            TileShape(w=14, h=14, c=8, k=16, f=4),
+            TileShape(w=14, h=14, c=8, k=16, f=4),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+        )
+        return Dataflow(
+            LoopOrder.parse("WHCKF"),
+            LoopOrder.parse("CFWHK"),
+            TileHierarchy(LAYER, tiles),
+            par,
+        )
+
+    def test_spatial_parallelism_replicates_weights(self, morph_arch):
+        """Hp*Wp PEs hold copies of the same weights: L0 writes go up."""
+        serial, _, _ = full_eval(morph_arch, self.make(Parallelism()))
+        from repro.core.dims import DataType
+
+        spatial, _, _ = full_eval(morph_arch, self.make(Parallelism(h=7, w=2)))
+        assert (
+            spatial.levels[2].write_bytes_by_type[DataType.WEIGHTS]
+            > serial.levels[2].write_bytes_by_type[DataType.WEIGHTS]
+        )
+
+    def test_k_parallelism_replicates_inputs(self, morph_arch):
+        from repro.core.dims import DataType
+
+        serial, _, _ = full_eval(morph_arch, self.make(Parallelism()))
+        kpar, _, _ = full_eval(morph_arch, self.make(Parallelism(k=2)))
+        assert (
+            kpar.levels[2].write_bytes_by_type[DataType.INPUTS]
+            > serial.levels[2].write_bytes_by_type[DataType.INPUTS]
+        )
+
+    def test_psums_never_replicated(self, morph_arch):
+        from repro.core.dims import DataType
+
+        serial, _, _ = full_eval(morph_arch, self.make(Parallelism()))
+        par, _, _ = full_eval(morph_arch, self.make(Parallelism(h=7, k=2)))
+        assert (
+            par.levels[2].write_bytes_by_type[DataType.PSUMS]
+            == serial.levels[2].write_bytes_by_type[DataType.PSUMS]
+        )
+
+
+class TestEvaluateFacade:
+    def test_capacity_error(self, morph_arch):
+        big = ConvLayer("big", h=112, w=112, c=64, f=16, k=64, r=3, s=3, t=3)
+        with pytest.raises(Exception, match="does not fit"):
+            evaluate(single_tile_dataflow(big), morph_arch)
+
+    def test_perf_per_watt_definition(self, morph_arch):
+        tiles = (TileShape(w=4, h=4, c=4, k=8, f=2),) * 3
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+            TileHierarchy(LAYER, tiles),
+        )
+        ev = evaluate(df, morph_arch)
+        assert ev.perf_per_watt == pytest.approx(
+            ev.traffic.maccs / (ev.total_energy_pj * 1e-12)
+        )
+
+    def test_power_times_runtime_is_energy(self, morph_arch):
+        tiles = (TileShape(w=4, h=4, c=4, k=8, f=2),) * 3
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+            TileHierarchy(LAYER, tiles),
+        )
+        ev = evaluate(df, morph_arch)
+        assert ev.power_w * ev.runtime_s == pytest.approx(
+            ev.total_energy_pj * 1e-12
+        )
+
+    def test_describe_smoke(self, morph_arch):
+        tiles = (TileShape(w=4, h=4, c=4, k=8, f=2),) * 3
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+            TileHierarchy(LAYER, tiles),
+        )
+        text = evaluate(df, morph_arch).describe()
+        assert "Morph" in text and "uJ" in text

@@ -1,0 +1,124 @@
+"""Unit and property tests for the programmable FSM (paper Figure 8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.fsm import (
+    EventTrigger,
+    LoopSpec,
+    ProgrammableFsm,
+    fsm_for_loop_nest,
+    reference_addresses,
+    steps_for_strides,
+)
+
+
+class TestStepsForStrides:
+    def test_single_loop(self):
+        assert steps_for_strides([5], [1]) == [1]
+
+    def test_two_loops(self):
+        """Inner bound 3 stride 1, outer stride 10: wrap step = 10 - 2."""
+        assert steps_for_strides([3, 4], [1, 10]) == [1, 8]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            steps_for_strides([2, 3], [1])
+
+
+class TestAddressGeneration:
+    def test_matches_reference_simple(self):
+        bounds, strides = [4, 3], [1, 16]
+        fsm = fsm_for_loop_nest(bounds, strides)
+        assert fsm.addresses() == reference_addresses(bounds, strides)
+
+    def test_matches_reference_with_base(self):
+        bounds, strides = [2, 2, 2], [1, 4, 32]
+        fsm = fsm_for_loop_nest(bounds, strides, base_address=100)
+        assert fsm.addresses() == reference_addresses(bounds, strides, 100)
+
+    def test_total_states(self):
+        fsm = fsm_for_loop_nest([3, 4, 5], [1, 10, 100])
+        assert fsm.total_states == 60
+        assert len(fsm.addresses()) == 60
+
+    def test_single_state(self):
+        fsm = fsm_for_loop_nest([1], [7])
+        assert fsm.addresses() == [0]
+
+    def test_requires_loops(self):
+        with pytest.raises(ValueError):
+            ProgrammableFsm([])
+
+    def test_rejects_zero_bound(self):
+        with pytest.raises(ValueError):
+            LoopSpec(bound=0, step=1)
+
+    def test_indices_behave_like_software_counters(self):
+        fsm = fsm_for_loop_nest([2, 3], [1, 2])
+        indices = [s.indices for s in fsm.states()]
+        assert indices == [
+            (0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2),
+        ]
+
+    def test_is_last_flag(self):
+        fsm = fsm_for_loop_nest([2, 2], [1, 2])
+        flags = [s.is_last for s in fsm.states()]
+        assert flags == [False, False, False, True]
+
+    @given(
+        bounds=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+        strides=st.lists(st.integers(-8, 64), min_size=1, max_size=4),
+    )
+    def test_property_fsm_equals_loop_nest(self, bounds, strides):
+        """The core Figure 8 claim: bounds+steps registers reproduce any
+        affine loop-nest address stream."""
+        n = min(len(bounds), len(strides))
+        bounds, strides = bounds[:n], strides[:n]
+        fsm = fsm_for_loop_nest(bounds, strides)
+        assert fsm.addresses() == reference_addresses(bounds, strides)
+
+
+class TestEventTriggers:
+    def test_tile_done_fires_once_at_the_end(self):
+        trigger = EventTrigger("tile_done", (True, True))
+        fsm = fsm_for_loop_nest([2, 3], [1, 2], triggers=[trigger])
+        fired = [s.events for s in fsm.states()]
+        assert fired.count(("tile_done",)) == 1
+        assert fired[-1] == ("tile_done",)
+
+    def test_inner_wrap_fires_per_outer_iteration(self):
+        """Masking only the inner loop: fires once per inner completion."""
+        trigger = EventTrigger("row_done", (True, False))
+        fsm = fsm_for_loop_nest([3, 4], [1, 3], triggers=[trigger])
+        count = sum("row_done" in s.events for s in fsm.states())
+        assert count == 4
+
+    def test_empty_mask_never_fires(self):
+        trigger = EventTrigger("never", (False, False))
+        fsm = fsm_for_loop_nest([2, 2], [1, 2], triggers=[trigger])
+        assert all("never" not in s.events for s in fsm.states())
+
+    def test_mask_length_validated(self):
+        with pytest.raises(ValueError, match="mask"):
+            fsm_for_loop_nest([2, 2], [1, 2], triggers=[EventTrigger("bad", (True,))])
+
+    def test_trigger_fires_validates_length(self):
+        trigger = EventTrigger("t", (True, True))
+        with pytest.raises(ValueError):
+            trigger.fires([True])
+
+
+class TestDepthScaling:
+    """Flexibility cost grows with loop depth — the FSM must support the
+    seven-ish loops of a real boundary program."""
+
+    def test_deep_nest(self):
+        bounds = [2, 2, 2, 2, 2, 2, 2]
+        strides = [1, 2, 4, 8, 16, 32, 64]
+        fsm = fsm_for_loop_nest(bounds, strides)
+        assert fsm.addresses() == list(range(128))
+
+    def test_depth_property(self):
+        assert fsm_for_loop_nest([2, 3, 4], [1, 2, 6]).depth == 3

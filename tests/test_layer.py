@@ -1,0 +1,164 @@
+"""Unit tests for the 3D convolution layer model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dims import Dim
+from repro.core.layer import ConvLayer, conv_output_extent, total_maccs
+
+
+class TestOutputGeometry:
+    def test_paper_formula_no_padding(self):
+        """Paper Section II-B: output (H-R+1) x (W-S+1), F-T+1 frames."""
+        layer = ConvLayer("t", h=112, w=100, c=3, f=16, k=64, r=3, s=5, t=3)
+        assert layer.out_h == 110
+        assert layer.out_w == 96
+        assert layer.out_f == 14
+
+    def test_same_padding_preserves_dims(self):
+        layer = ConvLayer(
+            "t", h=56, w=56, c=64, f=16, k=128, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        assert (layer.out_h, layer.out_w, layer.out_f) == (56, 56, 16)
+
+    def test_stride_halves_output(self):
+        layer = ConvLayer(
+            "t", h=224, w=224, c=3, f=1, k=64, r=7, s=7, t=1,
+            stride_h=2, stride_w=2, pad_h=3, pad_w=3,
+        )
+        assert layer.out_h == 112
+        assert layer.out_w == 112
+
+    def test_alexnet_conv1_geometry(self):
+        layer = ConvLayer(
+            "conv1", h=227, w=227, c=3, f=1, k=96, r=11, s=11, t=1,
+            stride_h=4, stride_w=4,
+        )
+        assert layer.out_h == 55
+
+    def test_conv_output_extent_exact(self):
+        assert conv_output_extent(10, 3, 1, 0) == 8
+        assert conv_output_extent(10, 3, 2, 1) == 5
+
+    def test_conv_output_extent_rejects_oversized_kernel(self):
+        with pytest.raises(ValueError):
+            conv_output_extent(4, 7, 1, 0)
+
+    def test_output_dim_lookup(self):
+        layer = ConvLayer("t", h=12, w=10, c=8, f=6, k=16, r=3, s=3, t=3)
+        assert layer.output_dim(Dim.W) == layer.out_w
+        assert layer.output_dim(Dim.H) == layer.out_h
+        assert layer.output_dim(Dim.F) == layer.out_f
+        assert layer.output_dim(Dim.C) == 8
+        assert layer.output_dim(Dim.K) == 16
+
+
+class TestWorkMetrics:
+    def test_maccs_formula(self):
+        layer = ConvLayer("t", h=4, w=4, c=2, f=3, k=5, r=3, s=3, t=3)
+        expected = 5 * layer.out_h * layer.out_w * layer.out_f * 2 * 27
+        assert layer.maccs == expected
+
+    def test_c3d_layer1_maccs(self, c3d_layer1):
+        """C3D layer1 is ~1.04 GMACs at 112x112x16."""
+        assert c3d_layer1.maccs == 64 * 112 * 112 * 16 * 3 * 27
+
+    def test_footprint_is_input_plus_weights(self, c3d_layer1):
+        assert (
+            c3d_layer1.footprint_bytes()
+            == c3d_layer1.input_bytes() + c3d_layer1.weight_bytes()
+        )
+
+    def test_weight_bytes(self, c3d_layer1):
+        assert c3d_layer1.weight_bytes() == 64 * 3 * 27  # K*C*R*S*T at 1B
+
+    def test_reuse_higher_for_3d(self, c3d_layer1, layer_2d):
+        """Figure 1b: 3D CNNs have far higher MACs/byte."""
+        layer3d = c3d_layer1.scaled(name="3d")
+        assert layer3d.reuse_maccs_per_byte > layer_2d.reuse_maccs_per_byte
+
+    def test_slide_reuse_factor(self, c3d_layer1):
+        """Each input reused R*S*T times (Section IV-A)."""
+        assert c3d_layer1.input_slide_reuse == 27
+
+    def test_total_maccs_sums(self, c3d_layer1, layer_2d):
+        assert total_maccs(iter([c3d_layer1, layer_2d])) == (
+            c3d_layer1.maccs + layer_2d.maccs
+        )
+
+    def test_psum_wider_than_activations(self):
+        from repro.core.layer import ACTIVATION_BYTES, PSUM_BYTES
+
+        assert PSUM_BYTES > ACTIVATION_BYTES
+
+
+class Test2DSpecialCase:
+    """Section II-B remark: 2D convolution is 3D with F = T = 1."""
+
+    def test_is_2d_flag(self, layer_2d, c3d_layer1):
+        assert layer_2d.is_2d
+        assert not c3d_layer1.is_2d
+
+    def test_as_2d_frame(self, c3d_layer1):
+        frame = c3d_layer1.as_2d_frame()
+        assert frame.is_2d
+        assert frame.f == 1 and frame.t == 1
+        assert frame.h == c3d_layer1.h
+        assert frame.c == c3d_layer1.c
+
+    def test_2d_maccs_scale(self, c3d_layer1):
+        """Per-frame 2D conv does 1/(out_f * T) of the 3D layer's work."""
+        frame = c3d_layer1.as_2d_frame()
+        assert frame.maccs * 3 * c3d_layer1.out_f == pytest.approx(
+            c3d_layer1.maccs, rel=0.05
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            ConvLayer("bad", h=0, w=4, c=1, f=1, k=1, r=1, s=1, t=1)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError, match="pad"):
+            ConvLayer("bad", h=4, w=4, c=1, f=1, k=1, r=1, s=1, t=1, pad_h=-1)
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            ConvLayer("bad", h=4, w=4, c=1, f=1, k=1, r=1, s=1, t=1, stride_h=0)
+
+    def test_rejects_kernel_bigger_than_input(self):
+        with pytest.raises(ValueError, match="exceeds input"):
+            ConvLayer("bad", h=4, w=4, c=1, f=1, k=1, r=7, s=1, t=1)
+
+    def test_padding_can_make_kernel_fit(self):
+        layer = ConvLayer("ok", h=4, w=4, c=1, f=1, k=1, r=6, s=1, t=1, pad_h=1)
+        assert layer.out_h == 1
+
+    def test_scaled_override(self, c3d_layer1):
+        bigger = c3d_layer1.scaled(name="big", h=224, w=224)
+        assert bigger.h == 224
+        assert bigger.name == "big"
+        assert bigger.c == c3d_layer1.c
+
+
+@given(
+    h=st.integers(3, 40),
+    w=st.integers(3, 40),
+    f=st.integers(3, 12),
+    stride=st.integers(1, 3),
+    pad=st.integers(0, 2),
+)
+def test_output_extent_counts_valid_positions(h, w, f, stride, pad):
+    """Property: every output index maps to an in-bounds padded window."""
+    layer = ConvLayer(
+        "prop", h=h, w=w, c=1, f=f, k=1, r=3, s=3, t=3,
+        stride_h=stride, stride_w=stride, stride_f=stride,
+        pad_h=pad, pad_w=pad, pad_f=pad,
+    )
+    last_window_start = (layer.out_h - 1) * stride
+    assert last_window_start + 3 <= h + 2 * pad
+    # And one more output would not fit:
+    assert layer.out_h * stride + 3 > h + 2 * pad

@@ -1,0 +1,135 @@
+"""Unit tests for loop orders and Section II-E's data-transfer rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dims import DataType, Dim
+from repro.core.loopnest import (
+    LoopOrder,
+    all_loop_orders,
+    distinct_tiles,
+    fetch_multiplicity,
+)
+
+
+class TestLoopOrder:
+    def test_parse_paper_notation(self):
+        order = LoopOrder.parse("[WHCKF]")
+        assert order.outermost is Dim.W
+        assert order.innermost is Dim.F
+
+    def test_rejects_missing_dim(self):
+        with pytest.raises(ValueError, match="permutation"):
+            LoopOrder.parse("WHCK")  # F missing
+
+    def test_rejects_duplicate_dim(self):
+        with pytest.raises(ValueError, match="permutation"):
+            LoopOrder.parse("WWHCK")
+
+    def test_position(self):
+        order = LoopOrder.parse("KWHCF")
+        assert order.position(Dim.K) == 0
+        assert order.position(Dim.F) == 4
+
+    def test_format_roundtrip(self):
+        assert LoopOrder.parse("CFWHK").format(lower=True) == "[cfwhk]"
+        assert LoopOrder.parse("cfwhk").format() == "[CFWHK]"
+
+    def test_all_loop_orders_count(self):
+        assert len(list(all_loop_orders())) == 120
+
+    def test_all_loop_orders_unique(self):
+        orders = [o.dims for o in all_loop_orders()]
+        assert len(set(orders)) == 120
+
+    def test_loops_outside(self):
+        order = LoopOrder.parse("WHCKF")
+        assert order.loops_outside(Dim.C) == (Dim.W, Dim.H, Dim.C)
+        assert order.loops_outside(Dim.C, inclusive=False) == (Dim.W, Dim.H)
+
+    def test_restricted_preserves_order(self):
+        order = LoopOrder.parse("WHCKF")
+        assert order.restricted({Dim.K, Dim.W}) == (Dim.W, Dim.K)
+
+
+class TestInnermostRelevant:
+    """The paper's data-transfer rules for loop order [WHCKF]:
+    'filter tiles are loaded in the second-to-innermost loop (K), inputs in
+    the innermost loop (F), and partial sums in the innermost loop (F)'."""
+
+    def test_paper_example_filters(self):
+        order = LoopOrder.parse("WHCKF")
+        assert order.innermost_relevant(DataType.WEIGHTS) is Dim.K
+
+    def test_paper_example_inputs(self):
+        order = LoopOrder.parse("WHCKF")
+        assert order.innermost_relevant(DataType.INPUTS) is Dim.F
+
+    def test_paper_example_psums(self):
+        order = LoopOrder.parse("WHCKF")
+        assert order.innermost_relevant(DataType.PSUMS) is Dim.F
+
+    def test_weight_stationary_extreme(self):
+        """[KWHCF] iterates K outermost: weights reload only when C moves."""
+        order = LoopOrder.parse("KWHCF")
+        assert order.innermost_relevant(DataType.WEIGHTS) is Dim.C
+
+    def test_input_stationary_extreme(self):
+        order = LoopOrder.parse("WFHCK")
+        assert order.innermost_relevant(DataType.INPUTS) is Dim.C
+
+
+class TestFetchMultiplicity:
+    TRIPS = {Dim.W: 4, Dim.H: 3, Dim.C: 2, Dim.K: 5, Dim.F: 2}
+
+    def test_whckf_weights(self):
+        """Loops outside-and-including K: W*H*C*K = 4*3*2*5."""
+        order = LoopOrder.parse("WHCKF").dims
+        assert fetch_multiplicity(order, self.TRIPS, DataType.WEIGHTS) == 120
+
+    def test_whckf_inputs(self):
+        """Inputs relevant down to F (innermost): full product."""
+        order = LoopOrder.parse("WHCKF").dims
+        assert fetch_multiplicity(order, self.TRIPS, DataType.INPUTS) == 240
+
+    def test_kwhcf_weights(self):
+        """[KWHCF]: weights' innermost relevant loop is C (position 3)."""
+        order = LoopOrder.parse("KWHCF").dims
+        assert fetch_multiplicity(order, self.TRIPS, DataType.WEIGHTS) == 5 * 4 * 3 * 2
+
+    def test_no_relevant_loops_means_single_fetch(self):
+        """Degenerate case: region fully resident."""
+        order = (Dim.K,)  # only K varies; inputs are K-insensitive
+        assert fetch_multiplicity(order, self.TRIPS, DataType.INPUTS) == 1
+
+    def test_distinct_tiles_weights(self):
+        order = LoopOrder.parse("WHCKF").dims
+        assert distinct_tiles(order, self.TRIPS, DataType.WEIGHTS) == 2 * 5
+
+    def test_refetch_ratio_is_irrelevant_outer_product(self):
+        """fetches / distinct = product of irrelevant loops outside."""
+        order = LoopOrder.parse("CWHKF").dims  # C outermost
+        fetches = fetch_multiplicity(order, self.TRIPS, DataType.PSUMS)
+        distinct = distinct_tiles(order, self.TRIPS, DataType.PSUMS)
+        assert fetches // distinct == self.TRIPS[Dim.C]
+
+
+@given(
+    perm=st.permutations([Dim.W, Dim.H, Dim.C, Dim.K, Dim.F]),
+    trips=st.fixed_dictionaries(
+        {d: st.integers(1, 6) for d in [Dim.W, Dim.H, Dim.C, Dim.K, Dim.F]}
+    ),
+    data_type=st.sampled_from(list(DataType)),
+)
+def test_fetch_multiplicity_bounds(perm, trips, data_type):
+    """Property: distinct <= fetches <= full product, and distinct divides
+    fetches (each tile reloaded a whole number of times)."""
+    order = tuple(perm)
+    fetches = fetch_multiplicity(order, trips, data_type)
+    distinct = distinct_tiles(order, trips, data_type)
+    full = 1
+    for d in order:
+        full *= trips[d]
+    assert distinct <= fetches <= full
+    assert fetches % distinct == 0

@@ -1,0 +1,175 @@
+"""Cross-cutting model properties: conservation, determinism, scaling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_model import compute_traffic
+from repro.core.dataflow import Dataflow
+from repro.core.dims import ALL_DIMS, DataType
+from repro.core.evaluate import evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import Precision, TileHierarchy, TileShape
+
+ORDERS = ["WHCKF", "KWHCF", "WFKHC", "CKWHF", "FKCWH"]
+
+
+@st.composite
+def any_config(draw):
+    layer = ConvLayer(
+        "prop",
+        h=draw(st.integers(4, 20)),
+        w=draw(st.integers(4, 20)),
+        c=draw(st.integers(1, 16)),
+        f=draw(st.integers(1, 8)),
+        k=draw(st.integers(1, 16)),
+        r=draw(st.sampled_from([1, 3])),
+        s=draw(st.sampled_from([1, 3])),
+        t=1,
+    )
+    tiles = []
+    parent = TileShape.full(layer)
+    for _ in range(draw(st.integers(1, 3))):
+        tile = TileShape.from_mapping(
+            {d: draw(st.integers(1, parent.extent(d))) for d in ALL_DIMS}
+        )
+        tiles.append(tile)
+        parent = tile.clipped(parent)
+    return Dataflow(
+        LoopOrder.parse(draw(st.sampled_from(ORDERS))),
+        LoopOrder.parse(draw(st.sampled_from(ORDERS))),
+        TileHierarchy(layer, tuple(tiles)),
+    )
+
+
+class TestConservation:
+    @given(dataflow=any_config())
+    @settings(max_examples=40)
+    def test_dram_traffic_at_least_compulsory(self, dataflow):
+        """DRAM reads can never drop below each tensor's (padded) footprint
+        and writes never below the final output."""
+        layer = dataflow.layer
+        report = compute_traffic(dataflow)
+        dram = report.dram_boundary
+        full = TileShape.full(layer)
+        assert dram.of(DataType.INPUTS).fill_bytes >= full.bytes_of(
+            DataType.INPUTS, layer
+        )
+        assert dram.of(DataType.WEIGHTS).fill_bytes >= layer.weight_bytes()
+        assert report.dram_write_bytes >= layer.output_elements
+
+    @given(dataflow=any_config())
+    @settings(max_examples=40)
+    def test_traffic_nonincreasing_with_depth(self, dataflow):
+        """Each deeper boundary moves at least as many bytes as the one
+        above it for inputs/weights: inner buffers are smaller, so reuse
+        can only get worse going down."""
+        report = compute_traffic(dataflow)
+        for shallow, deep in zip(report.boundaries, report.boundaries[1:]):
+            for dt in (DataType.INPUTS, DataType.WEIGHTS):
+                assert deep.of(dt).fill_bytes >= shallow.of(dt).fill_bytes
+
+    @given(dataflow=any_config())
+    @settings(max_examples=40)
+    def test_psum_writeback_covers_loads_plus_output(self, dataflow):
+        """Every loaded psum byte is written back, plus the initial pass."""
+        report = compute_traffic(dataflow)
+        layer = dataflow.layer
+        out_psum = layer.output_elements * 4
+        for i, boundary in enumerate(report.boundaries):
+            t = boundary.of(DataType.PSUMS)
+            if i == 0:
+                continue  # DRAM writeback is width-adjusted
+            assert t.writeback_bytes == t.load_bytes + min(t.fill_bytes, out_psum)
+
+
+class TestPrecisionScaling:
+    def test_psum_bytes_scale_linearly(self, small_layer):
+        tiles = (TileShape(w=5, h=5, c=2, k=4, f=2),) * 2
+        df = Dataflow(
+            LoopOrder.parse("CKWHF"), LoopOrder.parse("WHCKF"),
+            TileHierarchy(small_layer, tiles),
+        )
+        narrow = compute_traffic(df, Precision(psum_bytes=4))
+        wide = compute_traffic(df, Precision(psum_bytes=8))
+        for b4, b8 in zip(narrow.boundaries, wide.boundaries):
+            assert b8.of(DataType.PSUMS).fill_bytes == 2 * b4.of(
+                DataType.PSUMS
+            ).fill_bytes
+
+    def test_activation_bytes_scale_inputs_only(self, small_layer):
+        tiles = (TileShape(w=5, h=5, c=2, k=4, f=2),) * 2
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+            TileHierarchy(small_layer, tiles),
+        )
+        one = compute_traffic(df, Precision(activation_bytes=1))
+        two = compute_traffic(df, Precision(activation_bytes=2))
+        assert two.dram_boundary.of(DataType.INPUTS).fill_bytes == (
+            2 * one.dram_boundary.of(DataType.INPUTS).fill_bytes
+        )
+        assert two.dram_boundary.of(DataType.WEIGHTS).fill_bytes == (
+            one.dram_boundary.of(DataType.WEIGHTS).fill_bytes
+        )
+
+
+class TestSlideReuseInvariant:
+    def test_f_tiling_free_under_f_slide(self, small_layer):
+        """With F as the innermost (sliding) loop and nothing else tiled,
+        halving the F tile does not change DRAM input bytes: the slide
+        telescopes to the union either way."""
+        def df(f_tile):
+            tiles = (TileShape(w=10, h=10, c=8, k=8, f=f_tile),) * 2
+            return Dataflow(
+                LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+                TileHierarchy(small_layer, tiles),
+            )
+
+        full = compute_traffic(df(4)).dram_boundary.of(DataType.INPUTS)
+        halved = compute_traffic(df(2)).dram_boundary.of(DataType.INPUTS)
+        assert full.fill_bytes == halved.fill_bytes
+
+
+class TestDeterminism:
+    def test_evaluation_is_pure(self, morph_arch, small_layer):
+        tiles = (TileShape(w=5, h=5, c=4, k=4, f=2),) * 3
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+            TileHierarchy(small_layer, tiles),
+        )
+        a = evaluate(df, morph_arch, check_capacity=False)
+        b = evaluate(df, morph_arch, check_capacity=False)
+        assert a.total_energy_pj == b.total_energy_pj
+        assert a.cycles == b.cycles
+
+    def test_optimizer_is_deterministic(self, morph_arch):
+        from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+
+        layer = ConvLayer(
+            "det", h=14, w=14, c=32, f=4, k=64, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        opts = OptimizerOptions.fast()
+        first = LayerOptimizer(morph_arch, opts).optimize(layer)
+        second = LayerOptimizer(morph_arch, opts).optimize(layer)
+        assert first.best.total_energy_pj == second.best.total_energy_pj
+        assert first.best.dataflow.describe() == second.best.dataflow.describe()
+
+
+class TestFlexibilityDominance:
+    @pytest.mark.parametrize("outer", ["KWHCF", "WFHCK", "CKWHF"])
+    def test_free_search_never_loses_to_pinned(self, morph_arch, outer):
+        """The free search space contains every pinned-order space."""
+        from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+
+        layer = ConvLayer(
+            "dom", h=14, w=14, c=64, f=4, k=64, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        opts = OptimizerOptions.fast()
+        free = LayerOptimizer(morph_arch, opts).optimize(layer)
+        pinned = LayerOptimizer(
+            morph_arch, opts.with_(fixed_outer_order=LoopOrder.parse(outer))
+        ).optimize(layer)
+        assert free.best.total_energy_pj <= pinned.best.total_energy_pj * 1.001

@@ -1,0 +1,116 @@
+"""Tests for the broadcast NoC model (paper Section IV-A4)."""
+
+import pytest
+
+from repro.arch.noc import BusSpec, MulticastMask, NocConfig, rate_match_width_bits
+
+
+class TestBusSpec:
+    def test_bytes_per_cycle(self):
+        assert BusSpec("b", 64, 1.0).bytes_per_cycle == 8.0
+
+    def test_transfer_cycles_ceil(self):
+        bus = BusSpec("b", 64, 1.0)
+        assert bus.transfer_cycles(17) == 3
+
+    def test_dynamic_energy_scales_with_length(self):
+        short = BusSpec("s", 64, 1.0)
+        long = BusSpec("l", 64, 4.0)
+        assert long.dynamic_pj(100, 0.1) == pytest.approx(4 * short.dynamic_pj(100, 0.1))
+
+    def test_static_energy_burns_every_cycle(self):
+        """Low-swing differential signalling (Section VI-A)."""
+        bus = BusSpec("b", 32, 1.0)
+        assert bus.static_pj(1000, 0.02) == pytest.approx(32 * 1000 * 0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusSpec("b", 0, 1.0)
+        with pytest.raises(ValueError):
+            BusSpec("b", 8, 0.0)
+
+
+class TestRateMatching:
+    def test_paper_example_l2_bus(self):
+        """Section IV-A4: 216 MACCs/cycle with R=S=T=3 reuse needs only a
+        64-bit L2->L1 bus."""
+        assert rate_match_width_bits(216, reuse_factor=27) == 64
+
+    def test_paper_example_l1_bus(self):
+        """36 PEs per cluster with 27x reuse: 32-bit local bus suffices."""
+        assert rate_match_width_bits(36, reuse_factor=27) == 16  # <= 32
+
+    def test_3d_needs_less_than_2d(self):
+        """The extra T-fold reuse makes rate matching strictly easier."""
+        width_3d = rate_match_width_bits(96, reuse_factor=27)
+        width_2d = rate_match_width_bits(96, reuse_factor=9)
+        assert width_3d <= width_2d
+
+    def test_power_of_two(self):
+        width = rate_match_width_bits(100, reuse_factor=7)
+        assert width & (width - 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rate_match_width_bits(0, 1)
+
+
+class TestMulticastMask:
+    def test_broadcast(self):
+        mask = MulticastMask.broadcast(8)
+        assert mask.is_broadcast
+        assert mask.fanout == 8
+
+    def test_unicast(self):
+        mask = MulticastMask.unicast(8, 3)
+        assert mask.is_unicast
+        assert mask.destinations[3]
+        assert mask.fanout == 1
+
+    def test_first_k_partial_round(self):
+        """Section IV-B3: the last round of tiles may occupy fewer PEs."""
+        mask = MulticastMask.first_k(16, 5)
+        assert mask.fanout == 5
+        assert not mask.is_broadcast
+
+    def test_unicast_bounds(self):
+        with pytest.raises(ValueError):
+            MulticastMask.unicast(4, 4)
+
+    def test_first_k_bounds(self):
+        with pytest.raises(ValueError):
+            MulticastMask.first_k(4, 0)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastMask(())
+
+
+class TestNocConfig:
+    def make(self):
+        return NocConfig(
+            dram_bus=BusSpec("DRAM", 64, 5.0),
+            l2_l1=BusSpec("L2-L1", 64, 3.0),
+            l1_l0=BusSpec("L1-L0", 32, 0.5),
+            clusters=6,
+        )
+
+    def test_boundary_bus_selection(self):
+        noc = self.make()
+        assert noc.boundary_bus(0).name == "DRAM"
+        assert noc.boundary_bus(1).name == "L2-L1"
+        assert noc.boundary_bus(2).name == "L1-L0"
+
+    def test_cluster_buses_parallel(self):
+        """Each cluster has its own local bus set."""
+        noc = self.make()
+        assert noc.boundary_parallel_buses(2) == 6
+        assert noc.boundary_bandwidth_bytes_per_cycle(2) == 4.0 * 6
+
+    def test_shared_l2_bus(self):
+        noc = self.make()
+        assert noc.boundary_parallel_buses(1) == 1
+
+    def test_total_wire_bits(self):
+        noc = self.make()
+        assert noc.total_wire_bits() == 64 + 32 * 6

@@ -1,0 +1,165 @@
+"""End-to-end tests for the per-layer configuration search (Section V)."""
+
+import pytest
+
+from repro.core.evaluate import CapacityError
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.optimizer.search import (
+    OBJECTIVES,
+    LayerOptimizer,
+    OptimizerOptions,
+    optimize_network,
+)
+
+#: A mid-sized layer keeps these tests fast but non-trivial.
+LAYER = ConvLayer(
+    "c3d4a", h=14, w=14, c=256, f=4, k=512, r=3, s=3, t=3,
+    pad_h=1, pad_w=1, pad_f=1,
+)
+FAST = OptimizerOptions.fast()
+
+
+@pytest.fixture(scope="module")
+def morph_best():
+    from repro.arch.accelerator import morph
+
+    return LayerOptimizer(morph(), FAST).optimize(LAYER)
+
+
+@pytest.fixture(scope="module")
+def base_best():
+    from repro.arch.accelerator import morph_base
+
+    return LayerOptimizer(morph_base(), FAST).optimize(LAYER)
+
+
+class TestOptions:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            OptimizerOptions(objective="speed!")
+
+    def test_fast_is_coarser_than_default(self):
+        assert OptimizerOptions.fast().max_l2_candidates < (
+            OptimizerOptions().max_l2_candidates
+        )
+
+    def test_thorough_is_exhaustive(self):
+        assert OptimizerOptions.thorough().exhaustive_orders
+
+    def test_with_overrides(self):
+        opts = FAST.with_(objective="latency")
+        assert opts.objective == "latency"
+        assert opts.max_l2_candidates == FAST.max_l2_candidates
+
+    def test_all_objectives_callable(self, morph_best):
+        for scorer in OBJECTIVES.values():
+            assert scorer(morph_best.best) != 0
+
+
+class TestSearchResults:
+    def test_best_configuration_is_feasible(self, morph_best):
+        ev = morph_best.best
+        assert ev.arch.hierarchy_fits(LAYER, ev.dataflow.hierarchy.tiles)
+
+    def test_search_evaluates_many_configs(self, morph_best):
+        assert morph_best.evaluated > 50
+
+    def test_flexibility_never_loses(self, morph_best, base_best):
+        """Morph's search space strictly contains Morph-base's dataflow on
+        the same silicon, modulo buffer policy: the flexible result must
+        not be worse."""
+        assert morph_best.best.total_energy_pj <= base_best.best.total_energy_pj
+
+    def test_fixed_orders_respected(self):
+        from repro.arch.accelerator import morph
+
+        options = FAST.with_(
+            fixed_outer_order=LoopOrder.parse("KWHCF"),
+            fixed_inner_order=LoopOrder.parse("KCFWH"),
+        )
+        result = LayerOptimizer(morph(), options).optimize(LAYER)
+        assert result.best.dataflow.outer_order.format() == "[KWHCF]"
+        assert result.best.dataflow.inner_order.format() == "[KCFWH]"
+
+    def test_opt_beats_or_matches_fixed_orders(self, morph_best):
+        """Figure 4a's construction: Opt <= every fixed outer order."""
+        from repro.arch.accelerator import morph
+
+        options = FAST.with_(fixed_outer_order=LoopOrder.parse("KWHCF"))
+        fixed = LayerOptimizer(morph(), options).optimize(LAYER)
+        assert morph_best.best.total_energy_pj <= fixed.best.total_energy_pj * 1.001
+
+    def test_base_arch_pins_dataflow(self, base_best):
+        from repro.arch.accelerator import MORPH_BASE_OUTER, MORPH_BASE_PARALLELISM
+
+        assert base_best.best.dataflow.outer_order == MORPH_BASE_OUTER
+        assert base_best.best.dataflow.parallelism == MORPH_BASE_PARALLELISM
+
+    def test_infeasible_layer_raises(self):
+        from repro.arch.accelerator import morph
+
+        monster = ConvLayer("m", h=1200, w=1200, c=1, f=1, k=1, r=1100, s=1100, t=1)
+        with pytest.raises((CapacityError, ValueError)):
+            LayerOptimizer(morph(), FAST).optimize(monster)
+
+
+class TestObjectives:
+    def test_latency_objective_not_slower(self):
+        from repro.arch.accelerator import morph
+
+        energy_best = LayerOptimizer(morph(), FAST).optimize(LAYER).best
+        latency_best = (
+            LayerOptimizer(morph(), FAST.with_(objective="latency"))
+            .optimize(LAYER)
+            .best
+        )
+        assert latency_best.cycles <= energy_best.cycles * 1.001
+
+    def test_perf_per_watt_objective(self):
+        from repro.arch.accelerator import morph
+
+        ppw_best = (
+            LayerOptimizer(morph(), FAST.with_(objective="perf_per_watt"))
+            .optimize(LAYER)
+            .best
+        )
+        energy_best = LayerOptimizer(morph(), FAST).optimize(LAYER).best
+        assert ppw_best.perf_per_watt >= energy_best.perf_per_watt * 0.999
+
+
+class TestNetworkOptimization:
+    LAYERS = (
+        ConvLayer("a", h=14, w=14, c=64, f=4, k=64, r=3, s=3, t=3,
+                  pad_h=1, pad_w=1, pad_f=1),
+        ConvLayer("b", h=7, w=7, c=64, f=2, k=128, r=3, s=3, t=3,
+                  pad_h=1, pad_w=1, pad_f=1),
+    )
+
+    def test_aggregates(self):
+        from repro.arch.accelerator import morph
+
+        result = optimize_network(
+            self.LAYERS, morph(), FAST, network_name="mini", use_cache=False
+        )
+        assert result.total_energy_pj == pytest.approx(
+            sum(r.best.total_energy_pj for r in result.layers)
+        )
+        assert result.total_maccs == sum(l.maccs for l in self.LAYERS)
+        assert result.layer_result("b").layer.name == "b"
+        with pytest.raises(KeyError):
+            result.layer_result("zzz")
+
+    def test_cache_returns_identical_object(self):
+        from repro.arch.accelerator import morph
+
+        first = optimize_network(self.LAYERS, morph(), FAST, network_name="mini")
+        second = optimize_network(self.LAYERS, morph(), FAST, network_name="mini")
+        assert first is second
+
+    def test_energy_components_cover_figure9(self):
+        from repro.arch.accelerator import morph
+
+        result = optimize_network(self.LAYERS, morph(), FAST, network_name="mini")
+        components = result.energy_components_pj()
+        assert {"DRAM", "L2", "L1", "L0", "Compute"} <= set(components)

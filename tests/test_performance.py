@@ -1,0 +1,218 @@
+"""Tests for the performance model: utilisation, splits, cycle bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.access_model import compute_traffic
+from repro.core.dataflow import Dataflow, Parallelism, single_tile_dataflow
+from repro.core.dims import Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.performance_model import (
+    compute_performance,
+    compute_utilization,
+    split_parallelism,
+)
+from repro.core.tiling import TileHierarchy, TileShape
+
+
+class TestSplitParallelism:
+    def test_product_is_preserved(self):
+        par = Parallelism(k=8, f=12)
+        cluster, pe = split_parallelism(par, clusters=6, pes_per_cluster=16)
+        for dim in (Dim.W, Dim.H, Dim.K, Dim.F):
+            assert cluster.of(dim) * pe.of(dim) == par.of(dim)
+
+    def test_respects_cluster_budget(self):
+        cluster, pe = split_parallelism(
+            Parallelism(k=8, f=12), clusters=6, pes_per_cluster=16
+        )
+        assert cluster.degree <= 6
+        assert pe.degree <= 16
+
+    def test_prefers_k_at_cluster_level(self):
+        """Morph-base's arrangement: Kp across clusters (Section IV-A3)."""
+        cluster, pe = split_parallelism(
+            Parallelism(k=6, h=16), clusters=6, pes_per_cluster=16
+        )
+        assert cluster.k == 6
+        assert pe.h == 16
+
+    def test_serial_case(self):
+        cluster, pe = split_parallelism(Parallelism(), 6, 16)
+        assert cluster.degree == 1
+        assert pe.degree == 1
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            split_parallelism(Parallelism(h=7, k=5), clusters=2, pes_per_cluster=4)
+
+    @given(
+        k=st.sampled_from([1, 2, 3, 4, 6, 8, 12]),
+        h=st.sampled_from([1, 2, 4, 8]),
+        w=st.sampled_from([1, 2, 4]),
+    )
+    def test_property_valid_split_whenever_possible(self, k, h, w):
+        par = Parallelism(k=k, h=h, w=w)
+        if par.degree > 96:
+            return
+        try:
+            cluster, pe = split_parallelism(par, 6, 16)
+        except ValueError:
+            return  # genuinely unsplittable factorisation
+        assert cluster.degree <= 6 and pe.degree <= 16
+        assert cluster.degree * pe.degree == par.degree
+
+
+class TestParallelism:
+    def test_c_cannot_be_parallelised(self):
+        with pytest.raises(ValueError, match="C cannot"):
+            Parallelism.from_mapping({Dim.C: 2})
+
+    def test_replication_factors(self):
+        """Weights are replicated across spatial/temporal PEs; inputs
+        across filter PEs; psums never (Section IV-A4 multicast)."""
+        from repro.core.dims import DataType
+
+        par = Parallelism(h=4, w=2, k=3)
+        assert par.replication(DataType.WEIGHTS) == 8  # h * w
+        assert par.replication(DataType.INPUTS) == 3  # k
+        assert par.replication(DataType.PSUMS) == 1
+
+    def test_degree(self):
+        assert Parallelism(h=4, w=2, k=3, f=2).degree == 48
+
+    def test_describe(self):
+        assert Parallelism().describe() == "serial"
+        assert "Kp=6" in Parallelism(k=6, h=16).describe()
+
+
+def hierarchy_for(layer, l2, l1, l0):
+    return TileHierarchy(layer, (l2, l1, l0))
+
+
+class TestUtilization:
+    LAYER = ConvLayer("t", h=34, w=34, c=16, f=10, k=48, r=3, s=3, t=3)
+
+    def test_full_when_everything_divides(self, morph_arch):
+        """Kp=6 across clusters (6 K-subtiles in the L2 tile), Hp=16 across
+        PEs (16 H-subtiles in the L1 tile): no idling anywhere."""
+        hierarchy = hierarchy_for(
+            self.LAYER,
+            TileShape(w=32, h=32, c=16, k=48, f=8),
+            TileShape(w=32, h=32, c=16, k=8, f=8),  # 6 K-tiles for 6 clusters
+            TileShape(w=32, h=2, c=16, k=8, f=8),  # 16 H-tiles for 16 PEs
+        )
+        par = Parallelism(h=16, k=6)
+        util = compute_utilization(hierarchy, morph_arch, par)
+        assert util == pytest.approx(1.0)
+
+    def test_idle_pes_penalise(self, morph_arch):
+        hierarchy = hierarchy_for(
+            self.LAYER,
+            TileShape(w=32, h=32, c=16, k=48, f=8),
+            TileShape(w=8, h=8, c=16, k=8, f=2),
+            TileShape(w=2, h=2, c=16, k=8, f=1),
+        )
+        low = compute_utilization(hierarchy, morph_arch, Parallelism(h=4))
+        assert low <= 4 / 96
+
+    def test_imbalance_penalty(self, morph_arch):
+        """Hp=2 lands at the cluster level, but the L2 tile holds a single
+        L1-granularity H-tile: one of the two clusters always idles."""
+        hierarchy = hierarchy_for(
+            self.LAYER,
+            TileShape(w=32, h=32, c=16, k=48, f=8),
+            TileShape(w=8, h=32, c=16, k=48, f=8),
+            TileShape(w=8, h=11, c=16, k=48, f=8),
+        )
+        par = Parallelism(h=2, k=1)
+        util = compute_utilization(hierarchy, morph_arch, par)
+        assert util == pytest.approx((2 / 96) * (1 / 2))
+
+    def test_vector_lane_slack(self, morph_arch):
+        """K tile of 4 on 8 lanes: half the lanes idle."""
+        hierarchy = hierarchy_for(
+            self.LAYER,
+            TileShape(w=32, h=32, c=16, k=4, f=8),
+            TileShape(w=32, h=32, c=16, k=4, f=8),
+            TileShape(w=32, h=32, c=16, k=4, f=8),
+        )
+        util = compute_utilization(hierarchy, morph_arch, Parallelism())
+        assert util == pytest.approx((1 / 96) * (4 / 8))
+
+    @given(
+        h=st.sampled_from([1, 2, 4, 8, 16]),
+        k=st.sampled_from([1, 2, 3, 6]),
+    )
+    def test_property_bounded(self, h, k, morph_arch):
+        hierarchy = hierarchy_for(
+            self.LAYER,
+            TileShape(w=16, h=16, c=16, k=32, f=4),
+            TileShape(w=8, h=8, c=16, k=16, f=2),
+            TileShape(w=4, h=2, c=8, k=8, f=1),
+        )
+        util = compute_utilization(hierarchy, morph_arch, Parallelism(h=h, k=k))
+        assert 0 < util <= 1
+
+
+class TestComputePerformance:
+    def test_cycles_at_least_ideal(self, morph_arch):
+        layer = ConvLayer("t", h=16, w=16, c=8, f=4, k=16, r=3, s=3, t=3)
+        df = single_tile_dataflow(layer)
+        traffic = compute_traffic(df)
+        perf = compute_performance(traffic, morph_arch, df)
+        ideal = layer.maccs / morph_arch.peak_maccs_per_cycle
+        assert perf.cycles >= ideal
+
+    def test_bandwidth_bound_detection(self, morph_arch):
+        """1x1 conv with one MACC per weight byte: well-parallelised
+        compute finishes long before the DRAM stream does."""
+        layer = ConvLayer("wide", h=1, w=1, c=512, f=1, k=4096, r=1, s=1, t=1)
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"),
+            LoopOrder.parse("CFWHK"),
+            TileHierarchy(layer, (TileShape.full(layer),) * 3),
+            Parallelism(k=96),
+        )
+        traffic = compute_traffic(df)
+        perf = compute_performance(traffic, morph_arch, df)
+        assert perf.bound_by != "compute"
+        assert perf.cycles == max(perf.bandwidth_cycles.values())
+
+    def test_rejects_excess_parallelism(self, morph_arch):
+        layer = ConvLayer("t", h=16, w=16, c=8, f=4, k=16, r=3, s=3, t=3)
+        df = Dataflow(
+            LoopOrder.parse("WHCKF"),
+            LoopOrder.parse("CFWHK"),
+            TileHierarchy(layer, (TileShape.full(layer),) * 3),
+            Parallelism(h=200),
+        )
+        traffic = compute_traffic(df)
+        with pytest.raises(ValueError, match="exceeds"):
+            compute_performance(traffic, morph_arch, df)
+
+    def test_runtime_uses_clock(self, morph_arch):
+        layer = ConvLayer("t", h=16, w=16, c=8, f=4, k=16, r=3, s=3, t=3)
+        df = single_tile_dataflow(layer)
+        traffic = compute_traffic(df)
+        perf = compute_performance(traffic, morph_arch, df)
+        assert perf.runtime_s(1e9) == pytest.approx(perf.cycles / 1e9)
+
+    def test_higher_parallelism_never_slower(self, morph_arch):
+        layer = ConvLayer("t", h=34, w=34, c=16, f=10, k=48, r=3, s=3, t=3)
+        hierarchy = hierarchy_for(
+            layer,
+            TileShape(w=32, h=32, c=16, k=48, f=8),
+            TileShape(w=8, h=8, c=16, k=8, f=4),
+            TileShape(w=4, h=2, c=16, k=8, f=2),
+        )
+        cycles = []
+        for par in (Parallelism(), Parallelism(h=4, k=6), Parallelism(h=4, w=4, k=6)):
+            df = Dataflow(
+                LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"), hierarchy, par
+            )
+            traffic = compute_traffic(df)
+            cycles.append(compute_performance(traffic, morph_arch, df).cycles)
+        assert cycles[0] >= cycles[1] >= cycles[2]

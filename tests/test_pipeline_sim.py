@@ -1,0 +1,164 @@
+"""Tests: the pipeline timing simulator against the analytic cycle model."""
+
+import pytest
+
+from repro.core.access_model import compute_traffic
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.performance_model import compute_performance
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.sim.pipeline_sim import simulate_pipeline
+
+LAYER = ConvLayer(
+    "pipe", h=28, w=28, c=64, f=8, k=64, r=3, s=3, t=3,
+    pad_h=1, pad_w=1, pad_f=1,
+)
+
+
+def make_dataflow(l2, l1, l0, par=Parallelism(), outer="WHCKF"):
+    return Dataflow(
+        LoopOrder.parse(outer),
+        LoopOrder.parse("CFWHK"),
+        TileHierarchy(LAYER, (l2, l1, l0)),
+        par,
+    )
+
+
+@pytest.fixture(scope="module")
+def bus_bound_dataflow():
+    """Full utilisation but tiny L0 tiles: the L1->L0 weight stream is the
+    bottleneck — a case where both models must agree on non-compute
+    limits."""
+    return make_dataflow(
+        TileShape(w=28, h=7, c=64, k=48, f=4),
+        TileShape(w=7, h=7, c=32, k=8, f=2),
+        TileShape(w=2, h=2, c=8, k=8, f=1),
+        Parallelism(k=6, h=4, w=4),
+    )
+
+
+@pytest.fixture(scope="module")
+def balanced_dataflow():
+    """Tiles sized so the (Kp=6, Hp=2, Wp=2, Fp=2) split has a sub-tile
+    for every cluster and PE and the L0 tiles are big enough to keep the
+    inner buses rate-matched: compute bound at utilisation ~1."""
+    return make_dataflow(
+        TileShape(w=28, h=7, c=64, k=48, f=4),
+        TileShape(w=7, h=7, c=32, k=8, f=2),
+        TileShape(w=4, h=4, c=16, k=8, f=1),
+        Parallelism(k=6, h=2, w=2, f=2),
+    )
+
+
+class TestAgainstAnalyticModel:
+    @pytest.mark.parametrize("fixture", ["balanced_dataflow", "bus_bound_dataflow"])
+    def test_cycles_within_tolerance(self, morph_arch, fixture, request):
+        """Simulated and analytic cycles agree within 2x: same first-order
+        physics, different granularity of overlap accounting."""
+        dataflow = request.getfixturevalue(fixture)
+        traffic = compute_traffic(dataflow, morph_arch.precision)
+        analytic = compute_performance(traffic, morph_arch, dataflow)
+        simulated = simulate_pipeline(dataflow, morph_arch)
+        ratio = simulated.cycles / analytic.cycles
+        assert 0.5 <= ratio <= 2.0, ratio
+
+    def test_simulated_at_least_ideal(self, morph_arch, balanced_dataflow):
+        simulated = simulate_pipeline(balanced_dataflow, morph_arch)
+        ideal = LAYER.maccs / morph_arch.peak_maccs_per_cycle
+        assert simulated.cycles >= ideal * 0.99
+
+    def test_bound_classification_compute(self, morph_arch, balanced_dataflow):
+        """A well-parallelised reuse-heavy layer is compute bound in both
+        models."""
+        simulated = simulate_pipeline(balanced_dataflow, morph_arch)
+        assert simulated.bound_by == "compute"
+
+    def test_streaming_weights_shifts_towards_load_bound(self, morph_arch):
+        """K-innermost outer order re-streams weights from DRAM every
+        tile; the pipeline must spend relatively more steps load-bound
+        than a weight-resident schedule of the same layer."""
+        resident = make_dataflow(
+            TileShape(w=28, h=7, c=64, k=48, f=4),
+            TileShape(w=7, h=7, c=32, k=8, f=2),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+            Parallelism(k=6, h=4, w=4),
+        )
+        streaming = make_dataflow(
+            TileShape(w=7, h=7, c=64, k=16, f=2),
+            TileShape(w=7, h=7, c=32, k=8, f=2),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+            Parallelism(k=6, h=4, w=4),
+            outer="WHFCK",
+        )
+        r = simulate_pipeline(resident, morph_arch)
+        s = simulate_pipeline(streaming, morph_arch)
+        assert (s.load_bound_tiles / s.tiles) >= (r.load_bound_tiles / r.tiles)
+
+
+class TestPipelineMechanics:
+    def test_tile_count_matches_schedule(self, morph_arch, balanced_dataflow):
+        simulated = simulate_pipeline(balanced_dataflow, morph_arch)
+        l2 = balanced_dataflow.hierarchy.outermost
+        trips = TileShape.full(LAYER).trip_counts(l2)
+        expected = 1
+        for count in trips.values():
+            expected *= count
+        assert simulated.tiles == expected
+
+    def test_prologue_is_first_fill(self, morph_arch, balanced_dataflow):
+        simulated = simulate_pipeline(balanced_dataflow, morph_arch)
+        assert simulated.prologue_cycles > 0
+
+    def test_double_buffering_beats_serial(self, morph_arch, balanced_dataflow):
+        """Overlapped pipeline must come close to max(load, compute)
+        rather than their sum (Section IV-A2's double buffering)."""
+        from repro.core.performance_model import compute_utilization
+
+        simulated = simulate_pipeline(balanced_dataflow, morph_arch)
+        traffic = compute_traffic(balanced_dataflow, morph_arch.precision)
+        util = compute_utilization(
+            balanced_dataflow.hierarchy, morph_arch, balanced_dataflow.parallelism
+        )
+        serial_floor = (
+            traffic.dram_total_bytes
+            / morph_arch.noc.boundary_bandwidth_bytes_per_cycle(0)
+            + LAYER.maccs / (morph_arch.peak_maccs_per_cycle * util)
+        )
+        assert simulated.cycles < serial_floor * 1.5
+
+    def test_stationary_weights_fewer_tiles(self, morph_arch):
+        """With K and C fully resident in the L2 tile the schedule has
+        fewer outer tiles than a K-split schedule."""
+        df_resident = make_dataflow(
+            TileShape(w=14, h=7, c=64, k=64, f=4),
+            TileShape(w=7, h=7, c=32, k=8, f=2),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+        )
+        df_split = make_dataflow(
+            TileShape(w=14, h=7, c=64, k=16, f=4),
+            TileShape(w=7, h=7, c=32, k=8, f=2),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+            outer="WHFCK",
+        )
+        resident = simulate_pipeline(df_resident, morph_arch)
+        split = simulate_pipeline(df_split, morph_arch)
+        assert resident.tiles < split.tiles
+
+    def test_worse_utilisation_longer_runtime(self, morph_arch):
+        fast = make_dataflow(
+            TileShape(w=28, h=7, c=64, k=48, f=4),
+            TileShape(w=7, h=7, c=32, k=8, f=2),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+            Parallelism(k=6, h=4, w=4),
+        )
+        slow = make_dataflow(
+            TileShape(w=28, h=7, c=64, k=48, f=4),
+            TileShape(w=7, h=7, c=32, k=8, f=2),
+            TileShape(w=2, h=2, c=8, k=8, f=1),
+            Parallelism(k=6),  # 90 idle PEs
+        )
+        assert (
+            simulate_pipeline(slow, morph_arch).cycles
+            > simulate_pipeline(fast, morph_arch).cycles
+        )

@@ -1,0 +1,32 @@
+"""Reduced-scope test of the precision-sensitivity extension study."""
+
+import pytest
+
+from repro.experiments.precision_study import run_precision_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_precision_study(fast=True, layers=("layer3a",))
+
+
+class TestPrecisionStudy:
+    def test_all_points_present(self, result):
+        assert set(result.points) == {"int4", "int8", "int16"}
+
+    def test_energy_monotone_in_width(self, result):
+        assert (
+            result.energy("int4")
+            <= result.energy("int8")
+            <= result.energy("int16")
+        )
+
+    def test_wider_data_superlinear_dram(self, result):
+        """Doubling datum width more than doubles DRAM traffic: larger
+        footprints also evict working sets that used to pin on-chip."""
+        _, dram8 = result.points["int8"]
+        _, dram16 = result.points["int16"]
+        assert dram16 > 1.5 * dram8
+
+    def test_int16_costs_more(self, result):
+        assert result.scaling_int16_over_int8() > 1.2

@@ -1,0 +1,86 @@
+"""The public API surface: everything README promises must import and work."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestTopLevelImports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_readme_quickstart_snippet(self):
+        """The exact flow the README and module docstring advertise."""
+        layer = repro.c3d().layers[4]  # a later layer keeps this quick
+        result = repro.LayerOptimizer(
+            repro.morph(), repro.OptimizerOptions.fast()
+        ).optimize(layer)
+        assert "layer4a" in result.best.describe()
+
+    def test_machine_factories(self):
+        assert repro.morph().name == "Morph"
+        assert repro.morph_base().name == "Morph_base"
+        assert repro.eyeriss_like().name == "Eyeriss"
+
+    def test_network_factories_exported(self):
+        for factory in (
+            repro.alexnet, repro.c3d, repro.i3d, repro.inception,
+            repro.resnet3d50, repro.resnet50, repro.two_stream,
+        ):
+            assert len(factory().layers) > 0
+
+
+class TestRunnerCli:
+    def test_lists_experiments_on_bad_name(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "nonsense"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0
+        assert "fig9" in proc.stderr
+
+    def test_table4_via_cli(self):
+        """The cheapest experiment end-to-end through the CLI."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "table4"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Table IV" in proc.stdout
+        assert "4.98%" in proc.stdout  # paper column present
+
+    def test_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "--help"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "--thorough" in proc.stdout
+
+
+class TestExamplesImportable:
+    """Examples must at least parse/import (full runs are manual)."""
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "examples/quickstart.py",
+            "examples/video_pipeline.py",
+            "examples/design_space_exploration.py",
+            "examples/custom_network.py",
+        ],
+    )
+    def test_compiles(self, path):
+        with open(path) as handle:
+            compile(handle.read(), path, "exec")

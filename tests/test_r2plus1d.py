@@ -1,0 +1,70 @@
+"""Tests for the R(2+1)D extension workload."""
+
+import pytest
+
+from repro.workloads import build_network, r2plus1d
+from repro.workloads.r2plus1d import _mid_channels
+
+
+class TestFactorisation:
+    def test_mid_channels_match_3d_parameter_count(self):
+        """M is chosen so (1x3x3 + 3x1x1) ~ one 3x3x3 in parameters."""
+        c_in, k = 64, 64
+        mid = _mid_channels(c_in, k)
+        factorised = 9 * c_in * mid + 3 * mid * k
+        full_3d = 27 * c_in * k
+        assert factorised == pytest.approx(full_3d, rel=0.02)
+
+    def test_spatial_layers_are_2d_kernels(self):
+        net = r2plus1d()
+        spatial = [l for l in net if "spatial" in l.name]
+        assert spatial
+        assert all(l.t == 1 and l.r == l.s and l.r > 1 for l in spatial)
+
+    def test_temporal_layers_are_1d_kernels(self):
+        net = r2plus1d()
+        temporal = [l for l in net if "temporal" in l.name]
+        assert temporal
+        assert all(l.r == 1 and l.s == 1 and l.t == 3 for l in temporal)
+
+    def test_alternating_structure(self):
+        """Every spatial conv is immediately followed by its temporal."""
+        layers = list(r2plus1d())
+        for a, b in zip(layers[::2], layers[1::2]):
+            assert "spatial" in a.name and "temporal" in b.name
+            assert b.c == a.k
+
+
+class TestNetworkShape:
+    def test_registered(self):
+        assert build_network("r2plus1d").name == "R(2+1)D-18"
+
+    def test_layer_count(self):
+        # Stem pair + 8 blocks x 2 factorised pairs = 2 + 32.
+        assert len(r2plus1d()) == 34
+
+    def test_frames_halve_down_the_stages(self):
+        net = r2plus1d()
+        assert net.layer_named("res2aa_spatial").f == 16
+        assert net.layer_named("res3ba_spatial").f == 8
+        assert net.layer_named("res5ba_spatial").f == 2
+
+    def test_spatial_dims_halve_down_the_stages(self):
+        net = r2plus1d()
+        assert net.layer_named("res2aa_spatial").h == 56
+        assert net.layer_named("res5ba_spatial").h == 7
+
+    def test_compute_scale(self):
+        """R(2+1)D-18 at 16x112x112 is ~40 GMACs."""
+        assert 20e9 < r2plus1d().total_maccs < 60e9
+
+
+class TestOnMorph:
+    def test_temporal_layers_schedule_well(self, morph_arch):
+        """The flexible optimizer handles the T-only reuse pattern."""
+        from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+
+        layer = r2plus1d().layer_named("res4aa_temporal")
+        result = LayerOptimizer(morph_arch, OptimizerOptions.fast()).optimize(layer)
+        assert result.best.total_energy_pj > 0
+        assert result.best.performance.utilization > 0.05

@@ -1,0 +1,119 @@
+"""Tests for lowering configurations to hardware state (Section V-E)."""
+
+import pytest
+
+from repro.arch.accelerator import morph, morph_base
+from repro.core.dims import DataType, Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileShape
+from repro.optimizer.schedule import LayerProgram, lower, program_boundary
+from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+
+LAYER = ConvLayer(
+    "sched", h=14, w=14, c=64, f=4, k=64, r=3, s=3, t=3,
+    pad_h=1, pad_w=1, pad_f=1,
+)
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return LayerOptimizer(morph(), OptimizerOptions.fast()).optimize(LAYER).best
+
+
+@pytest.fixture(scope="module")
+def program(evaluation) -> LayerProgram:
+    return lower(evaluation)
+
+
+class TestBoundaryProgram:
+    def test_fsm_walks_every_tile(self):
+        parent = TileShape(w=8, h=8, c=16, k=8, f=4)
+        child = TileShape(w=4, h=2, c=16, k=4, f=2)
+        prog = program_boundary(
+            "b", parent, child, LoopOrder.parse("WHCKF").dims
+        )
+        trips = parent.trip_counts(child)
+        expected = 1
+        for dim in Dim:
+            expected *= trips[dim]
+        assert prog.fsm.total_states == expected
+
+    def test_origins_unique_per_tile(self):
+        """Each FSM state addresses a distinct tile origin."""
+        parent = TileShape(w=8, h=8, c=16, k=8, f=4)
+        child = TileShape(w=4, h=2, c=16, k=4, f=2)
+        prog = program_boundary("b", parent, child, LoopOrder.parse("WHCKF").dims)
+        origins = prog.origins()
+        assert len(origins) == len(set(origins))
+
+    def test_degenerate_loops_removed(self):
+        parent = TileShape(w=8, h=8, c=16, k=8, f=4)
+        child = TileShape(w=8, h=8, c=16, k=4, f=4)  # only K tiled
+        prog = program_boundary("b", parent, child, LoopOrder.parse("WHCKF").dims)
+        assert prog.dims == (Dim.K,)
+        assert prog.fsm.total_states == 2
+
+    def test_innermost_loop_strides_child_extent(self):
+        """Consecutive addresses along the innermost loop step by the
+        child tile's linearised size in that dim."""
+        parent = TileShape(w=4, h=1, c=1, k=1, f=1)
+        child = TileShape(w=2, h=1, c=1, k=1, f=1)
+        prog = program_boundary("b", parent, child, LoopOrder.parse("HCKFW").dims)
+        origins = prog.origins()
+        # W stride in [W,H,C,K,F] row-major linearisation of (4,1,1,1,1)
+        assert origins == [0, 2]
+
+    def test_tile_done_fires_once(self):
+        parent = TileShape(w=8, h=8, c=16, k=8, f=4)
+        child = TileShape(w=4, h=4, c=16, k=8, f=4)
+        prog = program_boundary("b", parent, child, LoopOrder.parse("WHCKF").dims)
+        events = [s.events for s in prog.fsm.states()]
+        assert sum("tile_done" in e for e in events) == 1
+
+
+class TestLayerProgram:
+    def test_bank_assignment_per_flexible_level(self, program, evaluation):
+        arch = evaluation.arch
+        assert len(program.bank_assignments) == arch.num_levels
+        for level, assignment in zip(arch.levels, program.bank_assignments):
+            assert assignment is not None
+            assert sum(assignment.values()) <= level.banks
+
+    def test_bank_assignment_covers_tiles(self, program, evaluation):
+        layer = evaluation.layer
+        arch = evaluation.arch
+        for index, assignment in enumerate(program.bank_assignments):
+            tile = evaluation.dataflow.hierarchy.tiles[index]
+            for data_type in DataType:
+                needed = tile.bytes_of(data_type, layer, arch.precision)
+                granted = assignment[data_type] * arch.levels[index].bank_bytes
+                assert granted >= needed
+
+    def test_static_machine_needs_no_bank_state(self):
+        base_ev = (
+            LayerOptimizer(morph_base(), OptimizerOptions.fast())
+            .optimize(LAYER)
+            .best
+        )
+        base_prog = lower(base_ev)
+        assert all(a is None for a in base_prog.bank_assignments)
+
+    def test_one_program_per_boundary(self, program, evaluation):
+        assert len(program.boundary_programs) == evaluation.arch.num_levels
+
+    def test_fsm_state_count_matches_schedule(self, program, evaluation):
+        """The outer FSM walks exactly the L2-tile schedule."""
+        layer = evaluation.layer
+        tile = evaluation.dataflow.hierarchy.outermost
+        trips = TileShape.full(layer).trip_counts(tile)
+        expected = 1
+        for dim in Dim:
+            expected *= trips[dim]
+        assert program.boundary_programs[0].fsm.total_states == expected
+
+    def test_masks_match_parallelism(self, program, evaluation):
+        arch = evaluation.arch
+        assert program.pe_mask.fanout <= arch.pes_per_cluster
+        assert program.cluster_mask.fanout <= arch.clusters
+        assert program.last_round_mask.fanout <= program.pe_mask.fanout

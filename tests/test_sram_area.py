@@ -1,0 +1,123 @@
+"""Tests for the CACTI-lite SRAM model and the Table IV area model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.area import (
+    arithmetic_area_mm2,
+    control_area_mm2,
+    l0_area_mm2,
+    morph_base_pe_area,
+    morph_pe_area,
+)
+from repro.arch.sram import (
+    banking_area_overhead,
+    sram_area_mm2,
+    sram_leakage_mw,
+    sram_read_pj_per_byte,
+    sram_write_pj_per_byte,
+)
+
+
+class TestSramEnergy:
+    def test_monotone_in_capacity(self):
+        assert sram_read_pj_per_byte(64) > sram_read_pj_per_byte(1)
+
+    def test_write_above_read(self):
+        assert sram_write_pj_per_byte(16) > sram_read_pj_per_byte(16)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sram_read_pj_per_byte(0)
+
+    @given(kb=st.floats(0.25, 2048))
+    def test_energy_positive_and_sane(self, kb):
+        pj = sram_read_pj_per_byte(kb)
+        assert 0 < pj < 20  # sane pJ/byte range for on-chip SRAM
+
+    def test_sublinear_scaling(self):
+        """E ~ sqrt(capacity): quadrupling capacity ~doubles the slope."""
+        e1, e4 = sram_read_pj_per_byte(16), sram_read_pj_per_byte(64)
+        assert e4 < 4 * e1
+
+
+class TestBankingOverhead:
+    def test_paper_calibration_16kb(self):
+        """Table IV: banked 16 kB L0 costs +2.19%."""
+        assert banking_area_overhead(16, 16) == pytest.approx(0.0219, rel=0.01)
+
+    def test_paper_calibration_1mb(self):
+        """Section IV-B1: 1 MB L2 into 16 banks adds 4.9%."""
+        assert banking_area_overhead(1024, 16) == pytest.approx(0.049, rel=0.01)
+
+    def test_monolithic_is_free(self):
+        assert banking_area_overhead(1024, 1) == 0.0
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            banking_area_overhead(16, 0)
+
+    def test_more_banks_more_overhead(self):
+        assert banking_area_overhead(64, 32) > banking_area_overhead(64, 8)
+
+
+class TestSramArea:
+    def test_calibrated_to_paper_l0(self):
+        """Table IV: monolithic 16 kB L0 = 0.041132 mm^2."""
+        assert sram_area_mm2(16, banks=1) == pytest.approx(0.041132, rel=1e-6)
+
+    def test_area_linear_in_capacity(self):
+        assert sram_area_mm2(32, 1) == pytest.approx(2 * sram_area_mm2(16, 1))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sram_area_mm2(0)
+
+    def test_leakage_scales_with_capacity(self):
+        assert sram_leakage_mw(100, 0.006) == pytest.approx(0.6)
+
+
+class TestTable4Components:
+    """Each Table IV row must come out of the structural model within a
+    modest tolerance of the paper's synthesis numbers."""
+
+    def test_l0_row(self):
+        base, flex = morph_base_pe_area(), morph_pe_area()
+        assert base.l0_buffer == pytest.approx(0.041132, rel=0.01)
+        assert flex.l0_buffer == pytest.approx(0.042036, rel=0.01)
+
+    def test_arithmetic_row(self):
+        base, flex = morph_base_pe_area(), morph_pe_area()
+        assert base.arithmetic == pytest.approx(0.00306, rel=0.05)
+        assert flex.arithmetic == pytest.approx(0.00366, rel=0.05)
+
+    def test_control_row(self):
+        base, flex = morph_base_pe_area(), morph_pe_area()
+        assert base.control == pytest.approx(0.00107, rel=0.15)
+        assert flex.control == pytest.approx(0.00182, rel=0.15)
+
+    def test_total_overhead_is_about_five_percent(self):
+        """The headline: flexibility costs ~5% PE area (paper: 4.98%)."""
+        overhead = morph_pe_area().overhead_vs(morph_base_pe_area())["total"]
+        assert 0.035 <= overhead <= 0.065
+
+    def test_control_dominates_relative_increase(self):
+        """Control logic grows the most (paper: +70.6%), but it is tiny."""
+        overheads = morph_pe_area().overhead_vs(morph_base_pe_area())
+        assert overheads["control"] > overheads["arithmetic"] > overheads["l0_buffer"]
+
+    def test_buffer_dominates_absolute_area(self):
+        flex = morph_pe_area()
+        assert flex.l0_buffer > 0.8 * flex.total
+
+    def test_flexible_arithmetic_costs_extra(self):
+        assert arithmetic_area_mm2(8, flexible=True) > arithmetic_area_mm2(
+            8, flexible=False
+        )
+
+    def test_programmable_control_costs_extra(self):
+        assert control_area_mm2(flexible=True) > control_area_mm2(flexible=False)
+
+    def test_banked_l0_costs_extra(self):
+        assert l0_area_mm2(16, banks=16) > l0_area_mm2(16, banks=1)

@@ -1,0 +1,40 @@
+"""Tests for the 32 nm technology constants."""
+
+import pytest
+
+from repro.arch.technology import DEFAULT_TECHNOLOGY, SCALE_45_TO_32, Technology
+
+
+class TestTechnology:
+    def test_dram_energy_is_20_pj_per_bit(self):
+        """Section VI-A: DRAM energy counted at 20 pJ/bit."""
+        assert DEFAULT_TECHNOLOGY.dram_pj_per_bit == 20.0
+        assert DEFAULT_TECHNOLOGY.dram_pj_per_byte == 160.0
+
+    def test_dram_energy_linear(self):
+        assert DEFAULT_TECHNOLOGY.dram_energy_pj(100) == pytest.approx(16000)
+
+    def test_macc_energy_scaled_from_45nm(self):
+        """Horowitz 45 nm 8-bit MACC (~0.3 pJ) scaled to 32 nm."""
+        assert DEFAULT_TECHNOLOGY.macc_pj == pytest.approx(0.3 * SCALE_45_TO_32)
+
+    def test_macc_energy_linear(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.macc_energy_pj(1000) == pytest.approx(1000 * tech.macc_pj)
+
+    def test_dram_dominates_macc(self):
+        """A DRAM byte costs orders of magnitude more than a MACC — the
+        reuse economics underlying the whole paper."""
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.dram_pj_per_byte > 100 * tech.macc_pj
+
+    def test_clock_1ghz(self):
+        assert DEFAULT_TECHNOLOGY.clock_hz == 1e9
+
+    def test_custom_technology(self):
+        tech = Technology(name="test", dram_pj_per_bit=10.0)
+        assert tech.dram_pj_per_byte == 80.0
+
+    def test_leakage_constants_positive(self):
+        assert DEFAULT_TECHNOLOGY.sram_leakage_mw_per_kb > 0
+        assert DEFAULT_TECHNOLOGY.lane_leakage_mw > 0

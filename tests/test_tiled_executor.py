@@ -1,0 +1,228 @@
+"""Functional correctness: the tiled executor against reference conv.
+
+The paper's Section II-E claim — "the result of 3D convolution remains the
+same irrespective of the loop order" — as a machine-checked property, plus
+validation of the halo arithmetic that tiled execution depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import Dataflow
+from repro.core.dims import ALL_DIMS, Dim
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.sim.conv3d_ref import (
+    conv2d_reference,
+    conv3d_naive,
+    conv3d_reference,
+    make_inputs,
+    make_weights,
+)
+from repro.sim.tiled_executor import execute_tiled, iter_tiles
+
+RNG = np.random.default_rng(1234)
+
+
+def random_tensors(layer):
+    return make_inputs(layer, RNG), make_weights(layer, RNG)
+
+
+class TestReferenceConv:
+    def test_vectorised_matches_naive(self):
+        layer = ConvLayer("tiny", h=5, w=5, c=2, f=4, k=3, r=3, s=3, t=2)
+        inputs, weights = random_tensors(layer)
+        np.testing.assert_array_equal(
+            conv3d_reference(layer, inputs, weights),
+            conv3d_naive(layer, inputs, weights),
+        )
+
+    def test_vectorised_matches_naive_with_stride_and_pad(self):
+        layer = ConvLayer(
+            "tiny", h=7, w=6, c=2, f=5, k=2, r=3, s=3, t=3,
+            stride_h=2, stride_w=1, stride_f=2, pad_h=1, pad_w=1, pad_f=1,
+        )
+        inputs, weights = random_tensors(layer)
+        np.testing.assert_array_equal(
+            conv3d_reference(layer, inputs, weights),
+            conv3d_naive(layer, inputs, weights),
+        )
+
+    def test_output_shape(self):
+        layer = ConvLayer("t", h=8, w=9, c=2, f=6, k=4, r=3, s=2, t=3)
+        inputs, weights = random_tensors(layer)
+        out = conv3d_reference(layer, inputs, weights)
+        assert out.shape == (4, layer.out_f, layer.out_h, layer.out_w)
+
+    def test_identity_kernel(self):
+        """A 1x1x1 all-ones single-channel kernel copies the input."""
+        layer = ConvLayer("id", h=4, w=4, c=1, f=3, k=1, r=1, s=1, t=1)
+        inputs, _ = random_tensors(layer)
+        weights = np.ones((1, 1, 1, 1, 1), dtype=np.int64)
+        np.testing.assert_array_equal(
+            conv3d_reference(layer, inputs, weights)[0], inputs[0]
+        )
+
+    def test_conv2d_through_3d_path(self):
+        """Section II-B remark: 2D is the F = T = 1 special case."""
+        layer = ConvLayer("t2", h=6, w=6, c=3, f=1, k=2, r=3, s=3, t=1)
+        inputs, weights = random_tensors(layer)
+        np.testing.assert_array_equal(
+            conv2d_reference(layer, inputs, weights),
+            conv3d_naive(layer, inputs, weights),
+        )
+
+    def test_conv2d_rejects_3d_layer(self):
+        layer = ConvLayer("t3", h=6, w=6, c=1, f=4, k=1, r=3, s=3, t=3)
+        inputs, weights = random_tensors(layer)
+        with pytest.raises(ValueError, match="not a 2D layer"):
+            conv2d_reference(layer, inputs, weights)
+
+    def test_shape_validation(self):
+        layer = ConvLayer("t", h=6, w=6, c=2, f=4, k=2, r=3, s=3, t=3)
+        inputs, weights = random_tensors(layer)
+        with pytest.raises(ValueError, match="inputs shape"):
+            conv3d_reference(layer, inputs[:1], weights)
+        with pytest.raises(ValueError, match="weights shape"):
+            conv3d_reference(layer, inputs, weights[:1])
+
+
+class TestIterTiles:
+    def test_covers_region_once(self):
+        origin = {d: 0 for d in Dim}
+        extent = {Dim.W: 7, Dim.H: 5, Dim.C: 3, Dim.K: 2, Dim.F: 4}
+        tile = TileShape(w=3, h=2, c=3, k=1, f=3)
+        seen = set()
+        for coord in iter_tiles(origin, extent, tile, LoopOrder.parse("WHCKF")):
+            for w in range(coord.origin[Dim.W], coord.origin[Dim.W] + coord.extent[Dim.W]):
+                for k in range(coord.origin[Dim.K], coord.origin[Dim.K] + coord.extent[Dim.K]):
+                    for f in range(coord.origin[Dim.F], coord.origin[Dim.F] + coord.extent[Dim.F]):
+                        point = (w, coord.origin[Dim.H], coord.origin[Dim.C], k, f)
+                        assert point not in seen
+                        seen.add(point)
+        # Full W x K x F coverage for each (H, C) tile origin pair.
+        assert len(seen) == 7 * 2 * 4 * 3 * 1
+
+    def test_innermost_dim_varies_fastest(self):
+        origin = {d: 0 for d in Dim}
+        extent = {Dim.W: 4, Dim.H: 1, Dim.C: 1, Dim.K: 1, Dim.F: 4}
+        tile = TileShape(w=2, h=1, c=1, k=1, f=2)
+        coords = list(iter_tiles(origin, extent, tile, LoopOrder.parse("WHCKF")))
+        # F (innermost) changes first.
+        assert coords[0].origin[Dim.F] == 0
+        assert coords[1].origin[Dim.F] == 2
+        assert coords[1].origin[Dim.W] == 0
+        assert coords[2].origin[Dim.W] == 2
+
+
+class TestTiledExecution:
+    ORDERS = ["WHCKF", "KWHCF", "CFWHK", "FKCWH"]
+
+    @pytest.mark.parametrize("outer", ORDERS)
+    def test_matches_reference_all_orders(self, outer):
+        layer = ConvLayer("t", h=10, w=9, c=4, f=6, k=4, r=3, s=3, t=3)
+        hierarchy = TileHierarchy(
+            layer,
+            (TileShape(w=3, h=4, c=2, k=2, f=2), TileShape(w=3, h=2, c=1, k=2, f=1)),
+        )
+        inputs, weights = random_tensors(layer)
+        dataflow = Dataflow(
+            LoopOrder.parse(outer), LoopOrder.parse("CFWHK"), hierarchy
+        )
+        np.testing.assert_array_equal(
+            execute_tiled(dataflow, inputs, weights),
+            conv3d_reference(layer, inputs, weights),
+        )
+
+    def test_matches_with_padding(self):
+        layer = ConvLayer(
+            "t", h=8, w=8, c=3, f=5, k=2, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        hierarchy = TileHierarchy(layer, (TileShape(w=4, h=3, c=2, k=1, f=2),))
+        inputs, weights = random_tensors(layer)
+        dataflow = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"), hierarchy
+        )
+        np.testing.assert_array_equal(
+            execute_tiled(dataflow, inputs, weights),
+            conv3d_reference(layer, inputs, weights),
+        )
+
+    def test_matches_with_stride(self):
+        layer = ConvLayer(
+            "t", h=11, w=11, c=2, f=7, k=2, r=3, s=3, t=3,
+            stride_h=2, stride_w=2, stride_f=2,
+        )
+        hierarchy = TileHierarchy(layer, (TileShape(w=2, h=3, c=1, k=1, f=2),))
+        inputs, weights = random_tensors(layer)
+        dataflow = Dataflow(
+            LoopOrder.parse("KWHCF"), LoopOrder.parse("CFWHK"), hierarchy
+        )
+        np.testing.assert_array_equal(
+            execute_tiled(dataflow, inputs, weights),
+            conv3d_reference(layer, inputs, weights),
+        )
+
+    def test_partial_depth_execution(self):
+        """Executing only the outer level still covers everything."""
+        layer = ConvLayer("t", h=8, w=8, c=2, f=4, k=2, r=3, s=3, t=1)
+        hierarchy = TileHierarchy(
+            layer,
+            (TileShape(w=4, h=4, c=2, k=2, f=2), TileShape(w=2, h=2, c=1, k=1, f=1)),
+        )
+        inputs, weights = random_tensors(layer)
+        dataflow = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"), hierarchy
+        )
+        np.testing.assert_array_equal(
+            execute_tiled(dataflow, inputs, weights, level=1),
+            conv3d_reference(layer, inputs, weights),
+        )
+
+
+@st.composite
+def executor_case(draw):
+    layer = ConvLayer(
+        "prop",
+        h=draw(st.integers(4, 10)),
+        w=draw(st.integers(4, 10)),
+        c=draw(st.integers(1, 4)),
+        f=draw(st.integers(1, 6)),
+        k=draw(st.integers(1, 4)),
+        r=draw(st.sampled_from([1, 3])),
+        s=draw(st.sampled_from([1, 3])),
+        t=1,
+        pad_h=draw(st.integers(0, 1)),
+        pad_w=draw(st.integers(0, 1)),
+    )
+    tiles = []
+    parent = TileShape.full(layer)
+    for _ in range(draw(st.integers(1, 2))):
+        tile = TileShape.from_mapping(
+            {d: draw(st.integers(1, parent.extent(d))) for d in ALL_DIMS}
+        )
+        tiles.append(tile)
+        parent = tile.clipped(parent)
+    outer = draw(st.permutations(list(ALL_DIMS)))
+    inner = draw(st.permutations(list(ALL_DIMS)))
+    return Dataflow(
+        LoopOrder(tuple(outer)),
+        LoopOrder(tuple(inner)),
+        TileHierarchy(layer, tuple(tiles)),
+    )
+
+
+@given(dataflow=executor_case())
+@settings(max_examples=30)
+def test_tiled_execution_is_loop_order_invariant(dataflow):
+    """Property: any tiling x any orders == the reference convolution."""
+    layer = dataflow.layer
+    inputs, weights = random_tensors(layer)
+    np.testing.assert_array_equal(
+        execute_tiled(dataflow, inputs, weights),
+        conv3d_reference(layer, inputs, weights),
+    )

@@ -1,0 +1,209 @@
+"""Tests for the workload library against published network parameters."""
+
+import pytest
+
+from repro.workloads import (
+    EVALUATED_NETWORKS,
+    FIGURE1_NETWORKS,
+    alexnet,
+    build_network,
+    c3d,
+    i3d,
+    inception,
+    network_names,
+    resnet3d50,
+    resnet50,
+    two_stream,
+)
+
+
+class TestRegistry:
+    def test_all_networks_registered(self):
+        assert set(network_names()) == {
+            "alexnet", "c3d", "i3d", "inception", "r2plus1d", "resnet50",
+            "resnet3d50", "two_stream",
+        }
+
+    def test_build_by_name(self):
+        assert build_network("c3d").name == "C3D"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            build_network("vgg")
+
+    def test_evaluated_set_matches_paper(self):
+        """Section VI-C: C3D, I3D, 3D ResNet-50, 2-Stream, AlexNet."""
+        assert len(EVALUATED_NETWORKS) == 5
+
+    def test_figure1_set(self):
+        assert len(FIGURE1_NETWORKS) == 6
+
+
+class TestC3D:
+    def test_eight_conv_layers(self):
+        """Table III lists layer1 .. layer5b: 8 conv layers."""
+        net = c3d()
+        assert len(net) == 8
+        assert [l.name for l in net] == [
+            "layer1", "layer2", "layer3a", "layer3b",
+            "layer4a", "layer4b", "layer5a", "layer5b",
+        ]
+
+    def test_published_gmacs(self):
+        """C3D is ~38.5 GFLOPs (MACs) on 16x112x112 clips."""
+        assert c3d().total_maccs == pytest.approx(38.5e9, rel=0.02)
+
+    def test_filter_counts(self):
+        ks = [l.k for l in c3d()]
+        assert ks == [64, 128, 256, 256, 512, 512, 512, 512]
+
+    def test_all_3x3x3(self):
+        assert all((l.r, l.s, l.t) == (3, 3, 3) for l in c3d())
+
+    def test_temporal_pooling_schedule(self):
+        """pool1 keeps 16 frames; pools 2-4 halve them (Table III's Ft)."""
+        fs = [l.f for l in c3d()]
+        assert fs == [16, 16, 8, 8, 4, 4, 2, 2]
+
+    def test_spatial_shapes(self):
+        hs = [l.h for l in c3d()]
+        assert hs == [112, 56, 28, 28, 14, 14, 7, 7]
+
+    def test_weight_bytes_sum(self):
+        """C3D conv weights: ~27.7M parameters at 1 byte each."""
+        assert c3d().total_weight_bytes == pytest.approx(27.7e6, rel=0.02)
+
+    def test_fig1_variant(self):
+        big = c3d(input_hw=224)
+        assert big.layers[0].h == 224
+
+
+class TestAlexNet:
+    def test_five_conv_layers(self):
+        assert len(alexnet()) == 5
+
+    def test_published_gmacs(self):
+        """AlexNet convs are ~1.07 GMACs (dense, ungrouped)."""
+        assert alexnet().total_maccs == pytest.approx(1.08e9, rel=0.05)
+
+    def test_conv1_stride4(self):
+        conv1 = alexnet().layer_named("conv1")
+        assert conv1.stride_h == 4 and conv1.out_h == 55
+
+    def test_is_2d(self):
+        net = alexnet()
+        assert not net.is_3d
+        assert all(layer.is_2d for layer in net)
+
+
+class TestI3D:
+    def test_64_frames(self):
+        """Section VI-D: I3D uses 64 frames vs C3D's 16."""
+        assert i3d().input_frames == 64
+
+    def test_published_gmacs(self):
+        """I3D is ~108 GFLOPs on 64-frame 224^2 clips."""
+        assert i3d().total_maccs == pytest.approx(108e9, rel=0.05)
+
+    def test_nine_inception_modules(self):
+        names = {l.name.split("_")[1] for l in i3d() if l.name.startswith("mixed")}
+        assert names == {"3a", "3b", "4a", "4b", "4c", "4d", "4e", "5a", "5b"}
+
+    def test_stem_is_7x7x7_stride2(self):
+        stem = i3d().layers[0]
+        assert (stem.r, stem.t, stem.stride_h, stem.stride_f) == (7, 7, 2, 2)
+
+    def test_temporal_dims_preserved_through_stem_pools(self):
+        """I3D's first two max-pools keep the temporal dimension."""
+        conv2c = i3d().layer_named("conv2c_3x3")
+        assert conv2c.f == 32  # 64 / stem stride 2, untouched by pools
+
+
+class TestResNets:
+    def test_resnet50_conv_count(self):
+        """1 stem + 16 blocks x 3 convs + 4 projections = 53."""
+        assert len(resnet50()) == 53
+
+    def test_resnet50_gmacs(self):
+        assert resnet50().total_maccs == pytest.approx(4.1e9, rel=0.05)
+
+    def test_resnet3d_mirrors_2d_structure(self):
+        assert len(resnet3d50()) == len(resnet50())
+
+    def test_resnet3d_bottleneck_is_inflated(self):
+        layer = resnet3d50().layer_named("res2a_3x3")
+        assert layer.t == 3
+
+    def test_resnet3d_1x1_stay_2d_kernels(self):
+        layer = resnet3d50().layer_named("res2a_1x1a")
+        assert (layer.r, layer.t) == (1, 1)
+
+    def test_resnet3d_frames(self):
+        assert resnet3d50().input_frames == 16
+
+    def test_stage_output_channels(self):
+        net = resnet50()
+        assert net.layer_named("res2a_1x1b").k == 256
+        assert net.layer_named("res5a_1x1b").k == 2048
+
+
+class TestInceptionAndTwoStream:
+    def test_inception_module_arithmetic(self):
+        """Module output channels = 1x1 + 3x3 + 5x5 + pool_proj."""
+        net = inception()
+        layer_3a_next = net.layer_named("inception_3b_1x1")
+        assert layer_3a_next.c == 64 + 128 + 32 + 32  # 3a's outputs
+
+    def test_inception_layer_count(self):
+        # 3 stem convs + 9 modules x 6 convs = 57
+        assert len(inception()) == 57
+
+    def test_two_stream_has_two_towers(self):
+        net = two_stream()
+        spatial = [l for l in net if l.name.startswith("spatial")]
+        temporal = [l for l in net if l.name.startswith("temporal")]
+        assert len(spatial) == len(temporal) == 5
+
+    def test_temporal_stream_flow_stack(self):
+        """Temporal tower reads 2L = 20 stacked optical-flow channels."""
+        conv1 = two_stream().layer_named("temporal_conv1")
+        assert conv1.c == 20
+
+    def test_two_stream_is_2d(self):
+        assert not two_stream().is_3d
+
+
+class TestFigure1Claims:
+    def test_3d_reuse_exceeds_2d(self):
+        """Observation 3: data reuse is higher for 3D CNNs."""
+        reuse_3d = min(c3d().average_reuse, i3d().average_reuse)
+        reuse_2d = max(
+            alexnet().average_reuse,
+            inception().average_reuse,
+            resnet50().average_reuse,
+        )
+        assert reuse_3d > reuse_2d
+
+    def test_3d_footprints_exceed_onchip(self):
+        """Observation 1: early 3D layer working sets >> 1 MB."""
+        net = c3d(input_hw=224, frames=16)
+        assert net.layers[0].input_bytes() > 1024 * 1024
+
+    def test_footprints_vary_across_layers(self):
+        """Observation 2: min/max footprint ratio is large for 3D CNNs."""
+        footprints = [l.footprint_bytes() for l in c3d()]
+        assert max(footprints) / min(footprints) > 3
+
+    def test_shape_chaining(self):
+        """Every layer's input channel count equals the producer's K."""
+        for net in (c3d(), resnet3d50()):
+            for prev, cur in zip(net.layers, net.layers[1:]):
+                if "proj" in cur.name or "proj" in prev.name:
+                    continue  # shortcut branches fork the chain
+                if "1x1a" in cur.name and "1x1b" in prev.name:
+                    continue  # residual add rejoins the trunk
+                assert cur.c == prev.k, (prev.name, cur.name)
+
+    def test_describe_smoke(self):
+        text = c3d().describe()
+        assert "C3D" in text and "layer5b" in text
