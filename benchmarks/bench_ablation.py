@@ -1,6 +1,11 @@
 """Benchmark: flexibility ablation (DESIGN.md's design-choice study)."""
 
+import pytest
+
 from repro.experiments.ablation_flexibility import run_ablation
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_bench_ablation(once):

@@ -5,6 +5,8 @@ tracking performance regressions in the model code itself (standard
 multi-round pytest-benchmark timing, unlike the one-shot figure benches).
 """
 
+import pytest
+
 from repro.arch.accelerator import morph
 from repro.core.access_model import compute_traffic
 from repro.core.dataflow import Dataflow, Parallelism
@@ -12,8 +14,14 @@ from repro.core.evaluate import evaluate
 from repro.core.layer import ConvLayer
 from repro.core.loopnest import LoopOrder
 from repro.core.tiling import TileHierarchy, TileShape
-from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+from repro.optimizer.search import (
+    LayerOptimizer,
+    OptimizerOptions,
+    clear_cache,
+    optimize_network,
+)
 from repro.sim.trace import trace_dataflow
+from repro.workloads import c3d, i3d
 
 LAYER = ConvLayer(
     "c3d2", h=56, w=56, c=64, f=16, k=128, r=3, s=3, t=3,
@@ -59,6 +67,74 @@ def test_bench_layer_optimization(benchmark):
         optimizer.optimize, args=(small,), rounds=3, iterations=1
     )
     assert result.best.total_energy_pj > 0
+
+
+@pytest.mark.slow
+def test_bench_network_sweep_serial_cold(benchmark):
+    """Full C3D sweep with every cache disabled: the engine's baseline.
+
+    Compare against ``test_bench_network_sweep_warm_cache`` for the
+    save-and-recall speedup the paper's Section V describes (target >=3x;
+    in practice orders of magnitude).
+    """
+    network = c3d()
+    result = benchmark.pedantic(
+        optimize_network,
+        args=(network.layers, morph(), OptimizerOptions.fast()),
+        # parallelism pinned so $REPRO_PARALLELISM (set in CI) cannot turn
+        # the serial baseline into a parallel run.
+        kwargs=dict(network_name=network.name, use_cache=False, parallelism=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total_energy_pj > 0
+
+
+@pytest.mark.slow
+def test_bench_network_sweep_warm_cache(benchmark, tmp_path_factory):
+    """C3D sweep recalled from the persistent configuration cache.
+
+    The setup run populates the disk cache; each timed round drops the
+    in-process memo, so what is measured is disk recall + re-evaluation
+    of every layer (one model evaluation each, no search).
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-config-cache")
+    network = c3d()
+    options = OptimizerOptions.fast()
+    cold = optimize_network(
+        network.layers, morph(), options,
+        network_name=network.name, cache_dir=cache_dir,
+    )
+
+    def warm():
+        clear_cache()
+        return optimize_network(
+            network.layers, morph(), options,
+            network_name=network.name, cache_dir=cache_dir,
+        )
+
+    result = benchmark(warm)
+    assert result.total_energy_pj == cold.total_energy_pj
+
+
+@pytest.mark.slow
+def test_bench_network_sweep_dedup_i3d(benchmark):
+    """I3D sweep, in-memory caches only: measures layer deduplication.
+
+    I3D repeats Inception block shapes heavily, so the engine searches
+    far fewer unique layers than the network lists.
+    """
+    network = i3d()
+    clear_cache()
+    result = benchmark.pedantic(
+        optimize_network,
+        args=(network.layers, morph(), OptimizerOptions.fast()),
+        # parallelism pinned: this measures dedup alone, not dedup+workers.
+        kwargs=dict(network_name=network.name, parallelism=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total_energy_pj > 0
 
 
 def test_bench_trace_simulator(benchmark):

@@ -1,6 +1,11 @@
 """Benchmark: regenerate Figure 10 (perf/watt, Morph vs Morph-base)."""
 
+import pytest
+
 from repro.experiments.fig10_perf_watt import run_figure10
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_bench_figure10(once):

@@ -4,7 +4,12 @@ Covers Figures 4a (outer orders / DRAM energy), 4b (L2 allocation) and 4c
 (inner orders / on-chip energy) in one run, as they share the Opt sweep.
 """
 
+import pytest
+
 from repro.experiments.fig4_loop_orders import run_figure4
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_bench_figure4(once):

@@ -6,7 +6,12 @@ compute split.  The run optimises every layer of every network on every
 machine (the most expensive benchmark in the suite).
 """
 
+import pytest
+
 from repro.experiments.fig9_energy import run_figure9
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_bench_figure9(once):

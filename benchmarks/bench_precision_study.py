@@ -1,6 +1,11 @@
 """Benchmark: precision-sensitivity extension study on C3D."""
 
+import pytest
+
 from repro.experiments.precision_study import run_precision_study
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_bench_precision_study(once):

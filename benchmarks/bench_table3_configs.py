@@ -1,6 +1,11 @@
 """Benchmark: regenerate Table III (per-layer C3D configurations)."""
 
+import pytest
+
 from repro.experiments.table3_configs import run_table3
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_bench_table3(once):

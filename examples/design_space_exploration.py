@@ -6,10 +6,20 @@ width, re-optimising the dataflow for each machine (hardware/software
 codesign, as the paper argues, must happen jointly), and reports the
 energy/area Pareto candidates for I3D's heaviest layers.
 
-Run:  python examples/design_space_exploration.py
+The sweep runs through the optimizer engine: unique layer shapes are
+searched once per machine variant, searches fan out across worker
+processes, and each variant's chosen configurations persist under
+``--cache-dir`` (default ``./.repro-cache``) so a rerun recalls every
+configuration instead of re-searching (paper Section V).
+
+Run:  python examples/design_space_exploration.py [--parallelism N]
+      [--cache-dir DIR | --no-disk-cache]
 """
 
-from repro import OptimizerOptions, i3d, morph, optimize_network
+import argparse
+import os
+
+from repro import OptimizerEngine, OptimizerOptions, i3d, morph
 from repro.arch.sram import sram_area_mm2
 from repro.arch.area import morph_pe_area
 
@@ -32,6 +42,21 @@ def chip_area_mm2(arch) -> float:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--parallelism", type=int, default=os.cpu_count(),
+        help="worker processes per variant sweep (default: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="directory for the persistent configuration cache",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="skip the on-disk cache (still dedups within the run)",
+    )
+    args = parser.parse_args()
+
     # The five most compute-heavy I3D layers stand in for the network: a
     # design sized for them is sized for the network's energy profile.
     network = i3d()
@@ -42,14 +67,21 @@ def main() -> None:
           f"{sum(l.maccs for l in heavy) / 1e9:.1f} GMACs\n")
 
     options = OptimizerOptions.fast()
+    # False (not None) so --no-disk-cache wins over $REPRO_CACHE_DIR.
+    cache_dir = False if args.no_disk_cache else args.cache_dir
     rows = []
+    stats = []
     for arch in machine_variants():
-        result = optimize_network(
-            heavy, arch, options,
+        engine = OptimizerEngine(
+            arch, options, parallelism=args.parallelism, cache_dir=cache_dir
+        )
+        result = engine.optimize_network(
+            heavy,
             network_name=f"i3d-top5@{arch.levels[0].capacity_kb:.0f}kB"
             f"/Vw{arch.vector_width}",
         )
         rows.append((arch, result, chip_area_mm2(arch)))
+        stats.append(engine.stats)
 
     print(f"{'L2 kB':>6s} {'Vw':>3s} {'energy mJ':>10s} {'Mcycles':>9s} "
           f"{'area mm^2':>10s} {'GMACs/J':>9s}")
@@ -66,6 +98,15 @@ def main() -> None:
             f"{result.perf_per_watt / 1e9:9.0f}"
             f"{marker}"
         )
+
+    searched = sum(s.searched for s in stats)
+    recalled = sum(s.memo_hits + s.disk_hits + s.dedup_hits for s in stats)
+    print(f"\nEngine: {searched} layer searches run, {recalled} recalled "
+          f"from caches/dedup.")
+    if cache_dir:
+        print(f"Rerun to recall every configuration from {cache_dir}.")
+    else:
+        print("Disk cache disabled: a rerun repeats the full search.")
 
     print("\nLarger L2s buy little once the optimizer pins a data type "
           "on-chip; wider vectors amortise L0 reads but idle on narrow-K "

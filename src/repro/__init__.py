@@ -32,10 +32,17 @@ from repro.core.evaluate import Evaluation, evaluate
 from repro.core.layer import ConvLayer
 from repro.core.loopnest import LoopOrder
 from repro.core.tiling import Precision, TileHierarchy, TileShape
+from repro.optimizer.engine import (
+    EngineStats,
+    OptimizerEngine,
+    optimize_layer,
+    set_engine_defaults,
+)
 from repro.optimizer.search import (
     LayerOptimizer,
     NetworkResult,
     OptimizerOptions,
+    clear_cache,
     optimize_network,
 )
 from repro.workloads import (
@@ -58,10 +65,12 @@ __all__ = [
     "Dataflow",
     "DataType",
     "Dim",
+    "EngineStats",
     "Evaluation",
     "LayerOptimizer",
     "LoopOrder",
     "NetworkResult",
+    "OptimizerEngine",
     "OptimizerOptions",
     "Parallelism",
     "Precision",
@@ -71,6 +80,7 @@ __all__ = [
     "alexnet",
     "build_network",
     "c3d",
+    "clear_cache",
     "compute_traffic",
     "evaluate",
     "eyeriss_like",
@@ -79,8 +89,10 @@ __all__ = [
     "morph",
     "morph_base",
     "network_names",
+    "optimize_layer",
     "optimize_network",
     "resnet3d50",
     "resnet50",
+    "set_engine_defaults",
     "two_stream",
 ]

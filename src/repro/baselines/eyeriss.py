@@ -25,10 +25,8 @@ from repro.arch.accelerator import AcceleratorConfig, eyeriss_like
 from repro.core.dims import DataType
 from repro.core.evaluate import Evaluation
 from repro.core.layer import ConvLayer
-from repro.optimizer.search import (
-    LayerOptimizer,
-    OptimizerOptions,
-)
+from repro.optimizer.engine import optimize_layer
+from repro.optimizer.search import OptimizerOptions
 from repro.workloads.networks import Network
 
 
@@ -97,8 +95,9 @@ def evaluate_layer_on_eyeriss(
     arch = arch or eyeriss_like()
     options = options or OptimizerOptions()
     tap_layer = layer.as_2d_frame()
-    optimizer = LayerOptimizer(arch, options)
-    tap_result = optimizer.optimize(tap_layer)
+    # The engine dedups identical 2D frame shapes across a network's
+    # layers and recalls earlier tap searches from its caches.
+    tap_result = optimize_layer(tap_layer, arch, options)
     tap_ev = tap_result.best
 
     taps = tap_convolutions(layer)
@@ -215,14 +214,24 @@ class EyerissNetworkResult:
 _EYERISS_CACHE: dict[tuple, EyerissNetworkResult] = {}
 
 
+def clear_cache() -> None:
+    """Drop the memoised Eyeriss network evaluations."""
+    _EYERISS_CACHE.clear()
+
+
 def evaluate_network_on_eyeriss(
     network: Network,
     options: OptimizerOptions | None = None,
 ) -> EyerissNetworkResult:
     options = options or OptimizerOptions()
-    key = (network.name, options, tuple(network.layers))
+    # Content-keyed (layers + options): the same layer tuple under two
+    # network names shares one entry, mirroring the optimizer engine.
+    key = (options, tuple(network.layers))
     if key in _EYERISS_CACHE:
-        return _EYERISS_CACHE[key]
+        cached = _EYERISS_CACHE[key]
+        if cached.network_name == network.name:
+            return cached
+        return dataclasses.replace(cached, network_name=network.name)
     arch = eyeriss_like()
     results = tuple(
         evaluate_layer_on_eyeriss(layer, options, arch) for layer in network.layers

@@ -349,16 +349,32 @@ class AluTraffic:
         return self.psum_write_bytes
 
 
+def alu_read_bytes(
+    maccs: int, vector_width: int, precision: Precision
+) -> tuple[int, int]:
+    """Unconditional ALU-side (input, weight) L0 read bytes for a layer.
+
+    One input byte feeds all ``Vw`` lanes per vector round; each lane
+    reads its own weight per MAC (Section IV-A2).  These depend only on
+    the MAC count, so the optimizer's lower bound shares this formula
+    with :func:`compute_alu_traffic`.
+    """
+    if vector_width < 1:
+        raise ValueError("vector width must be >= 1")
+    input_reads = -(-maccs // vector_width) * precision.activation_bytes
+    weight_reads = maccs * precision.weight_bytes
+    return input_reads, weight_reads
+
+
 def compute_alu_traffic(
     report: TrafficReport, vector_width: int, precision: Precision | None = None
 ) -> AluTraffic:
     """ALU-side L0 accesses for a traffic report (see :class:`AluTraffic`)."""
-    if vector_width < 1:
-        raise ValueError("vector width must be >= 1")
     precision = precision or report.precision
     innermost = report.boundaries[-1].of(DataType.PSUMS)
-    input_reads = -(-report.maccs // vector_width) * precision.activation_bytes
-    weight_reads = report.maccs * precision.weight_bytes
+    input_reads, weight_reads = alu_read_bytes(
+        report.maccs, vector_width, precision
+    )
     return AluTraffic(
         input_read_bytes=input_reads,
         weight_read_bytes=weight_reads,

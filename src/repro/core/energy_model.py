@@ -120,6 +120,24 @@ def _level_replications(
     return replications
 
 
+def static_pj_per_cycle(arch: AcceleratorConfig) -> float:
+    """Leakage + NoC static power per cycle (1 mW at 1 GHz = 1 pJ/cycle).
+
+    Shared by :func:`compute_energy` and the optimizer's objective lower
+    bound (:func:`repro.optimizer.search.layer_cost_floors`) so the prune
+    bound can never drift from the model it bounds.
+    """
+    tech = arch.technology
+    leak_mw = sum(
+        sram_leakage_mw(
+            level.capacity_kb * level.instances, tech.sram_leakage_mw_per_kb
+        )
+        for level in arch.levels
+    )
+    leak_mw += arch.peak_maccs_per_cycle * tech.lane_leakage_mw
+    return leak_mw + arch.noc.total_wire_bits() * tech.noc_static_pj_per_bit_cycle
+
+
 def compute_energy(
     traffic: TrafficReport,
     arch: AcceleratorConfig,
@@ -199,16 +217,8 @@ def compute_energy(
     compute_pj = tech.macc_energy_pj(traffic.maccs)
 
     # Static energy: SRAM leakage + PE leakage + NoC differential
-    # signalling, all proportional to runtime (1 mW at 1 GHz = 1 pJ/cycle).
-    leak_mw = sum(
-        sram_leakage_mw(
-            level.capacity_kb * level.instances, tech.sram_leakage_mw_per_kb
-        )
-        for level in arch.levels
-    )
-    leak_mw += arch.peak_maccs_per_cycle * tech.lane_leakage_mw
-    noc_static_pj = arch.noc.total_wire_bits() * tech.noc_static_pj_per_bit_cycle
-    static_pj = (leak_mw + noc_static_pj) * performance.cycles
+    # signalling, all proportional to runtime.
+    static_pj = static_pj_per_cycle(arch) * performance.cycles
 
     return EnergyBreakdown(
         dram_pj=dram_pj,

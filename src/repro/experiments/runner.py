@@ -4,6 +4,16 @@ Usage::
 
     python -m repro.experiments.runner --all
     python -m repro.experiments.runner fig9 table3 --thorough
+    python -m repro.experiments.runner --all --parallelism 8 --cache-dir ~/.cache/repro
+
+``--parallelism`` fans unique-layer searches across worker processes and
+``--cache-dir`` persists each search's chosen configuration on disk, so a
+rerun recalls every configuration instead of re-searching (paper
+Section V: the analysis runs once per CNN and is then saved and
+recalled).  Both set the process-wide engine defaults
+(:func:`repro.optimizer.engine.set_engine_defaults`), which every
+experiment's ``optimize_network`` / ``optimize_layer`` call picks up;
+``--no-cache`` disables memoisation entirely for timing cold runs.
 """
 
 from __future__ import annotations
@@ -12,6 +22,8 @@ import argparse
 import sys
 import time
 from typing import Callable
+
+from repro.optimizer.engine import set_engine_defaults
 
 from repro.experiments import (
     ablation_flexibility,
@@ -53,7 +65,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="full search-space sweep (slow; default uses the fast preset)",
     )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for unique-layer searches (default: "
+        "$REPRO_PARALLELISM or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist/recall per-layer configurations under DIR (default: "
+        "$REPRO_CACHE_DIR or no disk cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable all optimizer caching (cold-run timing)",
+    )
     args = parser.parse_args(argv)
+    set_engine_defaults(
+        parallelism=args.parallelism,
+        cache_dir=args.cache_dir,
+        use_cache=False if args.no_cache else None,
+    )
 
     chosen = list(args.experiments or [])
     unknown = [name for name in chosen if name not in EXPERIMENTS and name != "all"]

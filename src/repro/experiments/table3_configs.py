@@ -15,7 +15,8 @@ from repro.arch.accelerator import morph
 from repro.core.dims import Dim
 from repro.core.tiling import input_extent
 from repro.experiments.common import default_options, format_table
-from repro.optimizer.search import LayerOptimizer, OptimizerOptions
+from repro.optimizer.engine import optimize_layer
+from repro.optimizer.search import OptimizerOptions
 from repro.workloads import c3d
 
 
@@ -59,12 +60,11 @@ def run_table3(
 ) -> Table3Result:
     options = options or default_options(fast)
     arch = morph()
-    optimizer = LayerOptimizer(arch, options)
     rows = []
     for layer in c3d():
         if layers is not None and layer.name not in layers:
             continue
-        ev = optimizer.optimize(layer).best
+        ev = optimize_layer(layer, arch, options).best
         tile = ev.dataflow.hierarchy.outermost
         rows.append(
             Table3Row(

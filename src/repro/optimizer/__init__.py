@@ -4,4 +4,23 @@ Enumerates per-layer configurations (loop orders x tile sizes x
 parallelism), allocates sub-tiles with the corner/f_reuse heuristic,
 evaluates each candidate with the analytic models, and lowers the winner
 to hardware programming state (FSM programs, bank assignments, NoC masks).
+
+Module map:
+
+* :mod:`~repro.optimizer.search` — the per-layer search
+  (:class:`LayerOptimizer`) with its objective lower-bound early-prune
+  fast path, plus :func:`optimize_network`.
+* :mod:`~repro.optimizer.engine` — the scaling layer every network sweep
+  runs through: content-keyed deduplication of identical layer shapes,
+  process-pool fan-out of unique searches, and the persistent on-disk
+  configuration cache (paper Section V's "saved and recalled"
+  configuration files).  Knobs: ``use_cache``, ``parallelism``,
+  ``cache_dir`` on :func:`optimize_network` / :func:`optimize_layer`,
+  process-wide defaults via :func:`set_engine_defaults` or the
+  ``REPRO_PARALLELISM`` / ``REPRO_CACHE_DIR`` environment variables.
+* :mod:`~repro.optimizer.config_store` — the JSON codec for whole-network
+  configuration files and the engine's per-layer cache records.
+* :mod:`~repro.optimizer.allocation` / :mod:`~repro.optimizer.space` —
+  sub-tile allocation and search-space discretisation.
+* :mod:`~repro.optimizer.schedule` — lowering to hardware state.
 """

@@ -34,14 +34,26 @@ def _tile_from_json(data: dict) -> TileShape:
     return TileShape(**data)
 
 
-def _layer_signature(layer: ConvLayer) -> dict:
-    return {
-        "name": layer.name,
+def layer_signature(layer: ConvLayer, *, include_name: bool = True) -> dict:
+    """JSON-able identity of a layer's shape (optionally with its name).
+
+    The network config files keep the name so recall can report which
+    layer mismatched; the engine's dedup/disk keys drop it so identical
+    shapes under different names share one search.
+    """
+    signature = {
         "h": layer.h, "w": layer.w, "c": layer.c, "f": layer.f,
         "k": layer.k, "r": layer.r, "s": layer.s, "t": layer.t,
         "stride": [layer.stride_h, layer.stride_w, layer.stride_f],
         "pad": [layer.pad_h, layer.pad_w, layer.pad_f],
     }
+    if include_name:
+        signature = {"name": layer.name, **signature}
+    return signature
+
+
+def _layer_signature(layer: ConvLayer) -> dict:
+    return layer_signature(layer)
 
 
 def dataflow_to_json(dataflow: Dataflow) -> dict:

@@ -1,0 +1,511 @@
+"""Parallel, deduplicated, persistent per-layer search engine.
+
+The paper stresses that the per-layer configuration search "need only be
+performed once per CNN.  After best-fit parameters are found once, a
+configuration file can be saved and recalled instead of re-running the
+analysis" (Section V).  This module is the subsystem that makes the
+experiment harness behave that way at scale:
+
+* **Deduplication** — layers are keyed by *search signature* (layer shape
+  without its name + full accelerator description + optimizer options).
+  Each unique signature is searched once; the winning configuration is
+  fanned back out to every occurrence, re-evaluated under the occurrence's
+  own layer name so every :class:`~repro.optimizer.search.LayerResult`
+  carries correct metadata.  Modern video backbones repeat the same conv
+  shape dozens of times, so this alone collapses most of a network sweep.
+* **Parallel fan-out** — unique-layer searches run across a
+  ``concurrent.futures.ProcessPoolExecutor`` when ``parallelism > 1``,
+  with a ``parallelism == 1`` in-process fallback.  Results are collected
+  with ``Executor.map`` in submission order, so the outcome is
+  deterministic and identical to the serial path, layer by layer.
+* **Persistent disk cache** — when a cache directory is configured, each
+  unique search's chosen configuration is written as a versioned JSON
+  record (via :mod:`repro.optimizer.config_store`'s dataflow codec) keyed
+  by the sha256 of its search signature.  A later run — any process —
+  recalls the configuration and re-evaluates it (one model evaluation
+  instead of a full search), exactly the paper's save-and-recall flow.
+  Records whose embedded signature does not match (hash collision, older
+  format, edited file) are treated as misses and rewritten.
+
+API
+---
+:class:`OptimizerEngine` is the stateful front end::
+
+    engine = OptimizerEngine(arch, options, parallelism=8, cache_dir="~/.cache/repro")
+    result = engine.optimize_network(network.layers, network_name=network.name)
+    print(engine.stats)          # dedup / memo / disk hit counters
+
+:func:`optimize_layer` is the convenience single-layer path used by the
+experiment modules (Table 3, Figure 4, the Eyeriss baseline), sharing the
+same caches.  :func:`repro.optimizer.search.optimize_network` delegates
+here, so every experiment, benchmark and example goes through the engine.
+
+How experiments opt in/out
+--------------------------
+``optimize_network`` / ``optimize_layer`` accept ``use_cache``,
+``parallelism`` and ``cache_dir`` keywords.  Leaving ``parallelism`` /
+``cache_dir`` as ``None`` falls back to process-wide defaults, settable
+with :func:`set_engine_defaults` (the experiment runner's
+``--parallelism`` / ``--cache-dir`` / ``--no-cache`` flags do this) or the
+``REPRO_PARALLELISM`` / ``REPRO_CACHE_DIR`` environment variables; the
+built-in defaults are serial, in-memory-only caching.  Passing
+``cache_dir=False`` disables the disk cache even when a default is
+configured (``None`` merely defers to the defaults).
+
+Cache location and versioning
+-----------------------------
+Disk records live flat under ``cache_dir`` as ``<sha256>.json`` and carry
+``format_version`` (:data:`CACHE_FORMAT_VERSION`) plus the full signature
+they were computed from.  Bump the version whenever the analytic models or
+the record layout change meaning; stale records then invalidate
+automatically on recall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.evaluate import CapacityError, evaluate
+from repro.core.layer import ConvLayer
+from repro.optimizer.config_store import (
+    dataflow_from_json,
+    dataflow_to_json,
+    layer_signature,
+)
+from repro.optimizer.search import (
+    LayerOptimizer,
+    LayerResult,
+    NetworkResult,
+    OptimizerOptions,
+)
+
+#: Version of the on-disk record layout *and* of what a signature means.
+#: Bump when the analytic models, the search, or the record shape change.
+CACHE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Process-wide defaults (runner CLI flags / environment variables)
+# ----------------------------------------------------------------------
+_DEFAULTS: dict = {"parallelism": None, "cache_dir": None, "use_cache": None}
+
+#: Sentinel distinguishing "leave this knob untouched" from an explicit
+#: ``None`` ("clear it back to the environment-derived behaviour").
+_UNSET: object = object()
+
+
+def set_engine_defaults(
+    *,
+    parallelism=_UNSET,
+    cache_dir=_UNSET,
+    use_cache=_UNSET,
+) -> None:
+    """Set process-wide fallbacks for engine knobs left as ``None``.
+
+    Omitting a knob leaves its current default untouched; passing ``None``
+    clears it back to the environment-derived behaviour (so repeated CLI
+    invocations in one process never inherit a stale default).
+    :func:`reset_engine_defaults` clears everything at once.
+    """
+    if parallelism is not _UNSET:
+        _DEFAULTS["parallelism"] = parallelism
+    if cache_dir is not _UNSET:
+        _DEFAULTS["cache_dir"] = None if cache_dir is None else Path(cache_dir)
+    if use_cache is not _UNSET:
+        _DEFAULTS["use_cache"] = use_cache
+
+
+def reset_engine_defaults() -> None:
+    _DEFAULTS.update(parallelism=None, cache_dir=None, use_cache=None)
+
+
+def default_parallelism() -> int:
+    if _DEFAULTS["parallelism"] is not None:
+        return _DEFAULTS["parallelism"]
+    env = os.environ.get("REPRO_PARALLELISM")
+    if not env:
+        return 1
+    try:
+        return max(1, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PARALLELISM must be an integer, got {env!r}"
+        ) from None
+
+
+def default_cache_dir() -> Path | None:
+    if _DEFAULTS["cache_dir"] is not None:
+        return _DEFAULTS["cache_dir"]
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else None
+
+
+def default_use_cache() -> bool:
+    return True if _DEFAULTS["use_cache"] is None else _DEFAULTS["use_cache"]
+
+
+# ----------------------------------------------------------------------
+# Search signatures
+# ----------------------------------------------------------------------
+def search_signature(
+    layer: ConvLayer, arch: AcceleratorConfig, options: OptimizerOptions
+) -> dict:
+    """Content identity of one search: shape + machine + search knobs.
+
+    The layer's *name* is deliberately excluded — two occurrences of the
+    same conv shape are the same search.  The accelerator and options are
+    captured through their full dataclass ``repr``: every field that can
+    change the search outcome (buffer sizes, partition policies, NoC,
+    technology constants, precision, pinned dataflows, effort knobs) is
+    part of the identity, unlike a bare ``arch.name``.
+    """
+    return {
+        "format_version": CACHE_FORMAT_VERSION,
+        "layer": layer_signature(layer, include_name=False),
+        "arch": repr(arch),
+        "options": repr(options),
+    }
+
+
+def signature_key(signature: dict) -> str:
+    """Stable sha256 hex key of a search signature (the cache filename)."""
+    canonical = json.dumps(signature, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Persistent disk cache
+# ----------------------------------------------------------------------
+class DiskConfigCache:
+    """Versioned per-layer configuration records under one directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory).expanduser()
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"cache_dir {str(self.directory)!r} exists and is not a "
+                "directory"
+            )
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def contains(self, signature: dict) -> bool:
+        return self._path(signature_key(signature)).exists()
+
+    def load(
+        self,
+        signature: dict,
+        layer: ConvLayer,
+        arch: AcceleratorConfig,
+        options: OptimizerOptions,
+    ) -> LayerResult | None:
+        """Recall a configuration and re-evaluate it (no search).
+
+        Returns ``None`` on any miss: absent file, unreadable JSON, format
+        or signature mismatch (stale record), or a configuration the
+        current models reject.
+        """
+        path = self._path(signature_key(signature))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("format_version") != CACHE_FORMAT_VERSION:
+            return None
+        if payload.get("signature") != signature:
+            return None
+        try:
+            dataflow = dataflow_from_json(layer, payload["dataflow"])
+            best = evaluate(dataflow, arch)
+        except (KeyError, TypeError, ValueError, CapacityError):
+            # Malformed record fields count as a miss, like unreadable JSON.
+            return None
+        return LayerResult(
+            layer=layer,
+            best=best,
+            evaluated=int(payload.get("evaluated", 0)),
+            objective=options.objective,
+            pruned=int(payload.get("pruned", 0)),
+        )
+
+    def store(self, signature: dict, result: LayerResult) -> Path | None:
+        """Atomically write one search's winning configuration.
+
+        The cache is an optimisation, never a correctness requirement: an
+        I/O failure (directory vanished, permissions, disk full) returns
+        ``None`` instead of killing a sweep whose search work is done.
+        """
+        path = self._path(signature_key(signature))
+        payload = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "signature": signature,
+            "dataflow": dataflow_to_json(result.best.dataflow),
+            "evaluated": result.evaluated,
+            "pruned": result.pruned,
+            "objective": result.objective,
+            "expected_score": result.score,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, indent=2))
+            # Atomic rename: concurrent engines never see torn files.
+            os.replace(tmp, path)
+        except OSError:
+            return None
+        return path
+
+
+# ----------------------------------------------------------------------
+# In-process memoisation (shared across engines)
+# ----------------------------------------------------------------------
+_LAYER_MEMO: dict[str, LayerResult] = {}
+#: Content key (layers + arch + options) -> NetworkResult.  The network
+#: *name* is not part of the key: the same layer tuple under two names
+#: (e.g. two-stream reusing a backbone) is one entry.
+_NETWORK_MEMO: dict[tuple, NetworkResult] = {}
+
+
+def clear_memory_caches() -> None:
+    """Drop the in-process layer and network memos (disk cache untouched)."""
+    _LAYER_MEMO.clear()
+    _NETWORK_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _search_one(
+    payload: tuple[ConvLayer, AcceleratorConfig, OptimizerOptions],
+) -> LayerResult:
+    """Worker: one full per-layer search (module-level for pickling)."""
+    layer, arch, options = payload
+    return LayerOptimizer(arch, options).optimize(layer)
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Where each requested layer's result came from."""
+
+    requested: int = 0  #: layer occurrences asked for
+    unique: int = 0  #: distinct search signatures among them
+    dedup_hits: int = 0  #: occurrences served by fan-out from a duplicate
+    memo_hits: int = 0  #: unique signatures served by the in-process memo
+    disk_hits: int = 0  #: unique signatures recalled from the disk cache
+    disk_misses: int = 0  #: disk lookups that fell through to a search
+    searched: int = 0  #: full searches actually run
+    network_hits: int = 0  #: whole networks served by the network memo
+
+    def describe(self) -> str:
+        text = (
+            f"{self.requested} layers -> {self.unique} unique "
+            f"(dedup {self.dedup_hits}), memo {self.memo_hits}, "
+            f"disk {self.disk_hits}/{self.disk_hits + self.disk_misses}, "
+            f"searched {self.searched}"
+        )
+        if self.network_hits:
+            text += f", whole-network hits {self.network_hits}"
+        return text
+
+
+class OptimizerEngine:
+    """Deduplicating, parallel, cache-backed per-layer optimizer.
+
+    One engine binds an accelerator and an options set; its caches (the
+    in-process memo and the optional disk cache) are shared process-wide,
+    so short-lived engines — one per :func:`optimize_network` call — still
+    recall earlier results.
+    """
+
+    def __init__(
+        self,
+        arch: AcceleratorConfig,
+        options: OptimizerOptions | None = None,
+        *,
+        parallelism: int | None = None,
+        cache_dir: str | Path | bool | None = None,
+        use_cache: bool | None = None,
+    ) -> None:
+        self.arch = arch
+        self.options = options or OptimizerOptions()
+        self.parallelism = (
+            default_parallelism() if parallelism is None else max(1, parallelism)
+        )
+        self.use_cache = default_use_cache() if use_cache is None else use_cache
+        # cache_dir: None defers to set_engine_defaults()/$REPRO_CACHE_DIR;
+        # False disables the disk cache even when a default is configured.
+        if cache_dir is False:
+            directory = None
+        elif cache_dir is None:
+            directory = default_cache_dir()
+        else:
+            directory = Path(cache_dir)
+        self.disk = (
+            DiskConfigCache(directory) if (directory and self.use_cache) else None
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def optimize_layers(
+        self, layers: Iterable[ConvLayer]
+    ) -> tuple[LayerResult, ...]:
+        """Optimize every layer; unique shapes searched once, in order."""
+        layers = tuple(layers)
+        keyed: list[tuple[ConvLayer, str]] = []
+        signatures: dict[str, dict] = {}
+        representatives: dict[str, ConvLayer] = {}
+        for layer in layers:
+            signature = search_signature(layer, self.arch, self.options)
+            key = signature_key(signature)
+            keyed.append((layer, key))
+            if key not in signatures:
+                signatures[key] = signature
+            else:
+                self.stats.dedup_hits += 1
+            representatives.setdefault(key, layer)
+        self.stats.requested += len(layers)
+        self.stats.unique += len(signatures)
+
+        resolved: dict[str, LayerResult] = {}
+        pending: list[str] = []
+        for key, signature in signatures.items():
+            if self.use_cache and key in _LAYER_MEMO:
+                resolved[key] = _LAYER_MEMO[key]
+                self.stats.memo_hits += 1
+                if self.disk is not None and not self.disk.contains(signature):
+                    # Write-through: a warm memo still populates a cache
+                    # directory configured after the original search.
+                    self.disk.store(signature, resolved[key])
+                continue
+            if self.disk is not None:
+                recalled = self.disk.load(
+                    signature, representatives[key], self.arch, self.options
+                )
+                if recalled is not None:
+                    resolved[key] = recalled
+                    _LAYER_MEMO[key] = recalled
+                    self.stats.disk_hits += 1
+                    continue
+                self.stats.disk_misses += 1
+            pending.append(key)
+
+        for key, result in zip(pending, self._search(pending, representatives)):
+            resolved[key] = result
+            self.stats.searched += 1
+            if self.use_cache:
+                _LAYER_MEMO[key] = result
+            if self.disk is not None:
+                self.disk.store(signatures[key], result)
+
+        return tuple(
+            _rebind(resolved[key], layer, self.arch) for layer, key in keyed
+        )
+
+    def _search(
+        self, pending: Sequence[str], representatives: dict[str, ConvLayer]
+    ) -> list[LayerResult]:
+        """Run the outstanding searches, serially or across processes."""
+        payloads = [
+            (representatives[key], self.arch, self.options) for key in pending
+        ]
+        if self.parallelism <= 1 or len(payloads) <= 1:
+            return [_search_one(payload) for payload in payloads]
+        workers = min(self.parallelism, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves submission order: deterministic,
+            # layer-for-layer identical to the serial path.
+            return list(pool.map(_search_one, payloads))
+
+    # ------------------------------------------------------------------
+    def optimize_network(
+        self,
+        layers: Iterable[ConvLayer],
+        *,
+        network_name: str = "network",
+    ) -> NetworkResult:
+        """Network sweep with a content-keyed whole-network memo on top."""
+        layers = tuple(layers)
+        memo_key = (repr(self.arch), self.options, layers)
+        if self.use_cache and memo_key in _NETWORK_MEMO:
+            cached = _NETWORK_MEMO[memo_key]
+            self.stats.requested += len(layers)
+            self.stats.network_hits += 1
+            self._write_through(cached)
+            if cached.network_name == network_name:
+                return cached
+            return dataclasses.replace(cached, network_name=network_name)
+        results = self.optimize_layers(layers)
+        outcome = NetworkResult(
+            network_name=network_name, arch_name=self.arch.name, layers=results
+        )
+        if self.use_cache:
+            _NETWORK_MEMO[memo_key] = outcome
+        return outcome
+
+    def _write_through(self, cached: NetworkResult) -> None:
+        """Backfill the disk cache from a whole-network memo hit.
+
+        Mirrors the layer-level write-through: a cache directory
+        configured *after* the original search still ends up populated.
+        """
+        if self.disk is None:
+            return
+        seen: set[str] = set()
+        for layer_result in cached.layers:
+            signature = search_signature(
+                layer_result.layer, self.arch, self.options
+            )
+            key = signature_key(signature)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not self.disk.contains(signature):
+                self.disk.store(signature, layer_result)
+
+
+def _rebind(
+    result: LayerResult, layer: ConvLayer, arch: AcceleratorConfig
+) -> LayerResult:
+    """Fan a shared search result out to one occurrence of the shape.
+
+    When the occurrence *is* the searched layer the result passes through
+    untouched; otherwise the winning configuration is re-evaluated under
+    the occurrence's own layer (same shape, different name), so every
+    evaluation in a :class:`NetworkResult` names the layer it belongs to.
+    One model evaluation — not a search.
+    """
+    if result.layer == layer:
+        return result
+    dataflow = result.best.dataflow
+    rebound = dataclasses.replace(
+        dataflow, hierarchy=dataclasses.replace(dataflow.hierarchy, layer=layer)
+    )
+    return dataclasses.replace(result, layer=layer, best=evaluate(rebound, arch))
+
+
+def optimize_layer(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    options: OptimizerOptions | None = None,
+    *,
+    use_cache: bool | None = None,
+    parallelism: int | None = None,
+    cache_dir: str | Path | bool | None = None,
+) -> LayerResult:
+    """Single-layer search through the engine's shared caches."""
+    engine = OptimizerEngine(
+        arch,
+        options,
+        parallelism=parallelism,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+    return engine.optimize_layers((layer,))[0]

@@ -18,8 +18,9 @@ import dataclasses
 from typing import Callable, Iterable
 
 from repro.arch.accelerator import AcceleratorConfig
+from repro.core.access_model import boundary_fill_profile
 from repro.core.dataflow import Dataflow, Parallelism
-from repro.core.dims import Dim
+from repro.core.dims import DataType, Dim
 from repro.core.evaluate import CapacityError, Evaluation, evaluate
 from repro.core.layer import ConvLayer
 from repro.core.loopnest import LoopOrder
@@ -97,15 +98,124 @@ class OptimizerOptions:
 
 @dataclasses.dataclass(frozen=True)
 class LayerResult:
-    """Best configuration found for one layer."""
+    """Best configuration found for one layer.
+
+    ``evaluated`` counts full model evaluations; ``pruned`` counts
+    candidates discarded by the cheap objective lower bound before
+    evaluation (see :meth:`LayerOptimizer.optimize`).  ``objective`` is the
+    objective the search ran under, so :attr:`score` reports the quantity
+    the optimizer actually minimised.
+    """
 
     layer: ConvLayer
     best: Evaluation
     evaluated: int
+    objective: str = "energy"
+    #: Candidates (or whole L2-tile branches, counted per outer order)
+    #: discarded by the lower bound without a model evaluation.
+    pruned: int = 0
 
     @property
     def score(self) -> float:
-        return OBJECTIVES["energy"](self.best)
+        return OBJECTIVES[self.objective](self.best)
+
+    @property
+    def considered(self) -> int:
+        """Total candidates ranked: evaluated plus bound-pruned."""
+        return self.evaluated + self.pruned
+
+
+def layer_cost_floors(
+    layer: ConvLayer, arch: AcceleratorConfig
+) -> tuple[float, float, float]:
+    """Candidate-independent cost floors of one layer on one machine.
+
+    Returns ``(energy_floor_pj, cycles_floor, static_pj_per_cycle)``:
+    every configuration pays the full MACC energy, the unconditional
+    ALU-side L0 reads (one input byte per vector round, one weight byte
+    per MAC — Section IV-A2), at least ``maccs / peak`` cycles, and the
+    machine's leakage for every cycle it runs.  The formulas are shared
+    with the real models (:func:`alu_read_bytes`,
+    :func:`repro.core.energy_model.static_pj_per_cycle`) so bound and
+    model cannot drift apart.
+    """
+    from repro.core.access_model import alu_read_bytes
+    from repro.core.energy_model import static_pj_per_cycle
+
+    maccs = layer.maccs
+    inner = arch.num_levels - 1
+    input_reads, weight_reads = alu_read_bytes(
+        maccs, arch.vector_width, arch.precision
+    )
+    alu_read_pj = (
+        input_reads * arch.read_pj_per_byte(inner, DataType.INPUTS)
+        + weight_reads * arch.read_pj_per_byte(inner, DataType.WEIGHTS)
+    )
+    energy_floor = arch.technology.macc_energy_pj(maccs) + alu_read_pj
+    cycles_floor = maccs / arch.peak_maccs_per_cycle
+    return energy_floor, cycles_floor, static_pj_per_cycle(arch)
+
+
+def objective_lower_bound(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    l2_tile: TileShape,
+    outer_order: LoopOrder,
+    objective: str,
+    floors: tuple[float, float, float] | None = None,
+) -> float:
+    """Cheap lower bound on an objective for one (L2 tile, outer order).
+
+    Every candidate sharing the last-level tile and outer loop order moves
+    at least the DRAM traffic implied by that boundary (parallelism never
+    splits the DRAM boundary's loops — clusters and PEs divide the inner
+    levels), and additionally pays the candidate-independent floors of
+    :func:`layer_cost_floors`:
+
+    * ``energy >= dram_pj + macc_pj + alu_l0_pj + leakage * cycles_lb``,
+    * ``cycles >= max(maccs / peak, dram_bytes / dram_bandwidth)``,
+
+    with the edp / perf-per-watt bounds derived from those.  Only one
+    boundary of the traffic model runs — no sub-tile allocation,
+    performance or energy model — so the optimizer can discard whole
+    branches of the candidate space without evaluating them.
+    """
+    if floors is None:
+        floors = layer_cost_floors(layer, arch)
+    energy_floor, cycles_floor, static_pj_per_cycle = floors
+    precision = arch.precision
+    profile = boundary_fill_profile(
+        layer, TileShape.full(layer), l2_tile, outer_order, precision
+    )
+    out_psum_bytes = layer.output_elements * precision.psum_bytes
+    psum_fill = profile[DataType.PSUMS][1]
+    spill = max(0, psum_fill - out_psum_bytes)
+    read_bytes = (
+        profile[DataType.INPUTS][1]
+        + profile[DataType.WEIGHTS][1]
+        + spill  # psum re-loads mirror spills
+    )
+    write_bytes = spill + layer.output_elements * precision.activation_bytes
+    tech = arch.technology
+    cycles_lb = max(
+        cycles_floor,
+        (read_bytes + write_bytes)
+        / arch.noc.boundary_bandwidth_bytes_per_cycle(0),
+    )
+    if objective == "latency":
+        return cycles_lb
+    energy_lb = (
+        tech.dram_energy_pj(read_bytes + write_bytes)
+        + energy_floor
+        + static_pj_per_cycle * cycles_lb
+    )
+    if objective == "energy":
+        return energy_lb
+    if objective == "edp":
+        return energy_lb * 1e-12 * cycles_lb / tech.clock_hz
+    if objective == "perf_per_watt":
+        return -layer.maccs / (energy_lb * 1e-12)
+    raise ValueError(f"no lower bound for objective {objective!r}")
 
 
 class LayerOptimizer:
@@ -145,13 +255,21 @@ class LayerOptimizer:
         if fixed is not None:
             return [fixed]
         candidates = parallelism_candidates(self.arch, layer)
-        chosen = candidates[: self.options.max_parallelism_candidates]
         # Always keep the canonical arrangement (K across clusters, H
         # across PEs — Morph-base's choice) in the search so a flexible
-        # machine can never do worse than the inflexible default.
+        # machine can never do worse than the inflexible default.  Append
+        # it *before* truncating so the candidate list never exceeds
+        # ``max_parallelism_candidates``; if truncation would drop it, it
+        # takes the last kept slot (with a budget of 1 that means the
+        # default is the whole search — the cap wins over ranking).
         default = Parallelism(k=self.arch.clusters, h=self.arch.pes_per_cluster)
+        if default not in candidates:
+            candidates = [*candidates, default]
+        chosen = candidates[: self.options.max_parallelism_candidates]
+        if not chosen:
+            return [default]
         if default not in chosen:
-            chosen.append(default)
+            chosen[-1] = default
         return chosen
 
     def _level_degrees(
@@ -167,10 +285,21 @@ class LayerOptimizer:
 
     # ------------------------------------------------------------------
     def optimize(self, layer: ConvLayer) -> LayerResult:
-        """Find the best configuration for ``layer`` under the objective."""
+        """Find the best configuration for ``layer`` under the objective.
+
+        A cheap per-(L2 tile, outer order) lower bound on the objective
+        (:func:`objective_lower_bound`) prunes candidates that provably
+        cannot beat the incumbent before the full analytic models run;
+        the returned best configuration is identical to an unpruned sweep.
+        """
         best: Evaluation | None = None
         best_score = float("inf")
         evaluated = 0
+        pruned = 0
+        #: (l2 tile, outer order) -> objective lower bound, memoised across
+        #: the inner-order / allocation / parallelism loops.
+        bounds: dict[tuple[TileShape, LoopOrder], float] = {}
+        floors = layer_cost_floors(layer, self.arch)
 
         l2_tiles = last_level_tile_candidates(
             layer, self.arch, max_candidates=self.options.max_l2_candidates
@@ -178,10 +307,28 @@ class LayerOptimizer:
         inner_orders = self._inner_orders()
         parallelisms = self._parallelisms(layer)
 
+        def bound_for(l2_tile: TileShape, outer: LoopOrder) -> float:
+            bound = bounds.get((l2_tile, outer))
+            if bound is None:
+                bound = objective_lower_bound(
+                    layer, self.arch, l2_tile, outer,
+                    self.options.objective, floors,
+                )
+                bounds[(l2_tile, outer)] = bound
+            return bound
+
         for par in parallelisms:
             level_degrees = self._level_degrees(par)
             for l2_tile in l2_tiles:
                 outer_orders = self._outer_orders(layer, l2_tile)
+                # Branch-level prune: if no outer order of this L2 tile can
+                # beat the incumbent, skip the whole sub-tile allocation.
+                viable_outers = [
+                    o for o in outer_orders if bound_for(l2_tile, o) < best_score
+                ]
+                if not viable_outers:
+                    pruned += len(outer_orders)
+                    continue
                 for inner in inner_orders:
                     try:
                         beams = allocate_hierarchy(
@@ -196,7 +343,12 @@ class LayerOptimizer:
                         continue
                     for tiles in beams[: self.options.keep_allocations]:
                         hierarchy = TileHierarchy(layer, tiles)
-                        for outer in outer_orders:
+                        for outer in viable_outers:
+                            # Re-check: the incumbent may have improved
+                            # since the branch-level filter.
+                            if bound_for(l2_tile, outer) >= best_score:
+                                pruned += 1
+                                continue
                             dataflow = Dataflow(outer, inner, hierarchy, par)
                             try:
                                 ev = evaluate(dataflow, self.arch)
@@ -211,7 +363,13 @@ class LayerOptimizer:
             raise CapacityError(
                 f"no feasible configuration for {layer.name} on {self.arch.name}"
             )
-        return LayerResult(layer=layer, best=best, evaluated=evaluated)
+        return LayerResult(
+            layer=layer,
+            best=best,
+            evaluated=evaluated,
+            objective=self.options.objective,
+            pruned=pruned,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -255,37 +413,50 @@ class NetworkResult:
         raise KeyError(layer_name)
 
 
-_NETWORK_CACHE: dict[tuple, NetworkResult] = {}
-
-
 def optimize_network(
     layers: Iterable[ConvLayer],
     arch: AcceleratorConfig,
     options: OptimizerOptions | None = None,
     *,
     network_name: str = "network",
-    use_cache: bool = True,
+    use_cache: bool | None = None,
+    parallelism: int | None = None,
+    cache_dir=None,
 ) -> NetworkResult:
-    """Optimize each layer of a network; results are memoised in-process.
+    """Optimize each layer of a network through the optimizer engine.
 
     The paper notes these optimizations "need only be performed once per
-    CNN" with the configuration saved and recalled (Section V) — the cache
-    plays that role for the experiment harness.
+    CNN" with the configuration saved and recalled (Section V) — the
+    engine (:mod:`repro.optimizer.engine`) plays that role: unique layer
+    shapes are searched once (duplicates fan the result back out), results
+    are memoised in-process keyed on *content* (layers + arch + options,
+    never the network name), and, when a cache directory is configured,
+    recalled from versioned on-disk configuration files across runs.
+
+    ``parallelism`` > 1 fans unique-layer searches out across worker
+    processes; ``None`` defers to the engine defaults (see
+    :func:`repro.optimizer.engine.set_engine_defaults` /
+    ``REPRO_PARALLELISM``).  ``cache_dir`` likewise defaults to
+    ``REPRO_CACHE_DIR`` when unset.  ``use_cache=False`` disables both the
+    in-process memo and the disk cache (deduplication still applies — it
+    never changes results).
     """
-    layers = tuple(layers)
-    options = options or OptimizerOptions()
-    key = (network_name, arch.name, options, tuple(layers))
-    if use_cache and key in _NETWORK_CACHE:
-        return _NETWORK_CACHE[key]
-    optimizer = LayerOptimizer(arch, options)
-    results = tuple(optimizer.optimize(layer) for layer in layers)
-    outcome = NetworkResult(
-        network_name=network_name, arch_name=arch.name, layers=results
+    from repro.optimizer.engine import OptimizerEngine
+
+    engine = OptimizerEngine(
+        arch,
+        options,
+        parallelism=parallelism,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
     )
-    if use_cache:
-        _NETWORK_CACHE[key] = outcome
-    return outcome
+    return engine.optimize_network(layers, network_name=network_name)
 
 
 def clear_cache() -> None:
-    _NETWORK_CACHE.clear()
+    """Drop every in-process memoised search result (not the disk cache)."""
+    from repro.baselines import eyeriss
+    from repro.optimizer import engine
+
+    engine.clear_memory_caches()
+    eyeriss.clear_cache()

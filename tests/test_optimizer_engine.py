@@ -1,0 +1,348 @@
+"""Tests for the parallel, deduplicated, persistent optimizer engine."""
+
+import json
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.optimizer.engine import (
+    DiskConfigCache,
+    OptimizerEngine,
+    clear_memory_caches,
+    default_parallelism,
+    optimize_layer,
+    reset_engine_defaults,
+    search_signature,
+    set_engine_defaults,
+    signature_key,
+)
+from repro.optimizer.search import (
+    OBJECTIVES,
+    LayerOptimizer,
+    OptimizerOptions,
+    clear_cache,
+    objective_lower_bound,
+    optimize_network,
+)
+
+FAST = OptimizerOptions.fast()
+
+#: Small layers; "a" and "a-again" share a shape under different names.
+LAYER_A = ConvLayer("a", h=14, w=14, c=32, f=4, k=64, r=3, s=3, t=3,
+                    pad_h=1, pad_w=1, pad_f=1)
+LAYER_A2 = ConvLayer("a-again", h=14, w=14, c=32, f=4, k=64, r=3, s=3, t=3,
+                     pad_h=1, pad_w=1, pad_f=1)
+LAYER_B = ConvLayer("b", h=7, w=7, c=64, f=2, k=64, r=3, s=3, t=3,
+                    pad_h=1, pad_w=1, pad_f=1)
+NETWORK = (LAYER_A, LAYER_B, LAYER_A2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_cache()
+    reset_engine_defaults()
+    yield
+    clear_cache()
+    reset_engine_defaults()
+
+
+class TestObjectiveScoring:
+    """LayerResult.score must report the configured objective, not energy."""
+
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_score_matches_objective(self, morph_arch, objective):
+        options = FAST.with_(objective=objective)
+        result = LayerOptimizer(morph_arch, options).optimize(LAYER_B)
+        assert result.objective == objective
+        assert result.score == OBJECTIVES[objective](result.best)
+
+    def test_score_survives_engine_paths(self, morph_arch, tmp_path):
+        options = FAST.with_(objective="latency")
+        cold = optimize_layer(LAYER_B, morph_arch, options, cache_dir=tmp_path)
+        clear_cache()
+        warm = optimize_layer(LAYER_B, morph_arch, options, cache_dir=tmp_path)
+        assert cold.objective == warm.objective == "latency"
+        assert warm.score == pytest.approx(cold.best.cycles)
+
+
+class TestLowerBound:
+    """The early-prune bound must never exceed a real evaluation's score."""
+
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_bound_is_sound(self, morph_arch, objective):
+        options = FAST.with_(objective=objective)
+        result = LayerOptimizer(morph_arch, options).optimize(LAYER_B)
+        ev = result.best
+        bound = objective_lower_bound(
+            LAYER_B, morph_arch, ev.dataflow.hierarchy.outermost,
+            ev.dataflow.outer_order, objective,
+        )
+        assert bound <= OBJECTIVES[objective](ev) * (1 + 1e-12)
+
+    def test_pruning_preserves_the_optimum(self, morph_arch, monkeypatch):
+        pruned = LayerOptimizer(morph_arch, FAST).optimize(LAYER_A)
+        import repro.optimizer.search as search_module
+
+        monkeypatch.setattr(
+            search_module, "objective_lower_bound",
+            lambda *args, **kwargs: float("-inf"),
+        )
+        unpruned = LayerOptimizer(morph_arch, FAST).optimize(LAYER_A)
+        assert pruned.best.dataflow == unpruned.best.dataflow
+        assert pruned.best.total_energy_pj == unpruned.best.total_energy_pj
+        # Pruning may only remove work, never results.
+        assert pruned.evaluated <= unpruned.evaluated
+        assert unpruned.pruned == 0
+
+
+class TestParallelismCandidates:
+    def test_candidate_count_respects_the_knob(self, morph_arch):
+        """The canonical default must not push the list past the budget."""
+        for budget in (1, 2, 4):
+            options = FAST.with_(max_parallelism_candidates=budget)
+            chosen = LayerOptimizer(morph_arch, options)._parallelisms(LAYER_A)
+            assert len(chosen) <= budget
+            from repro.core.dataflow import Parallelism
+
+            default = Parallelism(
+                k=morph_arch.clusters, h=morph_arch.pes_per_cluster
+            )
+            assert default in chosen
+
+    def test_zero_budget_keeps_the_canonical_default(self, morph_arch):
+        from repro.core.dataflow import Parallelism
+
+        options = FAST.with_(max_parallelism_candidates=0)
+        chosen = LayerOptimizer(morph_arch, options)._parallelisms(LAYER_A)
+        assert chosen == [
+            Parallelism(k=morph_arch.clusters, h=morph_arch.pes_per_cluster)
+        ]
+
+
+class TestDeduplication:
+    def test_duplicate_shapes_searched_once(self, morph_arch):
+        engine = OptimizerEngine(morph_arch, FAST, use_cache=False)
+        results = engine.optimize_layers(NETWORK)
+        assert engine.stats.requested == 3
+        assert engine.stats.unique == 2
+        assert engine.stats.dedup_hits == 1
+        assert engine.stats.searched == 2
+
+    def test_fanned_out_results_keep_their_names(self, morph_arch):
+        engine = OptimizerEngine(morph_arch, FAST, use_cache=False)
+        results = engine.optimize_layers(NETWORK)
+        assert [r.layer.name for r in results] == ["a", "b", "a-again"]
+        # The rebound evaluation names the occurrence all the way down.
+        assert results[2].best.layer.name == "a-again"
+        assert results[2].best.dataflow.hierarchy.layer.name == "a-again"
+
+    def test_fanned_out_results_are_identical(self, morph_arch):
+        engine = OptimizerEngine(morph_arch, FAST, use_cache=False)
+        results = engine.optimize_layers(NETWORK)
+        direct = LayerOptimizer(morph_arch, FAST).optimize(LAYER_A2)
+        assert results[2].best.total_energy_pj == pytest.approx(
+            direct.best.total_energy_pj
+        )
+        assert results[2].best.dataflow.hierarchy.tiles == (
+            direct.best.dataflow.hierarchy.tiles
+        )
+
+
+class TestParallelEngine:
+    def test_parallel_equals_serial_layer_by_layer(self, morph_arch):
+        serial = OptimizerEngine(
+            morph_arch, FAST, parallelism=1, use_cache=False
+        ).optimize_layers(NETWORK)
+        parallel = OptimizerEngine(
+            morph_arch, FAST, parallelism=2, use_cache=False
+        ).optimize_layers(NETWORK)
+        assert len(serial) == len(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.layer == p.layer
+            assert s.best.dataflow == p.best.dataflow
+            assert s.best.total_energy_pj == p.best.total_energy_pj
+            assert s.evaluated == p.evaluated
+
+    def test_network_aggregates_match_serial_path(self, morph_arch):
+        serial = optimize_network(
+            NETWORK, morph_arch, FAST, network_name="net", use_cache=False,
+            parallelism=1,
+        )
+        parallel = optimize_network(
+            NETWORK, morph_arch, FAST, network_name="net", use_cache=False,
+            parallelism=2,
+        )
+        assert parallel.total_energy_pj == pytest.approx(serial.total_energy_pj)
+        assert parallel.total_cycles == pytest.approx(serial.total_cycles)
+        assert parallel.total_maccs == serial.total_maccs
+
+
+class TestDiskCache:
+    def test_round_trip_hit(self, morph_arch, tmp_path):
+        cold_engine = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        cold = cold_engine.optimize_layers((LAYER_B,))
+        assert cold_engine.stats.disk_misses == 1
+        assert list(tmp_path.glob("*.json"))
+
+        clear_cache()  # drop the in-process memo: force the disk path
+        warm_engine = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        warm = warm_engine.optimize_layers((LAYER_B,))
+        assert warm_engine.stats.disk_hits == 1
+        assert warm_engine.stats.searched == 0
+        assert warm[0].best.total_energy_pj == pytest.approx(
+            cold[0].best.total_energy_pj
+        )
+        assert warm[0].best.dataflow == cold[0].best.dataflow
+
+    def test_miss_on_different_options(self, morph_arch, tmp_path):
+        OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path).optimize_layers(
+            (LAYER_B,)
+        )
+        clear_cache()
+        other = OptimizerEngine(
+            morph_arch, FAST.with_(objective="latency"), cache_dir=tmp_path
+        )
+        other.optimize_layers((LAYER_B,))
+        assert other.stats.disk_hits == 0
+        assert other.stats.searched == 1
+
+    def test_stale_signature_invalidates(self, morph_arch, tmp_path):
+        engine = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        engine.optimize_layers((LAYER_B,))
+        (record_path,) = tmp_path.glob("*.json")
+        payload = json.loads(record_path.read_text())
+        payload["signature"]["arch"] = "a different machine"
+        record_path.write_text(json.dumps(payload))
+
+        clear_cache()
+        rerun = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        rerun.optimize_layers((LAYER_B,))
+        assert rerun.stats.disk_hits == 0
+        assert rerun.stats.searched == 1
+        # The stale record was rewritten with the current signature.
+        restored = json.loads(record_path.read_text())
+        assert restored["signature"] == search_signature(
+            LAYER_B, morph_arch, FAST
+        )
+
+    def test_corrupt_record_is_a_miss(self, morph_arch, tmp_path):
+        engine = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        engine.optimize_layers((LAYER_B,))
+        (record_path,) = tmp_path.glob("*.json")
+        record_path.write_text("{ not json")
+        clear_cache()
+        rerun = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        rerun.optimize_layers((LAYER_B,))
+        assert rerun.stats.searched == 1
+
+    def test_use_cache_false_skips_disk(self, morph_arch, tmp_path):
+        engine = OptimizerEngine(
+            morph_arch, FAST, cache_dir=tmp_path, use_cache=False
+        )
+        engine.optimize_layers((LAYER_B,))
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_cache_dir_false_overrides_env_default(
+        self, morph_arch, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        engine = OptimizerEngine(morph_arch, FAST, cache_dir=False)
+        engine.optimize_layers((LAYER_B,))
+        assert engine.disk is None
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_cache_dir_must_not_be_a_file(self, morph_arch, tmp_path):
+        target = tmp_path / "record.json"
+        target.write_text("{}")
+        with pytest.raises(ValueError, match="not a directory"):
+            OptimizerEngine(morph_arch, FAST, cache_dir=target)
+
+    def test_malformed_dataflow_record_is_a_miss(self, morph_arch, tmp_path):
+        engine = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        engine.optimize_layers((LAYER_B,))
+        (record_path,) = tmp_path.glob("*.json")
+        payload = json.loads(record_path.read_text())
+        payload["dataflow"]["tiles"][0]["bogus_field"] = 1  # TypeError on load
+        record_path.write_text(json.dumps(payload))
+        clear_cache()
+        rerun = OptimizerEngine(morph_arch, FAST, cache_dir=tmp_path)
+        rerun.optimize_layers((LAYER_B,))
+        assert rerun.stats.disk_hits == 0
+        assert rerun.stats.searched == 1
+
+
+class TestSignatures:
+    def test_name_excluded_from_search_signature(self, morph_arch):
+        assert search_signature(LAYER_A, morph_arch, FAST) == search_signature(
+            LAYER_A2, morph_arch, FAST
+        )
+
+    def test_shape_and_knobs_change_the_key(self, morph_arch, morph_base_arch):
+        base = signature_key(search_signature(LAYER_A, morph_arch, FAST))
+        assert base != signature_key(
+            search_signature(LAYER_B, morph_arch, FAST)
+        )
+        assert base != signature_key(
+            search_signature(LAYER_A, morph_base_arch, FAST)
+        )
+        assert base != signature_key(
+            search_signature(LAYER_A, morph_arch, FAST.with_(objective="edp"))
+        )
+
+
+class TestNetworkMemo:
+    def test_same_layers_under_two_names_share_one_search(self, morph_arch):
+        first = optimize_network(
+            NETWORK, morph_arch, FAST, network_name="stream-one"
+        )
+        engine = OptimizerEngine(morph_arch, FAST)
+        second = engine.optimize_network(NETWORK, network_name="stream-two")
+        assert engine.stats.searched == 0
+        assert engine.stats.network_hits == 1
+        assert engine.stats.memo_hits == 0  # layer-level stats stay layer-level
+        assert second.network_name == "stream-two"
+        assert second.total_energy_pj == pytest.approx(first.total_energy_pj)
+
+    def test_same_name_returns_cached_object(self, morph_arch):
+        first = optimize_network(NETWORK, morph_arch, FAST, network_name="n")
+        second = optimize_network(NETWORK, morph_arch, FAST, network_name="n")
+        assert first is second
+
+    def test_network_memo_hit_backfills_disk_cache(self, morph_arch, tmp_path):
+        optimize_network(NETWORK, morph_arch, FAST, network_name="n")
+        assert not list(tmp_path.glob("*.json"))
+        # The whole-network memo serves the rerun, yet the newly
+        # configured cache directory must still end up populated.
+        optimize_network(
+            NETWORK, morph_arch, FAST, network_name="n", cache_dir=tmp_path
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2  # 2 unique shapes
+
+    def test_clear_cache_is_public(self):
+        import repro
+
+        assert repro.clear_cache is clear_cache
+
+
+class TestEngineDefaults:
+    def test_set_and_reset(self):
+        set_engine_defaults(parallelism=7)
+        assert default_parallelism() == 7
+        reset_engine_defaults()
+        assert default_parallelism() == 1
+
+    def test_env_parallelism(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "3")
+        assert default_parallelism() == 3
+
+    def test_env_cache_dir(self, morph_arch, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        optimize_layer(LAYER_B, morph_arch, FAST)
+        assert list(tmp_path.glob("*.json"))
+
+
+class TestDiskCacheUnit:
+    def test_load_missing_returns_none(self, morph_arch, tmp_path):
+        cache = DiskConfigCache(tmp_path)
+        signature = search_signature(LAYER_B, morph_arch, FAST)
+        assert cache.load(signature, LAYER_B, morph_arch, FAST) is None
