@@ -8,8 +8,9 @@ from repro.experiments.ablation_flexibility import run_ablation
 pytestmark = pytest.mark.slow
 
 
-def test_bench_ablation(once):
+def test_bench_ablation(once, record_bench):
     result = once(run_ablation, fast=True)
+    record_bench(morph_gain_over_base=result.gain_over_base("morph"))
     # Each mechanism alone helps (or at worst does no harm)...
     for name in ("+orders", "+partitions", "+parallelism"):
         assert result.gain_over_base(name) >= 0.999, name

@@ -3,7 +3,15 @@
 These time the building blocks that every experiment leans on — useful for
 tracking performance regressions in the model code itself (standard
 multi-round pytest-benchmark timing, unlike the one-shot figure benches).
+
+``test_bench_cold_sweep_vectorized_vs_scalar`` is the columnar pipeline's
+acceptance gate: a cold C3D sweep (cache off, serial) must be >= 3x faster
+through :mod:`repro.core.batch` than through the scalar reference path,
+with identical chosen configurations; the measured ratio is recorded in
+``BENCH_core_models.json``.
 """
+
+import time
 
 import pytest
 
@@ -56,7 +64,7 @@ def test_bench_full_evaluation(benchmark):
     assert ev.total_energy_pj > 0
 
 
-def test_bench_layer_optimization(benchmark):
+def test_bench_layer_optimization(benchmark, record_bench):
     """A complete per-layer configuration search (fast preset)."""
     small = ConvLayer(
         "c3d5a", h=7, w=7, c=512, f=2, k=512, r=3, s=3, t=3,
@@ -67,10 +75,55 @@ def test_bench_layer_optimization(benchmark):
         optimizer.optimize, args=(small,), rounds=3, iterations=1
     )
     assert result.best.total_energy_pj > 0
+    record_bench(
+        layer_opt_candidates=result.considered,
+        layer_opt_objective_pj=result.best.total_energy_pj,
+    )
+
+
+def test_bench_cold_sweep_vectorized_vs_scalar(benchmark, record_bench):
+    """Cold C3D sweep: columnar batch pipeline vs scalar reference.
+
+    Cache off, parallelism pinned to 1, same options — the only variable
+    is the evaluator.  Chosen configurations and scores must be identical;
+    the batch path must be at least 3x faster.
+    """
+    network = c3d()
+    options = OptimizerOptions.fast()
+
+    def cold(vectorize: bool):
+        clear_cache()
+        return optimize_network(
+            network.layers, morph(), options,
+            network_name=network.name, use_cache=False, parallelism=1,
+            vectorize=vectorize,
+        )
+
+    start = time.perf_counter()
+    scalar = cold(False)
+    scalar_s = time.perf_counter() - start
+
+    batch = benchmark.pedantic(
+        cold, args=(True,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    batch_s = benchmark.stats.stats.total
+
+    for a, b in zip(scalar.layers, batch.layers):
+        assert a.best.dataflow == b.best.dataflow, a.layer.name
+        assert a.score == b.score, a.layer.name
+    speedup = scalar_s / batch_s
+    record_bench(
+        cold_sweep_scalar_s=round(scalar_s, 3),
+        cold_sweep_vectorized_s=round(batch_s, 3),
+        cold_sweep_speedup=round(speedup, 2),
+        cold_sweep_candidates=sum(r.considered for r in batch.layers),
+        cold_sweep_objective_pj=batch.total_energy_pj,
+    )
+    assert speedup >= 3.0, f"columnar sweep only {speedup:.2f}x faster"
 
 
 @pytest.mark.slow
-def test_bench_network_sweep_serial_cold(benchmark):
+def test_bench_network_sweep_serial_cold(benchmark, record_bench):
     """Full C3D sweep with every cache disabled: the engine's baseline.
 
     Compare against ``test_bench_network_sweep_warm_cache`` for the
@@ -88,6 +141,10 @@ def test_bench_network_sweep_serial_cold(benchmark):
         iterations=1,
     )
     assert result.total_energy_pj > 0
+    record_bench(
+        serial_cold_candidates=sum(r.considered for r in result.layers),
+        serial_cold_objective_pj=result.total_energy_pj,
+    )
 
 
 @pytest.mark.slow

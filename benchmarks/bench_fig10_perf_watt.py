@@ -8,9 +8,13 @@ from repro.experiments.fig10_perf_watt import run_figure10
 pytestmark = pytest.mark.slow
 
 
-def test_bench_figure10(once):
+def test_bench_figure10(once, record_bench):
     result = once(run_figure10, fast=True)
     assert len(result.entries) == 5
+    record_bench(
+        networks=len(result.entries),
+        average_perf_per_watt_improvement=result.average_improvement,
+    )
     # Morph improves performance-per-watt on every network (paper: 2.07x
     # to 5.08x, average ~4x).
     for entry in result.entries:

@@ -3,10 +3,15 @@
 from repro.experiments.fig1_footprint import FIG1_BUILDS, run_figure1
 
 
-def test_bench_figure1(once):
+def test_bench_figure1(once, record_bench):
     result = once(run_figure1)
     # Every network profiled, with the paper's observations holding.
     assert {fp.network for fp in result.footprints} == set(FIG1_BUILDS)
     assert result.max_footprint("C3D") > 1024 * 1024  # Observation 1
     assert result.reuse_ratio_3d_over_2d() > 2.0  # Observation 3
     assert result.reuse["I3D"] > result.reuse["AlexNet"]
+    record_bench(
+        networks=len(result.footprints),
+        c3d_max_footprint_bytes=result.max_footprint("C3D"),
+        reuse_ratio_3d_over_2d=result.reuse_ratio_3d_over_2d(),
+    )

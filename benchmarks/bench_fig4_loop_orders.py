@@ -12,8 +12,13 @@ from repro.experiments.fig4_loop_orders import run_figure4
 pytestmark = pytest.mark.slow
 
 
-def test_bench_figure4(once):
+def test_bench_figure4(once, record_bench):
     result = once(run_figure4, fast=True)
+    record_bench(
+        layers=len(result.layer_names),
+        opt_dram_energy_pj=sum(result.dram_energy["Opt"]),
+        opt_onchip_energy_pj=sum(result.onchip_energy["Opt"]),
+    )
     assert len(result.layer_names) == 8  # all C3D layers
     # Figure 4a/4c: per-layer Opt is never beaten by a fixed order.
     assert result.opt_never_worse("dram")

@@ -3,8 +3,13 @@
 from repro.experiments.fig5_hierarchy import run_figure5
 
 
-def test_bench_figure5(once):
+def test_bench_figure5(once, record_bench):
     result = once(run_figure5, max_levels=4)
+    record_bench(
+        best_depth_3d=result.best_depth(is_3d=True),
+        advantage_3d=max(result.advantage(is_3d=True)),
+        advantage_2d=max(result.advantage(is_3d=False)),
+    )
     adv3 = result.advantage(is_3d=True)
     adv2 = result.advantage(is_3d=False)
     # Multi-level on-chip hierarchies pay off, more for 3D than 2D, and

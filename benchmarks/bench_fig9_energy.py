@@ -14,9 +14,19 @@ from repro.experiments.fig9_energy import run_figure9
 pytestmark = pytest.mark.slow
 
 
-def test_bench_figure9(once):
+def test_bench_figure9(once, record_bench):
     result = once(run_figure9, fast=True)
     assert len(result.networks) == 5
+    record_bench(
+        networks=len(result.networks),
+        avg_reduction_morph_vs_base_3d=result.average_reduction_3d(
+            "Morph", "Morph_base"
+        ),
+        avg_reduction_morph_vs_eyeriss_3d=result.average_reduction_3d(
+            "Morph", "Eyeriss"
+        ),
+        morph_total_energy_pj=sum(e.total("Morph") for e in result.networks),
+    )
 
     # Morph beats Morph-base on every network.
     for entry in result.networks:

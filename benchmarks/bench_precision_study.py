@@ -8,7 +8,11 @@ from repro.experiments.precision_study import run_precision_study
 pytestmark = pytest.mark.slow
 
 
-def test_bench_precision_study(once):
+def test_bench_precision_study(once, record_bench):
     result = once(run_precision_study, fast=True)
+    record_bench(
+        int8_energy_pj=result.energy("int8"),
+        int16_over_int8_scaling=result.scaling_int16_over_int8(),
+    )
     assert result.energy("int4") <= result.energy("int8")
     assert result.scaling_int16_over_int8() > 1.2

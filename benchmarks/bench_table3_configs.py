@@ -8,8 +8,12 @@ from repro.experiments.table3_configs import run_table3
 pytestmark = pytest.mark.slow
 
 
-def test_bench_table3(once):
+def test_bench_table3(once, record_bench):
     result = once(run_table3, fast=True)
+    record_bench(
+        layers=len(result.rows),
+        distinct_outer_orders=len({row.outer_order for row in result.rows}),
+    )
     assert [row.layer for row in result.rows] == [
         "layer1", "layer2", "layer3a", "layer3b",
         "layer4a", "layer4b", "layer5a", "layer5b",

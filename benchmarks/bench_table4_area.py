@@ -5,8 +5,9 @@ import pytest
 from repro.experiments.table4_area import PAPER_TABLE4, run_table4
 
 
-def test_bench_table4(once):
+def test_bench_table4(once, record_bench):
     result = once(run_table4)
+    record_bench(total_flexibility_area_overhead=result.overheads["total"])
     # Every component lands near the paper's synthesis numbers.
     for name, (p_base, p_flex, _) in PAPER_TABLE4.items():
         base, flex, _ = result.component(name)

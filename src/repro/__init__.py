@@ -49,11 +49,13 @@ from repro.workloads import (
     alexnet,
     build_network,
     c3d,
+    c3d_dilated,
     i3d,
     inception,
     network_names,
     resnet3d50,
     resnet50,
+    set_build_defaults,
     two_stream,
 )
 
@@ -80,6 +82,7 @@ __all__ = [
     "alexnet",
     "build_network",
     "c3d",
+    "c3d_dilated",
     "clear_cache",
     "compute_traffic",
     "evaluate",
@@ -93,6 +96,7 @@ __all__ = [
     "optimize_network",
     "resnet3d50",
     "resnet50",
+    "set_build_defaults",
     "set_engine_defaults",
     "two_stream",
 ]

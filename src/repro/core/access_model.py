@@ -126,6 +126,26 @@ class TrafficReport:
         return self.boundaries[index]
 
 
+# ----------------------------------------------------------------------
+# Scalar/array-agnostic formula kernels (shared with repro.core.batch)
+# ----------------------------------------------------------------------
+def clip_min0(x):
+    """``max(0, x)`` for ints/floats and elementwise for arrays."""
+    return x * (x > 0)
+
+
+def psum_spill_bytes_kernel(fill_bytes, out_psum_bytes):
+    """Psum bytes that revisit the parent level (zero-init skips the first
+    visit of each tile, so only refills beyond one full output pass load)."""
+    return clip_min0(fill_bytes - out_psum_bytes)
+
+
+def dram_psum_writeback_kernel(spill_bytes, output_activation_bytes):
+    """DRAM-boundary psum writeback: true spills move at psum width, the
+    final outputs leave once at activation width."""
+    return spill_bytes + output_activation_bytes
+
+
 def _innermost_relevant_index(order: tuple[Dim, ...], rel: frozenset[Dim]) -> int:
     """Index of the innermost loop relevant to a data type, or -1."""
     for idx in range(len(order) - 1, -1, -1):
@@ -278,14 +298,14 @@ def compute_traffic(
                 fill_bytes = execs * run_bytes
 
             if data_type is DataType.PSUMS:
-                load_bytes = max(0, fill_bytes - out_psum_bytes)
+                load_bytes = psum_spill_bytes_kernel(fill_bytes, out_psum_bytes)
                 writeback_bytes = fill_bytes
                 if is_dram:
                     # Final outputs leave at activation width; only true
                     # spills (revisited tiles) move at psum width.
-                    spill_bytes = max(0, fill_bytes - out_psum_bytes)
-                    writeback_bytes = spill_bytes + (
-                        layer.output_elements * precision.activation_bytes
+                    writeback_bytes = dram_psum_writeback_kernel(
+                        load_bytes,
+                        layer.output_elements * precision.activation_bytes,
                     )
                 per_type[data_type] = DataTraffic(
                     fills=fills,

@@ -16,6 +16,7 @@ the replication factor while parent-level reads do not (Section IV-A4).
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.arch.sram import sram_leakage_mw
@@ -138,38 +139,54 @@ def static_pj_per_cycle(arch: AcceleratorConfig) -> float:
     return leak_mw + arch.noc.total_wire_bits() * tech.noc_static_pj_per_bit_cycle
 
 
-def compute_energy(
-    traffic: TrafficReport,
-    arch: AcceleratorConfig,
-    dataflow: Dataflow,
-    performance: PerformanceReport,
-) -> EnergyBreakdown:
-    """Dot product of access counts with technology costs."""
-    tech = arch.technology
-    num_levels = arch.num_levels
-    cluster_par, pe_par = split_parallelism(
-        dataflow.parallelism, arch.clusters, arch.pes_per_cluster
-    )
-    repl = _level_replications(num_levels, cluster_par, pe_par)
+def energy_accumulation_kernel(
+    *,
+    num_levels: int,
+    fill_bytes,  #: [boundary][data type] fill bytes
+    psum_load_bytes,  #: [boundary] psum re-load bytes
+    psum_writeback_bytes,  #: [boundary] psum writeback bytes
+    alu_input_read_bytes,
+    alu_weight_read_bytes,
+    alu_psum_read_bytes,
+    alu_psum_write_bytes,
+    repl,  #: [level][data type] replication factors
+    read_pj,  #: [level][data type] read pJ/byte
+    write_pj,  #: [level][data type] write pJ/byte
+    noc_pj_per_byte_mm: float,
+    bus_length_mm,  #: [boundary] wire length of the bus crossed
+    dram_pj_per_byte: float,
+    macc_pj: float,
+    maccs,
+    static_pj_per_cycle: float,
+    cycles,
+):
+    """The whole energy dot product, on scalars or candidate columns.
 
+    This single implementation serves both :func:`compute_energy` (Python
+    ints/floats extracted from a :class:`TrafficReport`) and the columnar
+    batch pipeline (NumPy arrays per candidate), so the two paths cannot
+    drift apart.  Returns ``(dram_pj, level_reads, level_writes,
+    level_energy, noc_pj, compute_pj, static_pj)`` with the level entries
+    indexed ``[level][data type]``.
+    """
     level_reads = [{dt: 0.0 for dt in ALL_DATA_TYPES} for _ in range(num_levels)]
     level_writes = [{dt: 0.0 for dt in ALL_DATA_TYPES} for _ in range(num_levels)]
     dram_read = 0.0
     dram_write = 0.0
     noc_pj = 0.0
 
-    for index, boundary in enumerate(traffic.boundaries):
+    for index in range(num_levels):
         parent = index - 1  # on-chip parent level; -1 = DRAM
         child = index
-        parent_repl = repl[parent] if parent >= 0 else {dt: 1 for dt in ALL_DATA_TYPES}
-        bus = arch.noc.boundary_bus(index)
+        parent_repl = (
+            repl[parent] if parent >= 0 else {dt: 1 for dt in ALL_DATA_TYPES}
+        )
         boundary_bus_bytes = 0.0
 
         for data_type in ALL_DATA_TYPES:
-            t = boundary.of(data_type)
             if data_type is DataType.PSUMS:
-                down = t.load_bytes * parent_repl[data_type]
-                up = t.writeback_bytes * parent_repl[data_type]
+                down = psum_load_bytes[index] * parent_repl[data_type]
+                up = psum_writeback_bytes[index] * parent_repl[data_type]
                 if parent >= 0:
                     level_reads[parent][data_type] += down
                     level_writes[parent][data_type] += up
@@ -180,8 +197,9 @@ def compute_energy(
                 level_reads[child][data_type] += up
                 boundary_bus_bytes += down + up
             else:
-                source_bytes = t.fill_bytes * parent_repl[data_type]
-                dest_bytes = t.fill_bytes * repl[child][data_type]
+                fills = fill_bytes[index][data_type]
+                source_bytes = fills * parent_repl[data_type]
+                dest_bytes = fills * repl[child][data_type]
                 if parent >= 0:
                     level_reads[parent][data_type] += source_bytes
                 else:
@@ -189,37 +207,117 @@ def compute_energy(
                 level_writes[child][data_type] += dest_bytes
                 boundary_bus_bytes += source_bytes
 
-        noc_pj += bus.dynamic_pj(boundary_bus_bytes, tech.noc_pj_per_byte_mm)
+        # Same association as BusSpec.dynamic_pj: (bytes * pJ/byte/mm) * mm.
+        noc_pj += boundary_bus_bytes * noc_pj_per_byte_mm * bus_length_mm[index]
 
     # ALU <-> innermost buffer traffic (Section IV-A2's vector PE).
-    alu = compute_alu_traffic(traffic, arch.vector_width)
-    level_reads[-1][DataType.INPUTS] += alu.input_read_bytes
-    level_reads[-1][DataType.WEIGHTS] += alu.weight_read_bytes
-    level_reads[-1][DataType.PSUMS] += alu.psum_read_bytes
-    level_writes[-1][DataType.PSUMS] += alu.psum_write_bytes
+    level_reads[-1][DataType.INPUTS] += alu_input_read_bytes
+    level_reads[-1][DataType.WEIGHTS] += alu_weight_read_bytes
+    level_reads[-1][DataType.PSUMS] += alu_psum_read_bytes
+    level_writes[-1][DataType.PSUMS] += alu_psum_write_bytes
 
-    levels = []
-    for i, level in enumerate(arch.levels):
+    level_energy = []
+    for i in range(num_levels):
         energy = 0.0
         for data_type in ALL_DATA_TYPES:
-            energy += level_reads[i][data_type] * arch.read_pj_per_byte(i, data_type)
-            energy += level_writes[i][data_type] * arch.write_pj_per_byte(i, data_type)
-        levels.append(
-            LevelEnergy(
-                name=level.name,
-                read_bytes_by_type=dict(level_reads[i]),
-                write_bytes_by_type=dict(level_writes[i]),
-                energy_pj=energy,
-            )
+            energy += level_reads[i][data_type] * read_pj[i][data_type]
+            energy += level_writes[i][data_type] * write_pj[i][data_type]
+        level_energy.append(energy)
+
+    dram_pj = dram_pj_per_byte * (dram_read + dram_write)
+    compute_pj = macc_pj * maccs
+    static_pj = static_pj_per_cycle * cycles
+    return (
+        dram_pj, level_reads, level_writes, level_energy, noc_pj,
+        compute_pj, static_pj,
+    )
+
+
+@functools.lru_cache(maxsize=64)
+def energy_cost_tables(arch: AcceleratorConfig):
+    """Per-``[level][data type]`` read/write pJ/byte plus per-boundary bus
+    wire lengths — the constant coefficient columns of the kernel.
+
+    Cached per machine (evaluations call this once each); callers must
+    treat the returned tables as read-only.
+    """
+    read_pj = [
+        {dt: arch.read_pj_per_byte(i, dt) for dt in ALL_DATA_TYPES}
+        for i in range(arch.num_levels)
+    ]
+    write_pj = [
+        {dt: arch.write_pj_per_byte(i, dt) for dt in ALL_DATA_TYPES}
+        for i in range(arch.num_levels)
+    ]
+    bus_length_mm = [
+        arch.noc.boundary_bus(i).length_mm for i in range(arch.num_levels)
+    ]
+    return read_pj, write_pj, bus_length_mm
+
+
+def compute_energy(
+    traffic: TrafficReport,
+    arch: AcceleratorConfig,
+    dataflow: Dataflow,
+    performance: PerformanceReport,
+) -> EnergyBreakdown:
+    """Dot product of access counts with technology costs.
+
+    All arithmetic happens in :func:`energy_accumulation_kernel`, which the
+    columnar batch pipeline shares; this wrapper only unpacks the traffic
+    report and repacks the breakdown objects.
+    """
+    tech = arch.technology
+    num_levels = arch.num_levels
+    cluster_par, pe_par = split_parallelism(
+        dataflow.parallelism, arch.clusters, arch.pes_per_cluster
+    )
+    repl = _level_replications(num_levels, cluster_par, pe_par)
+    read_pj, write_pj, bus_length_mm = energy_cost_tables(arch)
+    alu = compute_alu_traffic(traffic, arch.vector_width)
+
+    (
+        dram_pj, level_reads, level_writes, level_energy, noc_pj,
+        compute_pj, static_pj,
+    ) = energy_accumulation_kernel(
+        num_levels=num_levels,
+        fill_bytes=[
+            {dt: boundary.of(dt).fill_bytes for dt in ALL_DATA_TYPES}
+            for boundary in traffic.boundaries
+        ],
+        psum_load_bytes=[
+            boundary.of(DataType.PSUMS).load_bytes
+            for boundary in traffic.boundaries
+        ],
+        psum_writeback_bytes=[
+            boundary.of(DataType.PSUMS).writeback_bytes
+            for boundary in traffic.boundaries
+        ],
+        alu_input_read_bytes=alu.input_read_bytes,
+        alu_weight_read_bytes=alu.weight_read_bytes,
+        alu_psum_read_bytes=alu.psum_read_bytes,
+        alu_psum_write_bytes=alu.psum_write_bytes,
+        repl=repl,
+        read_pj=read_pj,
+        write_pj=write_pj,
+        noc_pj_per_byte_mm=tech.noc_pj_per_byte_mm,
+        bus_length_mm=bus_length_mm,
+        dram_pj_per_byte=tech.dram_pj_per_byte,
+        macc_pj=tech.macc_pj,
+        maccs=traffic.maccs,
+        static_pj_per_cycle=static_pj_per_cycle(arch),
+        cycles=performance.cycles,
+    )
+
+    levels = [
+        LevelEnergy(
+            name=level.name,
+            read_bytes_by_type=dict(level_reads[i]),
+            write_bytes_by_type=dict(level_writes[i]),
+            energy_pj=level_energy[i],
         )
-
-    dram_pj = tech.dram_energy_pj(dram_read + dram_write)
-    compute_pj = tech.macc_energy_pj(traffic.maccs)
-
-    # Static energy: SRAM leakage + PE leakage + NoC differential
-    # signalling, all proportional to runtime.
-    static_pj = static_pj_per_cycle(arch) * performance.cycles
-
+        for i, level in enumerate(arch.levels)
+    ]
     return EnergyBreakdown(
         dram_pj=dram_pj,
         levels=tuple(levels),

@@ -25,6 +25,23 @@ class CapacityError(ValueError):
     """A tile hierarchy does not fit the accelerator's buffers."""
 
 
+# ----------------------------------------------------------------------
+# Scalar/array-agnostic objective kernels (shared with repro.core.batch)
+# ----------------------------------------------------------------------
+def runtime_s_kernel(cycles, clock_hz):
+    return cycles / clock_hz
+
+
+def edp_kernel(total_energy_pj, cycles, clock_hz):
+    """Energy-delay product (J * s)."""
+    return total_energy_pj * 1e-12 * runtime_s_kernel(cycles, clock_hz)
+
+
+def perf_per_watt_kernel(maccs, total_energy_pj):
+    """Throughput per watt = MACs per joule (Figure 10's metric)."""
+    return maccs / (total_energy_pj * 1e-12)
+
+
 @dataclasses.dataclass(frozen=True)
 class Evaluation:
     """All model outputs for one (layer, dataflow, accelerator) triple."""
@@ -59,12 +76,14 @@ class Evaluation:
     @property
     def perf_per_watt(self) -> float:
         """Throughput per watt = MACs per joule (Figure 10's metric)."""
-        return self.traffic.maccs / (self.total_energy_pj * 1e-12)
+        return perf_per_watt_kernel(self.traffic.maccs, self.total_energy_pj)
 
     @property
     def edp(self) -> float:
         """Energy-delay product (J * s)."""
-        return self.total_energy_pj * 1e-12 * self.runtime_s
+        return edp_kernel(
+            self.total_energy_pj, self.cycles, self.arch.technology.clock_hz
+        )
 
     def describe(self) -> str:
         return (

@@ -25,12 +25,25 @@ WEIGHT_BYTES = 1
 PSUM_BYTES = 4
 
 
-def conv_output_extent(in_extent: int, kernel: int, stride: int, pad: int) -> int:
+def dilated_extent(kernel: int, dilation: int) -> int:
+    """Input-space span of a ``kernel``-tap filter with ``dilation`` holes.
+
+    A dilated filter touches ``kernel`` input positions spread over
+    ``(kernel - 1) * dilation + 1`` consecutive positions (D2Conv3D-style
+    dilated 3D convolution); ``dilation == 1`` is the dense case.
+    """
+    return (kernel - 1) * dilation + 1
+
+
+def conv_output_extent(
+    in_extent: int, kernel: int, stride: int, pad: int, dilation: int = 1
+) -> int:
     """Number of output positions of a 1D convolution along one axis."""
-    span = in_extent + 2 * pad - kernel
+    span = in_extent + 2 * pad - dilated_extent(kernel, dilation)
     if span < 0:
         raise ValueError(
-            f"kernel {kernel} larger than padded input {in_extent + 2 * pad}"
+            f"kernel {kernel} (dilation {dilation}) larger than padded "
+            f"input {in_extent + 2 * pad}"
         )
     return span // stride + 1
 
@@ -60,6 +73,11 @@ class ConvLayer:
     pad_h: int = 0
     pad_w: int = 0
     pad_f: int = 0
+    #: Dilation rates (D2Conv3D scenario): filter taps are spread
+    #: ``dilation`` positions apart in input space.  1 = dense convolution.
+    dilation_h: int = 1
+    dilation_w: int = 1
+    dilation_f: int = 1
 
     def __post_init__(self) -> None:
         for field in ("h", "w", "c", "f", "k", "r", "s", "t"):
@@ -72,27 +90,52 @@ class ConvLayer:
         for field in ("pad_h", "pad_w", "pad_f"):
             if getattr(self, field) < 0:
                 raise ValueError(f"{self.name}: {field} must be >= 0")
-        if self.r > self.h + 2 * self.pad_h:
+        for field in ("dilation_h", "dilation_w", "dilation_f"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{self.name}: {field} must be >= 1")
+        if self.dilated_r > self.h + 2 * self.pad_h:
             raise ValueError(f"{self.name}: filter height {self.r} exceeds input")
-        if self.s > self.w + 2 * self.pad_w:
+        if self.dilated_s > self.w + 2 * self.pad_w:
             raise ValueError(f"{self.name}: filter width {self.s} exceeds input")
-        if self.t > self.f + 2 * self.pad_f:
+        if self.dilated_t > self.f + 2 * self.pad_f:
             raise ValueError(f"{self.name}: filter depth {self.t} exceeds input")
+
+    # ------------------------------------------------------------------
+    # Input-space filter spans (dilation-aware)
+    # ------------------------------------------------------------------
+    @property
+    def dilated_r(self) -> int:
+        """Input rows spanned by the filter: (R-1)*dilation + 1."""
+        return dilated_extent(self.r, self.dilation_h)
+
+    @property
+    def dilated_s(self) -> int:
+        return dilated_extent(self.s, self.dilation_w)
+
+    @property
+    def dilated_t(self) -> int:
+        return dilated_extent(self.t, self.dilation_f)
 
     # ------------------------------------------------------------------
     # Output geometry
     # ------------------------------------------------------------------
     @property
     def out_h(self) -> int:
-        return conv_output_extent(self.h, self.r, self.stride_h, self.pad_h)
+        return conv_output_extent(
+            self.h, self.r, self.stride_h, self.pad_h, self.dilation_h
+        )
 
     @property
     def out_w(self) -> int:
-        return conv_output_extent(self.w, self.s, self.stride_w, self.pad_w)
+        return conv_output_extent(
+            self.w, self.s, self.stride_w, self.pad_w, self.dilation_w
+        )
 
     @property
     def out_f(self) -> int:
-        return conv_output_extent(self.f, self.t, self.stride_f, self.pad_f)
+        return conv_output_extent(
+            self.f, self.t, self.stride_f, self.pad_f, self.dilation_f
+        )
 
     @property
     def is_2d(self) -> bool:
@@ -178,17 +221,24 @@ class ConvLayer:
         is one 2D convolution of this shape.
         """
         return dataclasses.replace(
-            self, name=f"{self.name}/frame", f=1, t=1, stride_f=1, pad_f=0
+            self, name=f"{self.name}/frame", f=1, t=1, stride_f=1, pad_f=0,
+            dilation_f=1,
         )
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.name}: in {self.c}x{self.h}x{self.w}x{self.f}f -> "
             f"out {self.k}x{self.out_h}x{self.out_w}x{self.out_f}f, "
             f"filter {self.r}x{self.s}x{self.t}, "
             f"stride ({self.stride_h},{self.stride_w},{self.stride_f}), "
             f"pad ({self.pad_h},{self.pad_w},{self.pad_f})"
         )
+        if (self.dilation_h, self.dilation_w, self.dilation_f) != (1, 1, 1):
+            text += (
+                f", dilation ({self.dilation_h},{self.dilation_w},"
+                f"{self.dilation_f})"
+            )
+        return text
 
 
 def total_maccs(layers: Iterator[ConvLayer]) -> int:

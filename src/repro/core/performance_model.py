@@ -17,12 +17,54 @@ time with an analytic model.  Ours works the same way:
 from __future__ import annotations
 
 import dataclasses
-import math
+import functools
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.access_model import TrafficReport
 from repro.core.dataflow import Dataflow, Parallelism
 from repro.core.dims import DataType, Dim
+from repro.core.tiling import ceil_div
+
+
+# ----------------------------------------------------------------------
+# Scalar/array-agnostic formula kernels (shared with repro.core.batch)
+# ----------------------------------------------------------------------
+def imbalance_utilisation_kernel(tiles, degree):
+    """Fraction of PE-rounds doing useful work when ``tiles`` units are
+    dealt round-robin to ``degree`` workers.  Exactly 1.0 at degree 1, so
+    callers can multiply unconditionally."""
+    return tiles / (ceil_div(tiles, degree) * degree)
+
+
+def vector_lane_utilisation_kernel(k_inner, vector_width):
+    """Vector-lane slack when the innermost K tile is not a multiple of
+    ``Vw`` (Section IV-A2)."""
+    return k_inner / (vector_width * ceil_div(k_inner, vector_width))
+
+
+def utilization_kernel(degree, total_pes, vector_width, k_inner, dim_factors):
+    """Sustained fraction of peak MACC throughput.
+
+    ``dim_factors`` yields, per parallelisable dim (W, H, K, F order), the
+    tuple ``(cluster_degree, cluster_tiles, pe_degree, pe_tiles)``.  Works
+    on scalars and on candidate columns alike; the scalar model and the
+    batch pipeline both call this single implementation.
+    """
+    util = degree / total_pes
+    for c_deg, c_tiles, p_deg, p_tiles in dim_factors:
+        util = util * imbalance_utilisation_kernel(c_tiles, c_deg)
+        util = util * imbalance_utilisation_kernel(p_tiles, p_deg)
+    return util * vector_lane_utilisation_kernel(k_inner, vector_width)
+
+
+def compute_cycles_kernel(maccs, peak_maccs_per_cycle, utilization):
+    """Compute-bound cycles at a sustained utilisation."""
+    return maccs / (peak_maccs_per_cycle * utilization)
+
+
+def boundary_bus_bytes_kernel(input_fill, weight_fill, psum_load, psum_writeback):
+    """Bytes crossing one boundary's bus (both directions for psums)."""
+    return input_fill + weight_fill + (psum_load + psum_writeback)
 
 
 def split_parallelism(
@@ -36,7 +78,17 @@ def split_parallelism(
     owns an output-channel group, minimising input replication across
     clusters), then temporal/spatial dims fill remaining cluster slots, and
     whatever remains runs across the PEs of each cluster.
+
+    The divisor search is pure in its three arguments and called for every
+    candidate evaluation, so results are memoised process-wide.
     """
+    return _split_parallelism_cached(parallelism, clusters, pes_per_cluster)
+
+
+@functools.lru_cache(maxsize=4096)
+def _split_parallelism_cached(
+    parallelism: Parallelism, clusters: int, pes_per_cluster: int
+) -> tuple[Parallelism, Parallelism]:
     dims = (Dim.K, Dim.F, Dim.H, Dim.W)
     degrees = [parallelism.of(d) for d in dims]
     divisor_lists = [
@@ -107,15 +159,6 @@ def parallel_level_degrees(
     return ({},)
 
 
-def _imbalance_utilisation(tiles: int, degree: int) -> float:
-    """Fraction of PE-rounds doing useful work when ``tiles`` units are
-    dealt round-robin to ``degree`` workers."""
-    if degree <= 1:
-        return 1.0
-    rounds = math.ceil(tiles / degree)
-    return tiles / (rounds * degree)
-
-
 def compute_utilization(
     hierarchy,
     arch: AcceleratorConfig,
@@ -124,32 +167,34 @@ def compute_utilization(
     """Fraction of peak MACC throughput sustained (see module docstring).
 
     Exposed separately so the optimizer can rank parallelisation candidates
-    cheaply before running the full traffic model.
+    cheaply before running the full traffic model.  The arithmetic lives in
+    :func:`utilization_kernel`, shared with the batch pipeline.
     """
     cluster_par, pe_par = split_parallelism(
         parallelism, arch.clusters, arch.pes_per_cluster
     )
     inner = hierarchy.innermost
+    mid_index = max(hierarchy.levels - 2, 0)
+    mid_tile = hierarchy.tiles[mid_index]
     pe_parent = hierarchy.parent_of(hierarchy.levels - 1)
-    cluster_parent = hierarchy.parent_of(max(hierarchy.levels - 2, 0))
+    cluster_parent = hierarchy.parent_of(mid_index)
 
-    util = parallelism.degree / arch.total_pes
-    for dim in (Dim.W, Dim.H, Dim.K, Dim.F):
-        c_deg = cluster_par.of(dim)
-        p_deg = pe_par.of(dim)
-        if c_deg > 1:
-            mid_tile = hierarchy.tiles[max(hierarchy.levels - 2, 0)]
-            tiles = math.ceil(cluster_parent.extent(dim) / mid_tile.extent(dim))
-            util *= _imbalance_utilisation(tiles, c_deg)
-        if p_deg > 1:
-            tiles = math.ceil(pe_parent.extent(dim) / inner.extent(dim))
-            util *= _imbalance_utilisation(tiles, p_deg)
-
-    # Vector lanes span output channels: slack when the innermost K tile is
-    # not a multiple of Vw (Section IV-A2).
-    k_inner = inner.extent(Dim.K)
-    util *= k_inner / (arch.vector_width * math.ceil(k_inner / arch.vector_width))
-    return util
+    dim_factors = [
+        (
+            cluster_par.of(dim),
+            ceil_div(cluster_parent.extent(dim), mid_tile.extent(dim)),
+            pe_par.of(dim),
+            ceil_div(pe_parent.extent(dim), inner.extent(dim)),
+        )
+        for dim in (Dim.W, Dim.H, Dim.K, Dim.F)
+    ]
+    return utilization_kernel(
+        parallelism.degree,
+        arch.total_pes,
+        arch.vector_width,
+        inner.extent(Dim.K),
+        dim_factors,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -181,18 +226,20 @@ def compute_performance(
     util = compute_utilization(dataflow.hierarchy, arch, parallelism)
 
     # --- compute-bound cycles ----------------------------------------
-    compute_cycles = traffic.maccs / (arch.peak_maccs_per_cycle * util)
+    compute_cycles = compute_cycles_kernel(
+        traffic.maccs, arch.peak_maccs_per_cycle, util
+    )
 
     # --- bandwidth-bound cycles --------------------------------------
     bandwidth_cycles: dict[str, float] = {}
     for index, boundary in enumerate(traffic.boundaries):
-        bytes_crossing = 0
-        for data_type in DataType:
-            t = boundary.of(data_type)
-            if data_type is DataType.PSUMS:
-                bytes_crossing += t.load_bytes + t.writeback_bytes
-            else:
-                bytes_crossing += t.fill_bytes
+        psums = boundary.of(DataType.PSUMS)
+        bytes_crossing = boundary_bus_bytes_kernel(
+            boundary.of(DataType.INPUTS).fill_bytes,
+            boundary.of(DataType.WEIGHTS).fill_bytes,
+            psums.load_bytes,
+            psums.writeback_bytes,
+        )
         bw = arch.noc.boundary_bandwidth_bytes_per_cycle(index)
         bandwidth_cycles[boundary.name] = bytes_crossing / bw
 

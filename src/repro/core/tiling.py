@@ -10,6 +10,11 @@ here convert both ways.
 
 Only ``W``, ``H``, ``C``, ``K``, ``F`` are tiled; ``R``, ``S``, ``T`` are
 small (1–11) and never tiled (Section II-D).
+
+The closed-form extent formulas are split into ``*_kernel`` functions that
+use only arithmetic valid for Python ints *and* NumPy arrays, so the scalar
+model path and the columnar batch path (:mod:`repro.core.batch`) evaluate
+the very same equations.
 """
 
 from __future__ import annotations
@@ -19,6 +24,30 @@ import math
 
 from repro.core.dims import ALL_DIMS, DataType, Dim
 from repro.core.layer import ConvLayer
+
+
+# ----------------------------------------------------------------------
+# Scalar/array-agnostic formula kernels
+# ----------------------------------------------------------------------
+def ceil_div(a, b):
+    """``ceil(a / b)`` for positive ints; works elementwise on arrays."""
+    return -(-a // b)
+
+
+def input_extent_kernel(out_extent, span, stride):
+    """Input positions covered by ``out_extent`` outputs of one filter of
+    input-space ``span`` sliding by ``stride`` (halo included)."""
+    return (out_extent - 1) * stride + span
+
+
+def sum_input_extents_kernel(total, tile, span, stride):
+    """Sum of per-tile input footprints along one sliding dim.
+
+    Closed form of ``sum(input_extent_kernel(e) for e in tile_positions())``
+    with ``n = ceil(total / tile)`` tiles: ``stride * total + n * (span -
+    stride)`` — each tile re-fetches its halo.
+    """
+    return stride * total + ceil_div(total, tile) * (span - stride)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,13 +75,18 @@ DEFAULT_PRECISION = Precision()
 
 
 def kernel_and_stride(layer: ConvLayer, dim: Dim) -> tuple[int, int]:
-    """Filter extent and stride along a sliding dim (W, H or F)."""
+    """Input-space filter span and stride along a sliding dim (W, H or F).
+
+    The span is dilation-aware: a dilated filter touches the same number of
+    taps spread over ``(taps - 1) * dilation + 1`` input positions, so all
+    halo/footprint math downstream handles dilated convolution for free.
+    """
     if dim is Dim.W:
-        return layer.s, layer.stride_w
+        return layer.dilated_s, layer.stride_w
     if dim is Dim.H:
-        return layer.r, layer.stride_h
+        return layer.dilated_r, layer.stride_h
     if dim is Dim.F:
-        return layer.t, layer.stride_f
+        return layer.dilated_t, layer.stride_f
     raise ValueError(f"{dim} is not a sliding dimension")
 
 
@@ -65,7 +99,7 @@ def input_extent(layer: ConvLayer, dim: Dim, out_extent: int) -> int:
     if dim is Dim.C:
         return out_extent
     kernel, stride = kernel_and_stride(layer, dim)
-    return (out_extent - 1) * stride + kernel
+    return input_extent_kernel(out_extent, kernel, stride)
 
 
 def halo_overlap(layer: ConvLayer, dim: Dim) -> int:
@@ -158,11 +192,11 @@ class TileShape:
     # Footprints
     # ------------------------------------------------------------------
     def input_elements(self, layer: ConvLayer) -> int:
-        """Input-space element count, halos included."""
+        """Input-space element count, halos included (dilation-aware)."""
         return (
-            ((self.w - 1) * layer.stride_w + layer.s)
-            * ((self.h - 1) * layer.stride_h + layer.r)
-            * ((self.f - 1) * layer.stride_f + layer.t)
+            input_extent_kernel(self.w, layer.dilated_s, layer.stride_w)
+            * input_extent_kernel(self.h, layer.dilated_r, layer.stride_h)
+            * input_extent_kernel(self.f, layer.dilated_t, layer.stride_f)
             * self.c
         )
 
@@ -232,8 +266,7 @@ def sum_input_extents(layer: ConvLayer, dim: Dim, total: int, tile: int) -> int:
     if dim is Dim.C:
         return total
     kernel, stride = kernel_and_stride(layer, dim)
-    n = math.ceil(total / tile)
-    return stride * total + n * (kernel - stride)
+    return sum_input_extents_kernel(total, tile, kernel, stride)
 
 
 def union_input_extent(layer: ConvLayer, dim: Dim, total: int) -> int:

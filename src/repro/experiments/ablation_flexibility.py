@@ -34,7 +34,7 @@ from repro.arch.accelerator import (
 )
 from repro.experiments.common import default_options, format_table
 from repro.optimizer.search import OptimizerOptions, optimize_network
-from repro.workloads import c3d
+from repro.workloads import build_network
 
 
 def _variant(
@@ -91,7 +91,7 @@ def run_ablation(
     layers: tuple[str, ...] | None = None,
 ) -> AblationResult:
     options = options or default_options(fast)
-    network = c3d()
+    network = build_network("c3d")
     selected = tuple(
         layer for layer in network if layers is None or layer.name in layers
     )

@@ -26,7 +26,7 @@ from repro.core.loopnest import LoopOrder
 from repro.experiments.common import default_options, format_table
 from repro.optimizer.engine import optimize_layer
 from repro.optimizer.search import OptimizerOptions
-from repro.workloads import c3d
+from repro.workloads import build_network
 
 #: The fixed outer orders of Figure 4a.
 FIG4A_OUTER_ORDERS = ("KWHCF", "WFHCK", "WHCKF")
@@ -66,7 +66,7 @@ def run_figure4(
 ) -> Figure4Result:
     """``layers`` restricts the study to a subset of C3D layers (tests)."""
     arch = morph()
-    network = c3d()
+    network = build_network("c3d")
     selected = [
         layer for layer in network if layers is None or layer.name in layers
     ]

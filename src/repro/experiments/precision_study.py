@@ -20,7 +20,7 @@ from repro.arch.accelerator import morph
 from repro.core.tiling import Precision
 from repro.experiments.common import default_options, format_table
 from repro.optimizer.search import OptimizerOptions, optimize_network
-from repro.workloads import c3d
+from repro.workloads import build_network
 
 #: (label, activation/weight bytes, psum bytes).
 PRECISIONS = (
@@ -48,7 +48,7 @@ def run_precision_study(
     layers: tuple[str, ...] | None = None,
 ) -> PrecisionResult:
     options = options or default_options(fast)
-    network = c3d()
+    network = build_network("c3d")
     selected = tuple(
         layer for layer in network if layers is None or layer.name in layers
     )

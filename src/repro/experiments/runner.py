@@ -24,6 +24,7 @@ import time
 from typing import Callable
 
 from repro.optimizer.engine import set_engine_defaults
+from repro.workloads import set_build_defaults
 
 from repro.experiments import (
     ablation_flexibility,
@@ -85,12 +86,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable all optimizer caching (cold-run timing)",
     )
+    parser.add_argument(
+        "--vectorize",
+        dest="vectorize",
+        action="store_true",
+        default=None,
+        help="force the columnar batch evaluator on (default: on when "
+        "NumPy is available, or $REPRO_VECTORIZE)",
+    )
+    parser.add_argument(
+        "--no-vectorize",
+        dest="vectorize",
+        action="store_false",
+        help="run the scalar reference search path (identical results)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="input frames for frame-flexible networks (C3D, I3D, ...): "
+        "sweeps like C3D at 8/16/32 frames need no code edits",
+    )
     args = parser.parse_args(argv)
     set_engine_defaults(
         parallelism=args.parallelism,
         cache_dir=args.cache_dir,
         use_cache=False if args.no_cache else None,
+        vectorize=args.vectorize,
     )
+    if args.frames is not None and args.frames < 1:
+        parser.error("--frames must be >= 1")
+    set_build_defaults(frames=args.frames)
 
     chosen = list(args.experiments or [])
     unknown = [name for name in chosen if name not in EXPERIMENTS and name != "all"]

@@ -17,7 +17,7 @@ from repro.core.tiling import input_extent
 from repro.experiments.common import default_options, format_table
 from repro.optimizer.engine import optimize_layer
 from repro.optimizer.search import OptimizerOptions
-from repro.workloads import c3d
+from repro.workloads import build_network
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,7 +61,7 @@ def run_table3(
     options = options or default_options(fast)
     arch = morph()
     rows = []
-    for layer in c3d():
+    for layer in build_network("c3d"):
         if layers is not None and layer.name not in layers:
             continue
         ev = optimize_layer(layer, arch, options).best

@@ -9,15 +9,19 @@ Module map:
 
 * :mod:`~repro.optimizer.search` — the per-layer search
   (:class:`LayerOptimizer`) with its objective lower-bound early-prune
-  fast path, plus :func:`optimize_network`.
+  fast path, plus :func:`optimize_network`.  Candidates are scored through
+  the columnar batch pipeline (:mod:`repro.core.batch`) by default, with
+  the scalar reference path behind ``vectorize=False`` /
+  ``REPRO_VECTORIZE=0`` — identical results either way.
 * :mod:`~repro.optimizer.engine` — the scaling layer every network sweep
   runs through: content-keyed deduplication of identical layer shapes,
   process-pool fan-out of unique searches, and the persistent on-disk
   configuration cache (paper Section V's "saved and recalled"
   configuration files).  Knobs: ``use_cache``, ``parallelism``,
-  ``cache_dir`` on :func:`optimize_network` / :func:`optimize_layer`,
-  process-wide defaults via :func:`set_engine_defaults` or the
-  ``REPRO_PARALLELISM`` / ``REPRO_CACHE_DIR`` environment variables.
+  ``cache_dir``, ``vectorize`` on :func:`optimize_network` /
+  :func:`optimize_layer`, process-wide defaults via
+  :func:`set_engine_defaults` or the ``REPRO_PARALLELISM`` /
+  ``REPRO_CACHE_DIR`` / ``REPRO_VECTORIZE`` environment variables.
 * :mod:`~repro.optimizer.config_store` — the JSON codec for whole-network
   configuration files and the engine's per-layer cache records.
 * :mod:`~repro.optimizer.allocation` / :mod:`~repro.optimizer.space` —

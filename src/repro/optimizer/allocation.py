@@ -48,34 +48,31 @@ def _mid(lo: int, hi: int) -> int:
     return max(lo, min(hi, round(math.sqrt(lo * hi))))
 
 
-def candidate_sub_tiles(
-    layer: ConvLayer,
-    arch: AcceleratorConfig,
-    level_index: int,
-    parent: TileShape,
-    *,
-    cap: TileShape | None = None,
-) -> list[TileShape]:
-    """Corner + midpoint + halving-ladder candidates, capacity-filtered.
+def _seed_candidates(
+    parent: TileShape, cap: TileShape | None
+) -> tuple[dict[Dim, tuple[int, int]], set[tuple[int, ...]]]:
+    """Per-dim (min, max) bounds plus the corner/midpoint candidate seed.
 
-    ``cap`` bounds each dimension's maximum from above; the search uses it
-    to guarantee enough sub-tiles exist along parallelised dims for every
-    PE/cluster to receive work (tile sizes and parallelism are co-designed,
-    Section V-A's joint configuration vector).
+    One implementation feeds both the scalar and the columnar
+    :func:`candidate_sub_tiles` paths, so the enumerated set — and its
+    insertion sequence, which fixes the downstream tie-break order —
+    cannot drift between them.  Only the halving ladder extends this seed,
+    and it is path-specific solely in *how* the footprint gradients are
+    computed.
     """
     dims = list(ALL_DIMS)
     bounds = {
-        dim: (1, min(parent.extent(dim), cap.extent(dim) if cap else parent.extent(dim)))
+        dim: (
+            1,
+            min(parent.extent(dim), cap.extent(dim) if cap else parent.extent(dim)),
+        )
         for dim in dims
     }
     candidates: set[tuple[int, ...]] = set()
 
     # 2^D corners (Section V-C).
     for mask in itertools.product((0, 1), repeat=len(dims)):
-        extents = tuple(
-            bounds[dim][bit] for dim, bit in zip(dims, mask)
-        )
-        candidates.add(extents)
+        candidates.add(tuple(bounds[dim][bit] for dim, bit in zip(dims, mask)))
 
     # Geometric midpoints: all-mid, and each dim at max with others mid.
     mid = tuple(_mid(*bounds[dim]) for dim in dims)
@@ -84,6 +81,88 @@ def candidate_sub_tiles(
         boosted = list(mid)
         boosted[i] = bounds[dim][1]
         candidates.add(tuple(boosted))
+    return bounds, candidates
+
+
+def _tile_columns(tiles: list[TileShape]):
+    """(5, N) int64 columns of a tile list (ALL_DIMS order)."""
+    import numpy as np
+
+    return np.array(
+        [
+            [tile.w for tile in tiles],
+            [tile.h for tile in tiles],
+            [tile.c for tile in tiles],
+            [tile.k for tile in tiles],
+            [tile.f for tile in tiles],
+        ],
+        dtype=np.int64,
+    )
+
+
+def _f_reuse_scores(
+    layer: ConvLayer,
+    parents,  #: one TileShape or a list matching ``children``
+    children: list[TileShape],
+    inner_order: LoopOrder,
+    arch: AcceleratorConfig,
+):
+    """Columnar :func:`f_reuse` over many (parent, child) pairs.
+
+    Same equations through :func:`repro.core.batch.boundary_fill_bytes_sum`;
+    scores are bit-identical to calling :func:`f_reuse` per pair.
+    """
+    import numpy as np
+
+    from repro.core.batch import boundary_fill_bytes_sum
+
+    child_cols = _tile_columns(children)
+    if isinstance(parents, TileShape):
+        parent_cols = _tile_columns([parents])
+        maccs = parents.maccs(layer)
+    else:
+        parent_cols = _tile_columns(list(parents))
+        maccs = np.array([p.maccs(layer) for p in parents], dtype=np.int64)
+    fill_bytes = boundary_fill_bytes_sum(
+        layer, arch.precision, parent_cols, child_cols, inner_order
+    )
+    return maccs / np.maximum(fill_bytes, 1)
+
+
+def candidate_sub_tiles(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    level_index: int,
+    parent: TileShape,
+    *,
+    cap: TileShape | None = None,
+    vectorize: bool = False,
+    memo: dict | None = None,
+) -> list[TileShape]:
+    """Corner + midpoint + halving-ladder candidates, capacity-filtered.
+
+    ``cap`` bounds each dimension's maximum from above; the search uses it
+    to guarantee enough sub-tiles exist along parallelised dims for every
+    PE/cluster to receive work (tile sizes and parallelism are co-designed,
+    Section V-A's joint configuration vector).
+
+    ``vectorize=True`` runs the columnar variant (same candidates, same
+    order); since the result depends only on ``(level_index, parent,
+    cap)``, an optional ``memo`` dict shares it across the inner-order
+    loop of a search.
+    """
+    if vectorize:
+        key = (level_index, parent, cap)
+        if memo is not None and key in memo:
+            return memo[key]
+        result = _candidate_sub_tiles_columnar(
+            layer, arch, level_index, parent, cap
+        )
+        if memo is not None:
+            memo[key] = result
+        return result
+    dims = list(ALL_DIMS)
+    bounds, candidates = _seed_candidates(parent, cap)
 
     # Halving ladder: from the largest allowed shape, repeatedly halve the
     # dimension contributing most footprint until the tile fits.
@@ -107,6 +186,57 @@ def candidate_sub_tiles(
         if arch.tile_fits(level_index, layer, tile):
             feasible.append(tile)
     return feasible
+
+
+def _candidate_sub_tiles_columnar(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    level_index: int,
+    parent: TileShape,
+    cap: TileShape | None,
+) -> list[TileShape]:
+    """Columnar twin of :func:`candidate_sub_tiles`.
+
+    Shares the corner/midpoint seed (and therefore the set insertion
+    sequence that fixes the downstream tie-break order) through
+    :func:`_seed_candidates`, then batches the footprint-gradient and
+    capacity checks instead of probing tile by tile.
+    """
+    import numpy as np
+
+    from repro.core.batch import tile_bytes_columns, tile_fits_mask
+
+    dims = list(ALL_DIMS)
+    bounds, candidates = _seed_candidates(parent, cap)
+
+    # Halving ladder, with all five per-dim footprint gradients of one
+    # step computed in a single columnar footprint evaluation.
+    current = [bounds[dim][1] for dim in dims]
+    precision = arch.precision
+    for _ in range(40):
+        tile = TileShape(*current)
+        candidates.add(tuple(current))
+        if arch.tile_fits(level_index, layer, tile):
+            break
+        probes = np.empty((5, 6), dtype=np.int64)
+        probes[:, 0] = current
+        for d in range(5):
+            probes[:, d + 1] = current
+            probes[d, d + 1] = -(-current[d] // 2)
+        bytes_by_type = tile_bytes_columns(layer, precision, probes)
+        totals = sum(bytes_by_type[dt] for dt in bytes_by_type)
+        gradients = [
+            -1 if current[d] == 1 else int(totals[0] - totals[d + 1])
+            for d in range(5)
+        ]
+        heaviest = int(np.argmax(gradients))  # first max, like max(dims, ...)
+        if current[heaviest] == 1:
+            break
+        current[heaviest] = math.ceil(current[heaviest] / 2)
+
+    tiles = [TileShape(*extents) for extents in candidates]
+    fits = tile_fits_mask(arch, level_index, layer, _tile_columns(tiles))
+    return [tile for tile, ok in zip(tiles, fits) if ok]
 
 
 def _footprint_gradient(
@@ -133,19 +263,36 @@ def allocate_level(
     *,
     keep: int = 6,
     cap: TileShape | None = None,
+    vectorize: bool = False,
+    memo: dict | None = None,
 ) -> list[TileShape]:
-    """Top-``keep`` sub-tile shapes for one level by ``f_reuse`` score."""
-    feasible = candidate_sub_tiles(layer, arch, level_index, parent, cap=cap)
+    """Top-``keep`` sub-tile shapes for one level by ``f_reuse`` score.
+
+    With ``vectorize=True`` all candidates are scored through one columnar
+    boundary-traffic evaluation; scores (and therefore the stable
+    descending order) are identical to the per-tile path.
+    """
+    feasible = candidate_sub_tiles(
+        layer, arch, level_index, parent, cap=cap, vectorize=vectorize,
+        memo=memo,
+    )
     if not feasible:
         raise ValueError(
             f"no feasible sub-tile at level {level_index} of {arch.name} "
             f"for {layer.name} (parent {parent.describe()})"
         )
-    scored = sorted(
-        feasible,
-        key=lambda tile: f_reuse(layer, parent, tile, inner_order, arch),
-        reverse=True,
-    )
+    if vectorize:
+        scores = _f_reuse_scores(layer, parent, feasible, inner_order, arch)
+        ranked = sorted(
+            range(len(feasible)), key=scores.__getitem__, reverse=True
+        )
+        scored = [feasible[i] for i in ranked]
+    else:
+        scored = sorted(
+            feasible,
+            key=lambda tile: f_reuse(layer, parent, tile, inner_order, arch),
+            reverse=True,
+        )
     return scored[:keep]
 
 
@@ -173,6 +320,8 @@ def allocate_hierarchy(
     *,
     keep_per_level: int = 4,
     level_degrees: tuple[dict[Dim, int], ...] | None = None,
+    vectorize: bool = False,
+    candidate_memo: dict | None = None,
 ) -> list[tuple[TileShape, ...]]:
     """Candidate full hierarchies below a chosen last-level tile.
 
@@ -181,7 +330,18 @@ def allocate_hierarchy(
     ``level_degrees[i]`` gives the parallel split applied when tiles of
     level ``i`` are distributed (clusters at the middle level, PEs at the
     innermost), which caps tile extents so every worker gets a sub-tile.
+
+    ``vectorize=True`` runs the columnar twin: identical beams (the
+    equivalence argument is spelled out in
+    :func:`_allocate_hierarchy_columnar`), one batched ``f_reuse``
+    evaluation per level instead of one per candidate.
     """
+    if vectorize:
+        return _allocate_hierarchy_columnar(
+            layer, arch, last_level_tile, inner_order,
+            keep_per_level=keep_per_level, level_degrees=level_degrees,
+            candidate_memo=candidate_memo,
+        )
     beams: list[tuple[TileShape, ...]] = [(last_level_tile,)]
     for level_index in range(1, arch.num_levels):
         degrees = None
@@ -211,4 +371,66 @@ def allocate_hierarchy(
             reverse=True,
         )
         beams = new_beams[: max(keep_per_level, 2)]
+    return beams
+
+
+def _allocate_hierarchy_columnar(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    last_level_tile: TileShape,
+    inner_order: LoopOrder,
+    *,
+    keep_per_level: int,
+    level_degrees: tuple[dict[Dim, int], ...] | None,
+    candidate_memo: dict | None,
+) -> list[tuple[TileShape, ...]]:
+    """Columnar twin of :func:`allocate_hierarchy` — identical beams.
+
+    Per level, every beam's candidate sub-tiles are scored through ONE
+    batched ``f_reuse`` evaluation; candidates never exceed their parent
+    (the generator bounds them by it), so ``tile.clipped(parent) == tile``
+    and the per-candidate scores double as the beam-ranking scores the
+    scalar path recomputes.  Ranking uses the same stable descending
+    sorts, so beam contents and order match the scalar path exactly.
+    """
+    beams: list[tuple[TileShape, ...]] = [(last_level_tile,)]
+    for level_index in range(1, arch.num_levels):
+        degrees = None
+        if level_degrees is not None:
+            degrees = level_degrees[level_index]
+        entries_beam: list[int] = []
+        entries_parent: list[TileShape] = []
+        entries_tile: list[TileShape] = []
+        for beam_idx, beam in enumerate(beams):
+            parent = beam[-1]
+            cap = parallel_caps(parent, degrees) if degrees else None
+            candidates = candidate_sub_tiles(
+                layer, arch, level_index, parent, cap=cap, vectorize=True,
+                memo=candidate_memo,
+            )
+            for tile in candidates:
+                entries_beam.append(beam_idx)
+                entries_parent.append(parent)
+                entries_tile.append(tile)
+        if not entries_tile:
+            raise ValueError(
+                f"no feasible allocation below {last_level_tile.describe()} "
+                f"for {layer.name} on {arch.name}"
+            )
+        scores = _f_reuse_scores(
+            layer, entries_parent, entries_tile, inner_order, arch
+        )
+
+        # Top-keep per beam (allocate_level), in beam order, then the
+        # global stable sort by score (the scalar beam ranking).
+        chosen: list[int] = []
+        for beam_idx in range(len(beams)):
+            members = [j for j, b in enumerate(entries_beam) if b == beam_idx]
+            members.sort(key=scores.__getitem__, reverse=True)
+            chosen.extend(members[:keep_per_level])
+        chosen.sort(key=scores.__getitem__, reverse=True)
+        beams = [
+            beams[entries_beam[j]] + (entries_tile[j].clipped(entries_parent[j]),)
+            for j in chosen[: max(keep_per_level, 2)]
+        ]
     return beams

@@ -23,7 +23,8 @@ from repro.core.loopnest import LoopOrder
 from repro.core.tiling import TileHierarchy, TileShape
 from repro.optimizer.search import NetworkResult
 
-FORMAT_VERSION = 1
+#: v2: layer signatures carry dilation (D2Conv3D support).
+FORMAT_VERSION = 2
 
 
 def _tile_to_json(tile: TileShape) -> dict:
@@ -46,6 +47,7 @@ def layer_signature(layer: ConvLayer, *, include_name: bool = True) -> dict:
         "k": layer.k, "r": layer.r, "s": layer.s, "t": layer.t,
         "stride": [layer.stride_h, layer.stride_w, layer.stride_f],
         "pad": [layer.pad_h, layer.pad_w, layer.pad_f],
+        "dilation": [layer.dilation_h, layer.dilation_w, layer.dilation_f],
     }
     if include_name:
         signature = {"name": layer.name, **signature}

@@ -43,14 +43,19 @@ here, so every experiment, benchmark and example goes through the engine.
 How experiments opt in/out
 --------------------------
 ``optimize_network`` / ``optimize_layer`` accept ``use_cache``,
-``parallelism`` and ``cache_dir`` keywords.  Leaving ``parallelism`` /
-``cache_dir`` as ``None`` falls back to process-wide defaults, settable
-with :func:`set_engine_defaults` (the experiment runner's
-``--parallelism`` / ``--cache-dir`` / ``--no-cache`` flags do this) or the
-``REPRO_PARALLELISM`` / ``REPRO_CACHE_DIR`` environment variables; the
-built-in defaults are serial, in-memory-only caching.  Passing
-``cache_dir=False`` disables the disk cache even when a default is
-configured (``None`` merely defers to the defaults).
+``parallelism``, ``cache_dir`` and ``vectorize`` keywords.  Leaving
+``parallelism`` / ``cache_dir`` / ``vectorize`` as ``None`` falls back to
+process-wide defaults, settable with :func:`set_engine_defaults` (the
+experiment runner's ``--parallelism`` / ``--cache-dir`` / ``--no-cache`` /
+``--vectorize`` / ``--no-vectorize`` flags do this) or the
+``REPRO_PARALLELISM`` / ``REPRO_CACHE_DIR`` / ``REPRO_VECTORIZE``
+environment variables; the built-in defaults are serial, in-memory-only
+caching, columnar (vectorized) candidate scoring when NumPy is available.
+``vectorize`` is purely a speed knob — the columnar pipeline
+(:mod:`repro.core.batch`) returns bit-identical configurations and scores
+to the scalar path, so it is excluded from search signatures and cache
+keys.  Passing ``cache_dir=False`` disables the disk cache even when a
+default is configured (``None`` merely defers to the defaults).
 
 Cache location and versioning
 -----------------------------
@@ -88,13 +93,20 @@ from repro.optimizer.search import (
 
 #: Version of the on-disk record layout *and* of what a signature means.
 #: Bump when the analytic models, the search, or the record shape change.
-CACHE_FORMAT_VERSION = 1
+#: v2: dilation-aware layer signatures (records from the pre-dilation
+#: models invalidate automatically).
+CACHE_FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
 # Process-wide defaults (runner CLI flags / environment variables)
 # ----------------------------------------------------------------------
-_DEFAULTS: dict = {"parallelism": None, "cache_dir": None, "use_cache": None}
+_DEFAULTS: dict = {
+    "parallelism": None,
+    "cache_dir": None,
+    "use_cache": None,
+    "vectorize": None,
+}
 
 #: Sentinel distinguishing "leave this knob untouched" from an explicit
 #: ``None`` ("clear it back to the environment-derived behaviour").
@@ -106,6 +118,7 @@ def set_engine_defaults(
     parallelism=_UNSET,
     cache_dir=_UNSET,
     use_cache=_UNSET,
+    vectorize=_UNSET,
 ) -> None:
     """Set process-wide fallbacks for engine knobs left as ``None``.
 
@@ -120,10 +133,14 @@ def set_engine_defaults(
         _DEFAULTS["cache_dir"] = None if cache_dir is None else Path(cache_dir)
     if use_cache is not _UNSET:
         _DEFAULTS["use_cache"] = use_cache
+    if vectorize is not _UNSET:
+        _DEFAULTS["vectorize"] = vectorize
 
 
 def reset_engine_defaults() -> None:
-    _DEFAULTS.update(parallelism=None, cache_dir=None, use_cache=None)
+    _DEFAULTS.update(
+        parallelism=None, cache_dir=None, use_cache=None, vectorize=None
+    )
 
 
 def default_parallelism() -> int:
@@ -149,6 +166,19 @@ def default_cache_dir() -> Path | None:
 
 def default_use_cache() -> bool:
     return True if _DEFAULTS["use_cache"] is None else _DEFAULTS["use_cache"]
+
+
+def default_vectorize() -> bool:
+    """Columnar batch evaluation on by default; ``REPRO_VECTORIZE=0`` (or
+    a missing NumPy) falls back to the scalar reference path."""
+    if _DEFAULTS["vectorize"] is not None:
+        return _DEFAULTS["vectorize"]
+    env = os.environ.get("REPRO_VECTORIZE")
+    if env is not None and env.strip() != "":
+        return env.strip().lower() not in ("0", "false", "no", "off")
+    from repro.core import batch
+
+    return batch.available
 
 
 # ----------------------------------------------------------------------
@@ -333,9 +363,22 @@ class OptimizerEngine:
         parallelism: int | None = None,
         cache_dir: str | Path | bool | None = None,
         use_cache: bool | None = None,
+        vectorize: bool | None = None,
     ) -> None:
         self.arch = arch
         self.options = options or OptimizerOptions()
+        # Resolve the vectorize knob here and bake it into the options so
+        # worker processes (which do not inherit set_engine_defaults state)
+        # follow the same path.  It never affects results, signatures or
+        # cache keys — only how candidates are scored.
+        if vectorize is None:
+            vectorize = (
+                self.options.vectorize
+                if self.options.vectorize is not None
+                else default_vectorize()
+            )
+        self.vectorize = vectorize
+        self.options = self.options.with_(vectorize=vectorize)
         self.parallelism = (
             default_parallelism() if parallelism is None else max(1, parallelism)
         )
@@ -499,6 +542,7 @@ def optimize_layer(
     use_cache: bool | None = None,
     parallelism: int | None = None,
     cache_dir: str | Path | bool | None = None,
+    vectorize: bool | None = None,
 ) -> LayerResult:
     """Single-layer search through the engine's shared caches."""
     engine = OptimizerEngine(
@@ -507,5 +551,6 @@ def optimize_layer(
         parallelism=parallelism,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        vectorize=vectorize,
     )
     return engine.optimize_layers((layer,))[0]

@@ -60,6 +60,14 @@ class OptimizerOptions:
     fixed_outer_order: LoopOrder | None = None
     fixed_inner_order: LoopOrder | None = None
     fixed_parallelism: Parallelism | None = None
+    #: Columnar batch evaluation of candidates (results are identical to
+    #: the scalar path; this is purely a speed knob, so it is excluded from
+    #: search signatures and cache keys).  ``None`` defers to the engine
+    #: default (:func:`repro.optimizer.engine.default_vectorize`, i.e. on
+    #: when NumPy is available unless ``REPRO_VECTORIZE=0``).
+    vectorize: bool | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.objective not in OBJECTIVES:
@@ -229,6 +237,17 @@ class LayerOptimizer:
         self.arch = arch
         self.options = options or OptimizerOptions()
         self._score = OBJECTIVES[self.options.objective]
+        if self.options.vectorize is None:
+            from repro.optimizer.engine import default_vectorize
+
+            self.vectorize = default_vectorize()
+        else:
+            self.vectorize = self.options.vectorize
+        if self.vectorize:
+            from repro.core import batch
+
+            if not batch.available:
+                self.vectorize = False
 
     # ------------------------------------------------------------------
     def _outer_orders(self, layer: ConvLayer, l2_tile: TileShape) -> list[LoopOrder]:
@@ -291,7 +310,20 @@ class LayerOptimizer:
         (:func:`objective_lower_bound`) prunes candidates that provably
         cannot beat the incumbent before the full analytic models run;
         the returned best configuration is identical to an unpruned sweep.
+
+        With vectorization on (the default), candidates are lowered into
+        columnar tables and scored by :mod:`repro.core.batch` — same
+        equations, same chosen configuration and score, a fraction of the
+        time.  ``evaluated``/``pruned`` counters can differ slightly
+        between the two paths because the batch path updates its incumbent
+        once per candidate block rather than per candidate.
         """
+        if self.vectorize:
+            return self._optimize_batch(layer)
+        return self._optimize_scalar(layer)
+
+    def _optimize_scalar(self, layer: ConvLayer) -> LayerResult:
+        """Pure-Python reference search (``vectorize=False``)."""
         best: Evaluation | None = None
         best_score = float("inf")
         evaluated = 0
@@ -371,6 +403,150 @@ class LayerOptimizer:
             pruned=pruned,
         )
 
+    def _optimize_batch(self, layer: ConvLayer) -> LayerResult:
+        """Columnar search: enumerate candidate tables, score in bulk.
+
+        Enumeration follows the scalar path's nesting exactly — per
+        ``(parallelism, L2 tile)`` block the rows run [inner order x
+        allocation x outer order] — and the block argmin breaks ties by
+        first enumeration index, so the chosen configuration and score
+        match :meth:`_optimize_scalar` bit for bit.  The PR 1 lower-bound
+        prune survives as a vectorized mask: branches whose bound cannot
+        beat the incumbent are skipped before allocation, rows before
+        evaluation.
+        """
+        import numpy as np
+
+        from repro.core.batch import CandidateBatch
+
+        objective = self.options.objective
+        best_batch: CandidateBatch | None = None
+        best_row = -1
+        best_score = float("inf")
+        evaluated = 0
+        pruned = 0
+        bounds: dict[tuple[TileShape, LoopOrder], float] = {}
+        #: (level, parent, cap) -> sub-tile candidates, shared across the
+        #: inner-order loop (candidate generation is order-independent).
+        candidate_memo: dict = {}
+        floors = layer_cost_floors(layer, self.arch)
+
+        l2_tiles = last_level_tile_candidates(
+            layer,
+            self.arch,
+            max_candidates=self.options.max_l2_candidates,
+            vectorize=True,
+        )
+        inner_orders = self._inner_orders()
+        parallelisms = tuple(self._parallelisms(layer))
+
+        #: Stable order registry shared by outer and inner columns.
+        order_index: dict[LoopOrder, int] = {}
+
+        def index_of(order: LoopOrder) -> int:
+            return order_index.setdefault(order, len(order_index))
+
+        def bound_for(l2_tile: TileShape, outer: LoopOrder) -> float:
+            bound = bounds.get((l2_tile, outer))
+            if bound is None:
+                bound = objective_lower_bound(
+                    layer, self.arch, l2_tile, outer, objective, floors,
+                )
+                bounds[(l2_tile, outer)] = bound
+            return bound
+
+        num_levels = self.arch.num_levels
+        for par_idx, par in enumerate(parallelisms):
+            level_degrees = self._level_degrees(par)
+            for l2_tile in l2_tiles:
+                outer_orders = self._outer_orders(layer, l2_tile)
+                # Branch-level prune, as in the scalar path.
+                viable_outers = [
+                    o for o in outer_orders if bound_for(l2_tile, o) < best_score
+                ]
+                if not viable_outers:
+                    pruned += len(outer_orders)
+                    continue
+
+                rows_tiles: list[tuple[TileShape, ...]] = []
+                rows_outer: list[int] = []
+                rows_inner: list[int] = []
+                for inner in inner_orders:
+                    try:
+                        beams = allocate_hierarchy(
+                            layer,
+                            self.arch,
+                            l2_tile,
+                            inner,
+                            keep_per_level=self.options.keep_per_level,
+                            level_degrees=level_degrees,
+                            vectorize=True,
+                            candidate_memo=candidate_memo,
+                        )
+                    except ValueError:
+                        continue
+                    inner_idx = index_of(inner)
+                    for tiles in beams[: self.options.keep_allocations]:
+                        for outer in viable_outers:
+                            # Vectorized-mask analogue of the scalar
+                            # re-check against the (block-start) incumbent.
+                            if bound_for(l2_tile, outer) >= best_score:
+                                pruned += 1
+                                continue
+                            rows_tiles.append(tiles)
+                            rows_outer.append(index_of(outer))
+                            rows_inner.append(inner_idx)
+                if not rows_tiles:
+                    continue
+
+                n = len(rows_tiles)
+                tiles_cols = np.empty((num_levels, 5, n), dtype=np.int64)
+                for i, tiles in enumerate(rows_tiles):
+                    for lvl in range(num_levels):
+                        tile = tiles[lvl]
+                        tiles_cols[lvl, 0, i] = tile.w
+                        tiles_cols[lvl, 1, i] = tile.h
+                        tiles_cols[lvl, 2, i] = tile.c
+                        tiles_cols[lvl, 3, i] = tile.k
+                        tiles_cols[lvl, 4, i] = tile.f
+                batch = CandidateBatch(
+                    layer,
+                    self.arch,
+                    tuple(order_index),
+                    parallelisms,
+                    tiles_cols,
+                    np.array(rows_outer, dtype=np.int64),
+                    np.array(rows_inner, dtype=np.int64),
+                    np.full(n, par_idx, dtype=np.int64),
+                )
+                scores = batch.scores(objective)
+                evaluated += int(np.isfinite(scores).sum())
+                winner = int(np.argmin(scores))  # first minimum wins ties
+                if scores[winner] < best_score:
+                    best_batch, best_row = batch, winner
+                    best_score = float(scores[winner])
+
+        if best_batch is None:
+            raise CapacityError(
+                f"no feasible configuration for {layer.name} on {self.arch.name}"
+            )
+        best = best_batch.evaluate_row(best_row)
+        if self._score(best) != best_score:
+            # Self-check at materialisation: the scalar re-evaluation of
+            # the winner must reproduce the batch score bit for bit.  A
+            # mismatch means the columnar int64 arithmetic left the scalar
+            # path's exact-integer envelope (e.g. overflow on a pathological
+            # layer) — fall back to the reference search rather than
+            # return a silently mis-ranked configuration.
+            return self._optimize_scalar(layer)
+        return LayerResult(
+            layer=layer,
+            best=best,
+            evaluated=evaluated,
+            objective=objective,
+            pruned=pruned,
+        )
+
 
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
@@ -422,6 +598,7 @@ def optimize_network(
     use_cache: bool | None = None,
     parallelism: int | None = None,
     cache_dir=None,
+    vectorize: bool | None = None,
 ) -> NetworkResult:
     """Optimize each layer of a network through the optimizer engine.
 
@@ -439,7 +616,9 @@ def optimize_network(
     ``REPRO_PARALLELISM``).  ``cache_dir`` likewise defaults to
     ``REPRO_CACHE_DIR`` when unset.  ``use_cache=False`` disables both the
     in-process memo and the disk cache (deduplication still applies — it
-    never changes results).
+    never changes results).  ``vectorize`` selects the columnar batch
+    evaluator (``None`` defers to the engine default / ``REPRO_VECTORIZE``;
+    results are identical either way).
     """
     from repro.optimizer.engine import OptimizerEngine
 
@@ -449,6 +628,7 @@ def optimize_network(
         parallelism=parallelism,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        vectorize=vectorize,
     )
     return engine.optimize_network(layers, network_name=network_name)
 

@@ -39,6 +39,37 @@ REPRESENTATIVE_INNER_ORDERS = (
 )
 
 
+def pins_data_type_kernel(w, h, c, k, f, full: TileShape):
+    """Does a last-level tile keep one whole data type resident?
+
+    Figure 4b shows the best configurations pin a whole data type in the
+    L2 whenever possible, so such candidates are always retained.  Written
+    with bitwise ops so one rule serves scalars and candidate columns.
+    """
+    return (
+        ((c == full.c) & (k == full.k))  # all weights resident
+        | ((w == full.w) & (h == full.h) & (c == full.c) & (f == full.f))  # inputs
+        | ((w == full.w) & (h == full.h) & (k == full.k) & (f == full.f))  # outputs
+    )
+
+
+def _select_l2_candidates(items, pinned_flags, maccs_key, max_candidates: int):
+    """Shared rank/truncate: pinned first (largest-reuse), then the rest.
+
+    ``items`` may be tiles (scalar path) or column indices (vectorized
+    path); ``maccs_key`` maps an item to its MAC count.  Sorts are stable,
+    so ties keep enumeration order in both paths.
+    """
+    pinned_flags = list(pinned_flags)  # consumed twice below
+    pinned = [item for item, p in zip(items, pinned_flags) if p]
+    rest = [item for item, p in zip(items, pinned_flags) if not p]
+    pinned.sort(key=maccs_key, reverse=True)
+    rest.sort(key=maccs_key, reverse=True)
+    take_pinned = pinned[: max(max_candidates // 3, 4)]
+    result = take_pinned + rest[: max_candidates - len(take_pinned)]
+    return result[:max_candidates]
+
+
 def halving_ladder(extent: int, *, max_steps: int = 8) -> list[int]:
     """Candidate tile extents: full size repeatedly halved, down to 1."""
     values: list[int] = []
@@ -60,6 +91,7 @@ def last_level_tile_candidates(
     *,
     max_candidates: int = 24,
     level_index: int = 0,
+    vectorize: bool = False,
 ) -> list[TileShape]:
     """Feasible last-level (L2) tile shapes, largest-reuse first.
 
@@ -68,56 +100,80 @@ def last_level_tile_candidates(
     monotone in every extent).  Candidates that keep one data type fully
     resident are always retained — Figure 4b shows the best configurations
     pin a whole data type in the L2 whenever possible.
+
+    ``vectorize=True`` evaluates the whole ladder grid through one columnar
+    capacity check (:func:`repro.core.batch.tile_fits_mask`) instead of the
+    per-tile recursion; the candidate list is identical, in the same order.
     """
     full = TileShape.full(layer)
     ladders = {dim: halving_ladder(full.extent(dim)) for dim in ALL_DIMS}
     feasible: list[TileShape] = []
     order = list(ALL_DIMS)
 
-    def recurse(index: int, chosen: dict[Dim, int]) -> None:
-        if index == len(order):
-            tile = TileShape.from_mapping(chosen)
-            if arch.tile_fits(level_index, layer, tile):
-                feasible.append(tile)
-            return
-        dim = order[index]
-        for value in ladders[dim]:
-            probe = dict(chosen)
-            probe[dim] = value
-            for rest in order[index + 1:]:
-                probe[rest] = 1
-            if not arch.tile_fits(level_index, layer, TileShape.from_mapping(probe)):
-                continue  # even the minimal completion is too big
-            chosen[dim] = value
-            recurse(index + 1, chosen)
-        chosen.pop(dim, None)
+    if vectorize:
+        import numpy as np
 
-    recurse(0, {})
+        from repro.core.batch import tile_fits_mask
+
+        # Cartesian product in the recursion's DFS order: same feasible
+        # set, same sequence.  Ranking happens on columns; TileShape
+        # objects are materialised only for the returned candidates.
+        grid = np.array(
+            list(itertools.product(*(ladders[dim] for dim in order))),
+            dtype=np.int64,
+        ).T
+        fits = tile_fits_mask(arch, level_index, layer, grid)
+        if not fits.any():
+            raise ValueError(
+                f"no feasible last-level tile for {layer.name} on {arch.name}"
+            )
+        w, h, c, k, f = grid
+        maccs = w * h * f * k * c * (layer.r * layer.s * layer.t)
+        pins = pins_data_type_kernel(w, h, c, k, f, full)
+        feasible_idx = [int(i) for i in np.flatnonzero(fits)]
+        chosen = _select_l2_candidates(
+            feasible_idx, (pins[i] for i in feasible_idx),
+            maccs.__getitem__, max_candidates,
+        )
+        return [
+            TileShape.from_mapping(dict(zip(order, map(int, grid[:, i]))))
+            for i in chosen
+        ]
+    else:
+
+        def recurse(index: int, chosen: dict[Dim, int]) -> None:
+            if index == len(order):
+                tile = TileShape.from_mapping(chosen)
+                if arch.tile_fits(level_index, layer, tile):
+                    feasible.append(tile)
+                return
+            dim = order[index]
+            for value in ladders[dim]:
+                probe = dict(chosen)
+                probe[dim] = value
+                for rest in order[index + 1:]:
+                    probe[rest] = 1
+                if not arch.tile_fits(
+                    level_index, layer, TileShape.from_mapping(probe)
+                ):
+                    continue  # even the minimal completion is too big
+                chosen[dim] = value
+                recurse(index + 1, chosen)
+            chosen.pop(dim, None)
+
+        recurse(0, {})
     if not feasible:
         raise ValueError(
             f"no feasible last-level tile for {layer.name} on {arch.name}"
         )
 
-    def pins_data_type(tile: TileShape) -> bool:
-        return (
-            (tile.c == full.c and tile.k == full.k)  # all weights resident
-            or all(
-                tile.extent(d) == full.extent(d)
-                for d in (Dim.W, Dim.H, Dim.C, Dim.F)
-            )  # all inputs resident
-            or all(
-                tile.extent(d) == full.extent(d)
-                for d in (Dim.W, Dim.H, Dim.K, Dim.F)
-            )  # all outputs resident
-        )
-
-    pinned = [t for t in feasible if pins_data_type(t)]
-    rest = [t for t in feasible if not pins_data_type(t)]
-    pinned.sort(key=lambda t: t.maccs(layer), reverse=True)
-    rest.sort(key=lambda t: t.maccs(layer), reverse=True)
-    take_pinned = pinned[: max(max_candidates // 3, 4)]
-    result = take_pinned + rest[: max_candidates - len(take_pinned)]
-    return result[:max_candidates]
+    flags = [
+        bool(pins_data_type_kernel(t.w, t.h, t.c, t.k, t.f, full))
+        for t in feasible
+    ]
+    return _select_l2_candidates(
+        feasible, flags, lambda t: t.maccs(layer), max_candidates
+    )
 
 
 def loop_order_candidates(

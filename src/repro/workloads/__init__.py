@@ -9,9 +9,11 @@ from repro.workloads.networks import (
     ShapeTracker,
     build_network,
     network_names,
+    set_build_defaults,
 )
 from repro.workloads.alexnet import alexnet
 from repro.workloads.c3d import c3d
+from repro.workloads.c3d_dilated import c3d_dilated
 from repro.workloads.i3d import i3d
 from repro.workloads.inception2d import inception
 from repro.workloads.r2plus1d import r2plus1d
@@ -30,8 +32,10 @@ __all__ = [
     "ShapeTracker",
     "build_network",
     "network_names",
+    "set_build_defaults",
     "alexnet",
     "c3d",
+    "c3d_dilated",
     "i3d",
     "inception",
     "r2plus1d",

@@ -1,0 +1,38 @@
+"""Dilated-3D C3D variant (the D2Conv3D scenario, Schmidt et al. 2021).
+
+D2Conv3D dilates the spatio-temporal convolutions of a video backbone to
+grow the receptive field without extra parameters or downsampling.  This
+workload applies the same recipe to the C3D backbone: the deep blocks
+(4a-5b) trade their pooling-driven resolution loss for dilated kernels —
+same taps, wider input-space span, so their halo/footprint behaviour on the
+accelerator differs from dense C3D in exactly the way the dilation-aware
+tiling model must capture.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.networks import Network, ShapeTracker, register
+
+
+@register("c3d_dilated")
+def c3d_dilated(
+    input_hw: int = 112, frames: int = 16, dilation: int = 2
+) -> Network:
+    """C3D with dilated deep blocks; ``dilation`` applies from block 4 on."""
+    net = ShapeTracker(h=input_hw, w=input_hw, c=3, f=frames)
+    net.conv("layer1", k=64, r=3, t=3)
+    net.pool(size=2, size_f=1)
+    net.conv("layer2", k=128, r=3, t=3)
+    net.pool(size=2, size_f=2)
+    net.conv("layer3a", k=256, r=3, t=3)
+    net.conv("layer3b", k=256, r=3, t=3)
+    net.pool(size=2, size_f=2)
+    # Blocks 4 and 5 keep their resolution (no further pooling) and dilate
+    # instead — the D2Conv3D substitution.  Temporal dilation is capped by
+    # the shrunken frame count so the span still fits the padded input.
+    f_dilation = min(dilation, max(1, (net.f + 1) // 2))
+    net.conv("layer4a", k=512, r=3, t=3, dilation=dilation, dilation_f=f_dilation)
+    net.conv("layer4b", k=512, r=3, t=3, dilation=dilation, dilation_f=f_dilation)
+    net.conv("layer5a", k=512, r=3, t=3, dilation=dilation, dilation_f=f_dilation)
+    net.conv("layer5b", k=512, r=3, t=3, dilation=dilation, dilation_f=f_dilation)
+    return net.build("C3D-dilated", is_3d=True, input_frames=frames)

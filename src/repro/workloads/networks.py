@@ -87,15 +87,18 @@ class ShapeTracker:
         stride_f: int = 1,
         pad: int | None = None,
         pad_f: int | None = None,
+        dilation: int = 1,
+        dilation_f: int = 1,
         track: bool = True,
     ) -> ConvLayer:
         """Append a convolution; by default "same"-style padding for odd
-        kernels is used when ``pad`` is omitted and the kernel is odd."""
+        kernels is used when ``pad`` is omitted and the kernel is odd (the
+        default accounts for dilation, as dilated architectures do)."""
         s = r if s is None else s
         if pad is None:
-            pad = (r - 1) // 2
+            pad = (r - 1) * dilation // 2
         if pad_f is None:
-            pad_f = (t - 1) // 2
+            pad_f = (t - 1) * dilation_f // 2
         layer = ConvLayer(
             name=name,
             h=self.h,
@@ -112,6 +115,9 @@ class ShapeTracker:
             pad_h=pad,
             pad_w=pad,
             pad_f=pad_f,
+            dilation_h=dilation,
+            dilation_w=dilation,
+            dilation_f=dilation_f,
         )
         self.layers.append(layer)
         if track:
@@ -147,6 +153,11 @@ class ShapeTracker:
 #: Global registry filled by the per-network modules at import time.
 _REGISTRY: dict[str, Callable[[], Network]] = {}
 
+#: Process-wide build overrides (e.g. the runner's ``--frames``): applied by
+#: :func:`build_network` to every factory that accepts the parameter, unless
+#: the caller passes an explicit value.
+_BUILD_DEFAULTS: dict[str, object] = {}
+
 
 def register(name: str) -> Callable[[Callable[..., Network]], Callable[..., Network]]:
     def wrap(factory: Callable[..., Network]) -> Callable[..., Network]:
@@ -160,6 +171,22 @@ def network_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def set_build_defaults(**defaults) -> None:
+    """Set process-wide default factory kwargs for :func:`build_network`.
+
+    ``set_build_defaults(frames=32)`` makes every frame-flexible network
+    (C3D, I3D, ...) build with 32 input frames without touching call sites —
+    frame-insensitive factories (AlexNet) are unaffected because defaults
+    only apply to factories whose signature accepts the parameter.  Passing
+    ``None`` for a key clears it.
+    """
+    for key, value in defaults.items():
+        if value is None:
+            _BUILD_DEFAULTS.pop(key, None)
+        else:
+            _BUILD_DEFAULTS[key] = value
+
+
 def build_network(name: str, **kwargs) -> Network:
     try:
         factory = _REGISTRY[name]
@@ -167,4 +194,11 @@ def build_network(name: str, **kwargs) -> Network:
         raise KeyError(
             f"unknown network {name!r}; available: {network_names()}"
         ) from None
+    if _BUILD_DEFAULTS:
+        import inspect
+
+        accepted = inspect.signature(factory).parameters
+        for key, value in _BUILD_DEFAULTS.items():
+            if key in accepted and key not in kwargs:
+                kwargs[key] = value
     return factory(**kwargs)

@@ -1,0 +1,299 @@
+"""Scalar-vs-batch equivalence harness for the columnar model core.
+
+The batch pipeline (:mod:`repro.core.batch`) must be a semantic-preserving
+rewrite of the scalar analytic models: same equations, same chosen
+configurations, bit-identical scores.  These tests pin that contract:
+
+* a property test over random layers (shapes, strides, dilations),
+  random tile hierarchies, loop orders and parallelisms compares
+  ``CandidateBatch.scores`` against per-candidate scalar evaluations;
+* a property test over random layers and all four objectives compares
+  the full vectorized search against the scalar reference search;
+* a per-registered-network sweep (slow tier) asserts every layer of every
+  workload chooses the identical configuration either way.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.accelerator import eyeriss_like, morph, morph_base
+from repro.core.batch import CandidateBatch
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.evaluate import CapacityError, evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder, all_loop_orders
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.optimizer.search import (
+    OBJECTIVES,
+    LayerOptimizer,
+    OptimizerOptions,
+    optimize_network,
+)
+from repro.workloads import build_network, network_names
+
+ARCHES = {"morph": morph, "morph_base": morph_base, "eyeriss": eyeriss_like}
+
+SMALL_OPTIONS = OptimizerOptions(
+    max_l2_candidates=4,
+    keep_allocations=2,
+    keep_per_level=2,
+    max_parallelism_candidates=2,
+)
+
+
+@st.composite
+def layers(draw) -> ConvLayer:
+    """Random (possibly strided/dilated) 3D conv layers."""
+    r = draw(st.integers(1, 3))
+    s = draw(st.integers(1, 3))
+    t = draw(st.integers(1, 3))
+    dil_h = draw(st.integers(1, 3))
+    dil_w = draw(st.integers(1, 3))
+    dil_f = draw(st.integers(1, 2))
+    span_h = (r - 1) * dil_h + 1
+    span_w = (s - 1) * dil_w + 1
+    span_f = (t - 1) * dil_f + 1
+    h = draw(st.integers(span_h, 24))
+    w = draw(st.integers(span_w, 24))
+    f = draw(st.integers(span_f, 8))
+    return ConvLayer(
+        "prop",
+        h=h,
+        w=w,
+        c=draw(st.integers(1, 48)),
+        f=f,
+        k=draw(st.integers(1, 64)),
+        r=r,
+        s=s,
+        t=t,
+        stride_h=draw(st.integers(1, 2)),
+        stride_w=draw(st.integers(1, 2)),
+        stride_f=draw(st.integers(1, 2)),
+        pad_h=draw(st.integers(0, 2)),
+        pad_w=draw(st.integers(0, 2)),
+        pad_f=draw(st.integers(0, 1)),
+        dilation_h=dil_h,
+        dilation_w=dil_w,
+        dilation_f=dil_f,
+    )
+
+
+def _random_tile(draw, full: TileShape) -> TileShape:
+    return TileShape(
+        w=draw(st.integers(1, full.w)),
+        h=draw(st.integers(1, full.h)),
+        c=draw(st.integers(1, full.c)),
+        k=draw(st.integers(1, full.k)),
+        f=draw(st.integers(1, full.f)),
+    )
+
+
+@st.composite
+def evaluation_cases(draw):
+    """(layer, arch, hierarchies, orders, parallelisms) for score checks."""
+    layer = draw(layers())
+    arch_name = draw(st.sampled_from(sorted(ARCHES)))
+    arch = ARCHES[arch_name]()
+    full = TileShape.full(layer)
+    hierarchies = [
+        tuple(_random_tile(draw, full) for _ in range(arch.num_levels))
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    order_pool = list(all_loop_orders())
+    orders = tuple(
+        draw(st.sampled_from(order_pool)) for _ in range(draw(st.integers(1, 3)))
+    )
+    par_pool = [
+        Parallelism(),
+        Parallelism(k=arch.clusters, h=arch.pes_per_cluster),
+        Parallelism(h=min(4, arch.total_pes)),
+    ]
+    parallelisms = tuple(par_pool[: draw(st.integers(1, 3))])
+    return layer, arch, hierarchies, orders, parallelisms
+
+
+class TestBatchScoresMatchScalar:
+    """CandidateBatch.scores == per-candidate scalar evaluation, bitwise."""
+
+    @given(case=evaluation_cases(), objective=st.sampled_from(sorted(OBJECTIVES)))
+    @settings(max_examples=40)
+    def test_scores_bitwise_equal(self, case, objective):
+        layer, arch, hierarchies, orders, parallelisms = case
+        rows = [
+            (hi, oi, ii, pi)
+            for hi in range(len(hierarchies))
+            for oi in range(len(orders))
+            for ii in range(len(orders))
+            for pi in range(len(parallelisms))
+        ]
+        n = len(rows)
+        tiles = np.empty((arch.num_levels, 5, n), dtype=np.int64)
+        outer = np.empty(n, dtype=np.int64)
+        inner = np.empty(n, dtype=np.int64)
+        par = np.empty(n, dtype=np.int64)
+        for i, (hi, oi, ii, pi) in enumerate(rows):
+            for lvl, tile in enumerate(hierarchies[hi]):
+                tiles[lvl, :, i] = (tile.w, tile.h, tile.c, tile.k, tile.f)
+            outer[i], inner[i], par[i] = oi, ii, pi
+        batch = CandidateBatch(
+            layer, arch, orders, parallelisms, tiles, outer, inner, par
+        )
+        scores = batch.scores(objective)
+
+        for i, (hi, oi, ii, pi) in enumerate(rows):
+            dataflow = Dataflow(
+                orders[oi],
+                orders[ii],
+                TileHierarchy(layer, hierarchies[hi]),
+                parallelisms[pi],
+            )
+            try:
+                expected = OBJECTIVES[objective](evaluate(dataflow, arch))
+            except CapacityError:
+                assert math.isinf(scores[i]), (i, rows[i])
+                continue
+            assert scores[i] == expected, (i, rows[i], scores[i], expected)
+
+    @given(case=evaluation_cases())
+    @settings(max_examples=20)
+    def test_materialized_row_matches_scalar(self, case):
+        layer, arch, hierarchies, orders, parallelisms = case
+        tiles = np.empty((arch.num_levels, 5, 1), dtype=np.int64)
+        for lvl, tile in enumerate(hierarchies[0]):
+            tiles[lvl, :, 0] = (tile.w, tile.h, tile.c, tile.k, tile.f)
+        batch = CandidateBatch(
+            layer, arch, orders, parallelisms, tiles,
+            np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        )
+        dataflow = batch.dataflow(0)
+        assert dataflow.hierarchy == TileHierarchy(layer, hierarchies[0])
+        assert dataflow.outer_order == orders[0]
+        assert dataflow.parallelism == parallelisms[0]
+
+
+class TestSearchEquivalence:
+    """Vectorized LayerOptimizer == scalar LayerOptimizer, end to end."""
+
+    @given(
+        layer=layers(),
+        objective=st.sampled_from(sorted(OBJECTIVES)),
+        arch_name=st.sampled_from(sorted(ARCHES)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_same_choice_and_score(self, layer, objective, arch_name):
+        arch = ARCHES[arch_name]()
+        options = SMALL_OPTIONS.with_(objective=objective)
+        try:
+            scalar = LayerOptimizer(
+                arch, options.with_(vectorize=False)
+            ).optimize(layer)
+        except CapacityError:
+            with pytest.raises(CapacityError):
+                LayerOptimizer(arch, options.with_(vectorize=True)).optimize(layer)
+            return
+        batch = LayerOptimizer(arch, options.with_(vectorize=True)).optimize(layer)
+        assert batch.best.dataflow == scalar.best.dataflow
+        assert batch.score == scalar.score  # bit-identical, stronger than 1e-9
+        assert batch.score == pytest.approx(scalar.score, rel=1e-9)
+
+    def test_dilated_layer_equivalence(self):
+        layer = ConvLayer(
+            "dil", h=14, w=14, c=64, f=4, k=96, r=3, s=3, t=3,
+            pad_h=2, pad_w=2, pad_f=2,
+            dilation_h=2, dilation_w=2, dilation_f=2,
+        )
+        for arch_factory in ARCHES.values():
+            arch = arch_factory()
+            options = OptimizerOptions.fast()
+            scalar = LayerOptimizer(
+                arch, options.with_(vectorize=False)
+            ).optimize(layer)
+            batch = LayerOptimizer(
+                arch, options.with_(vectorize=True)
+            ).optimize(layer)
+            assert batch.best.dataflow == scalar.best.dataflow
+            assert batch.score == scalar.score
+
+
+class TestEngineKnob:
+    """The vectorize knob changes speed only — never results or keys."""
+
+    def test_signature_excludes_vectorize(self):
+        from repro.optimizer.engine import search_signature
+
+        layer = ConvLayer("sig", h=8, w=8, c=4, f=2, k=8, r=3, s=3, t=1,
+                          pad_h=1, pad_w=1)
+        arch = morph()
+        on = search_signature(layer, arch, OptimizerOptions(vectorize=True))
+        off = search_signature(layer, arch, OptimizerOptions(vectorize=False))
+        assert on == off
+
+    def test_env_escape_hatch(self, monkeypatch):
+        from repro.optimizer import engine
+
+        engine.reset_engine_defaults()
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        assert engine.default_vectorize() is False
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        assert engine.default_vectorize() is True
+        monkeypatch.delenv("REPRO_VECTORIZE")
+        assert engine.default_vectorize() is True  # numpy is available
+
+    def test_set_engine_defaults_round_trip(self):
+        from repro.optimizer import engine
+
+        try:
+            engine.set_engine_defaults(vectorize=False)
+            assert engine.default_vectorize() is False
+            opt = LayerOptimizer(morph(), OptimizerOptions())
+            assert opt.vectorize is False
+        finally:
+            engine.reset_engine_defaults()
+
+    def test_optimize_network_knob_identical(self):
+        layer = ConvLayer(
+            "net", h=12, w=12, c=16, f=4, k=24, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        options = SMALL_OPTIONS
+        scalar = optimize_network(
+            (layer,), morph(), options, use_cache=False, parallelism=1,
+            vectorize=False,
+        )
+        batch = optimize_network(
+            (layer,), morph(), options, use_cache=False, parallelism=1,
+            vectorize=True,
+        )
+        assert scalar.layers[0].best.dataflow == batch.layers[0].best.dataflow
+        assert scalar.total_energy_pj == batch.total_energy_pj
+
+
+@pytest.mark.slow
+class TestRegisteredNetworkEquivalence:
+    """Acceptance gate: identical choices on every registered network."""
+
+    @pytest.mark.parametrize("name", network_names())
+    def test_network_identical(self, name):
+        network = build_network(name)
+        options = OptimizerOptions.fast()
+        arch = morph()
+        scalar = optimize_network(
+            network.layers, arch, options, network_name=network.name,
+            use_cache=False, parallelism=1, vectorize=False,
+        )
+        batch = optimize_network(
+            network.layers, arch, options, network_name=network.name,
+            use_cache=False, parallelism=1, vectorize=True,
+        )
+        for a, b in zip(scalar.layers, batch.layers):
+            assert a.best.dataflow == b.best.dataflow, a.layer.name
+            assert a.score == b.score, a.layer.name
+        assert scalar.total_energy_pj == batch.total_energy_pj
+        assert scalar.total_cycles == batch.total_cycles

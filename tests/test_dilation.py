@@ -1,0 +1,154 @@
+"""Dilated 3D convolution (the D2Conv3D scenario) through every model layer.
+
+Dilation spreads a filter's taps ``dilation`` positions apart, so the
+input-space span grows to ``(taps - 1) * dilation + 1`` while the tap count
+— and therefore MACs and weight footprint — is unchanged.  These tests pin
+the geometry, the halo/footprint math, the trace-simulator agreement and
+the registered dilated workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataflow import Dataflow
+from repro.core.dims import DataType, Dim
+from repro.core.layer import ConvLayer, conv_output_extent, dilated_extent
+from repro.core.loopnest import LoopOrder
+from repro.core.tiling import (
+    TileHierarchy,
+    TileShape,
+    input_extent,
+    kernel_and_stride,
+    sum_input_extents,
+    tile_positions,
+)
+from repro.core.access_model import compute_traffic
+from repro.optimizer.config_store import layer_signature
+from repro.sim.trace import trace_dataflow
+from repro.workloads import build_network
+
+
+def dilated(name="dil", **overrides) -> ConvLayer:
+    fields = dict(
+        h=14, w=14, c=8, f=6, k=16, r=3, s=3, t=3,
+        pad_h=2, pad_w=2, pad_f=2,
+        dilation_h=2, dilation_w=2, dilation_f=2,
+    )
+    fields.update(overrides)
+    return ConvLayer(name, **fields)
+
+
+class TestGeometry:
+    def test_dilated_extent(self):
+        assert dilated_extent(3, 1) == 3
+        assert dilated_extent(3, 2) == 5
+        assert dilated_extent(5, 3) == 13
+        assert dilated_extent(1, 4) == 1  # single tap never dilates
+
+    def test_output_extent_matches_torch_convention(self):
+        # floor((in + 2p - d*(k-1) - 1) / stride) + 1
+        assert conv_output_extent(14, 3, 1, 2, dilation=2) == 14
+        assert conv_output_extent(14, 3, 2, 0, dilation=2) == 5
+        assert conv_output_extent(7, 3, 1, 0, dilation=3) == 1
+
+    def test_same_padding_preserves_shape(self):
+        layer = dilated()
+        assert (layer.out_h, layer.out_w, layer.out_f) == (14, 14, 6)
+
+    def test_oversized_span_rejected(self):
+        with pytest.raises(ValueError, match="filter height"):
+            dilated(h=3, pad_h=0, dilation_h=3)
+
+    def test_dilation_must_be_positive(self):
+        with pytest.raises(ValueError, match="dilation_w"):
+            dilated(dilation_w=0)
+
+    def test_maccs_unchanged_by_dilation(self):
+        dense = dilated(dilation_h=1, dilation_w=1, dilation_f=1, pad_h=1,
+                        pad_w=1, pad_f=1)
+        assert dilated().maccs == dense.maccs
+        assert dilated().weight_elements == dense.weight_elements
+
+    def test_as_2d_frame_resets_temporal_dilation(self):
+        frame = dilated().as_2d_frame()
+        assert frame.t == 1 and frame.dilation_f == 1
+        assert frame.dilation_h == 2  # spatial dilation survives
+
+
+class TestHaloMath:
+    def test_kernel_and_stride_returns_span(self):
+        layer = dilated()
+        assert kernel_and_stride(layer, Dim.H) == (5, 1)
+        assert kernel_and_stride(layer, Dim.F) == (5, 1)
+
+    def test_input_extent_includes_dilated_halo(self):
+        layer = dilated()
+        # e output positions at stride 1 need (e - 1) + span input positions.
+        assert input_extent(layer, Dim.W, 7) == 6 + 5
+
+    def test_sum_input_extents_closed_form(self):
+        layer = dilated(h=16, pad_h=0)
+        total, tile = layer.out_h, 5
+        brute = sum(
+            input_extent(layer, Dim.H, e) for e in tile_positions(total, tile)
+        )
+        assert sum_input_extents(layer, Dim.H, total, tile) == brute
+
+    def test_tile_footprint_uses_span(self):
+        layer = dilated()
+        tile = TileShape(w=4, h=4, c=8, k=16, f=2)
+        # (4-1)*1+5 = 8 along W and H, (2-1)*1+5 = 6 along F.
+        assert tile.input_elements(layer) == 8 * 8 * 6 * 8
+
+
+class TestTraceAgreement:
+    def test_analytic_matches_trace_on_dilated_layer(self):
+        layer = dilated(h=6, w=6, c=4, f=6, k=4, pad_h=0, pad_w=0, pad_f=0,
+                        dilation_h=2, dilation_w=2, dilation_f=2)
+        hierarchy = TileHierarchy(
+            layer,
+            (
+                TileShape(w=2, h=2, c=4, k=4, f=2),
+                TileShape(w=1, h=2, c=2, k=2, f=1),
+            ),
+        )
+        dataflow = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"), hierarchy
+        )
+        analytic = compute_traffic(dataflow)
+        traced = trace_dataflow(dataflow)
+        for level in range(2):
+            for dt in DataType:
+                assert (
+                    analytic.boundaries[level].of(dt).fill_bytes
+                    == traced.boundaries[level].fill_bytes[dt]
+                ), (level, dt)
+
+
+class TestWorkloadAndSignature:
+    def test_c3d_dilated_registered(self):
+        network = build_network("c3d_dilated")
+        assert network.name == "C3D-dilated"
+        deep = network.layer_named("layer5b")
+        assert (deep.dilation_h, deep.dilation_w) == (2, 2)
+        assert deep.dilation_f >= 1
+        # Same-padded dilated blocks keep their resolution (no pool 4/5).
+        assert (deep.out_h, deep.out_w) == (deep.h, deep.w)
+        # Early blocks stay dense C3D.
+        assert build_network("c3d_dilated").layers[0].dilation_h == 1
+
+    def test_dilated_network_bigger_halo_than_dense(self):
+        dense = build_network("c3d")
+        dil = build_network("c3d_dilated")
+        dense5b = dense.layer_named("layer5b")
+        dil5b = dil.layer_named("layer5b")
+        assert dil5b.dilated_r > dense5b.dilated_r
+
+    def test_layer_signature_carries_dilation(self):
+        sig = layer_signature(dilated())
+        assert sig["dilation"] == [2, 2, 2]
+        dense_sig = layer_signature(
+            dilated(dilation_h=1, dilation_w=1, dilation_f=1)
+        )
+        assert sig != dense_sig

@@ -20,8 +20,8 @@ from repro.workloads import (
 class TestRegistry:
     def test_all_networks_registered(self):
         assert set(network_names()) == {
-            "alexnet", "c3d", "i3d", "inception", "r2plus1d", "resnet50",
-            "resnet3d50", "two_stream",
+            "alexnet", "c3d", "c3d_dilated", "i3d", "inception", "r2plus1d",
+            "resnet50", "resnet3d50", "two_stream",
         }
 
     def test_build_by_name(self):
