@@ -122,6 +122,49 @@ def test_bench_cold_sweep_vectorized_vs_scalar(benchmark, record_bench):
     assert speedup >= 3.0, f"columnar sweep only {speedup:.2f}x faster"
 
 
+def test_bench_best_first_vs_legacy_order(record_bench):
+    """Best-first block ordering vs the legacy enumeration (cold C3D).
+
+    Same candidates, same prune, different visit order: best-first must
+    choose bit-identical configurations while fully evaluating strictly
+    fewer candidates (the lower bound bites earlier); candidate counts
+    and wall times land in ``BENCH_core_models.json``.
+    """
+    network = c3d()
+    options = OptimizerOptions.fast()
+
+    def cold(order: str):
+        clear_cache()
+        start = time.perf_counter()
+        result = optimize_network(
+            network.layers, morph(), options.with_(search_order=order),
+            network_name=network.name, use_cache=False, parallelism=1,
+        )
+        return result, time.perf_counter() - start
+
+    legacy, legacy_s = cold("legacy")
+    best_first, best_first_s = cold("best_first")
+
+    for chosen, reference in zip(best_first.layers, legacy.layers):
+        assert chosen.best.dataflow == reference.best.dataflow, (
+            chosen.layer.name
+        )
+        assert chosen.score == reference.score, chosen.layer.name
+    evaluated_best_first = sum(r.evaluated for r in best_first.layers)
+    evaluated_legacy = sum(r.evaluated for r in legacy.layers)
+    record_bench(
+        search_order_legacy_candidates=evaluated_legacy,
+        search_order_best_first_candidates=evaluated_best_first,
+        search_order_candidates_saved=evaluated_legacy - evaluated_best_first,
+        search_order_legacy_s=round(legacy_s, 3),
+        search_order_best_first_s=round(best_first_s, 3),
+    )
+    assert evaluated_best_first < evaluated_legacy, (
+        f"best-first evaluated {evaluated_best_first}, "
+        f"legacy {evaluated_legacy}"
+    )
+
+
 @pytest.mark.slow
 def test_bench_network_sweep_serial_cold(benchmark, record_bench):
     """Full C3D sweep with every cache disabled: the engine's baseline.

@@ -32,6 +32,12 @@ from repro.core.evaluate import Evaluation, evaluate
 from repro.core.layer import ConvLayer
 from repro.core.loopnest import LoopOrder
 from repro.core.tiling import Precision, TileHierarchy, TileShape
+from repro.optimizer.config_store import (
+    ConfigStore,
+    LocalDirectoryStore,
+    MemoryStore,
+    ShardedStore,
+)
 from repro.optimizer.engine import (
     EngineStats,
     OptimizerEngine,
@@ -63,6 +69,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "ConfigStore",
     "ConvLayer",
     "Dataflow",
     "DataType",
@@ -70,12 +77,15 @@ __all__ = [
     "EngineStats",
     "Evaluation",
     "LayerOptimizer",
+    "LocalDirectoryStore",
     "LoopOrder",
+    "MemoryStore",
     "NetworkResult",
     "OptimizerEngine",
     "OptimizerOptions",
     "Parallelism",
     "Precision",
+    "ShardedStore",
     "TileHierarchy",
     "TileShape",
     "TrafficReport",

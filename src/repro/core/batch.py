@@ -104,6 +104,17 @@ def _require_numpy() -> None:
         )
 
 
+def clear_constant_caches() -> None:
+    """Reset the constant-table memos (layer extents, order tables,
+    parallelism tables, relevance vectors), for callers that mutate layer
+    or machine descriptions in place; wired into :func:`repro.clear_cache`.
+    """
+    full_extents.cache_clear()
+    _order_tables.cache_clear()
+    parallelism_tables.cache_clear()
+    _rel_vector_cached.cache_clear()
+
+
 # ----------------------------------------------------------------------
 # Constant tables (per layer / order set / parallelism set)
 # ----------------------------------------------------------------------

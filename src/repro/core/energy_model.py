@@ -233,6 +233,13 @@ def energy_accumulation_kernel(
     )
 
 
+def clear_memos() -> None:
+    """Reset this module's process-wide memos (the per-machine energy
+    cost tables), for callers that mutate machine or technology
+    descriptions in place; wired into :func:`repro.clear_cache`."""
+    energy_cost_tables.cache_clear()
+
+
 @functools.lru_cache(maxsize=64)
 def energy_cost_tables(arch: AcceleratorConfig):
     """Per-``[level][data type]`` read/write pJ/byte plus per-boundary bus

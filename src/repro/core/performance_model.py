@@ -80,9 +80,17 @@ def split_parallelism(
     whatever remains runs across the PEs of each cluster.
 
     The divisor search is pure in its three arguments and called for every
-    candidate evaluation, so results are memoised process-wide.
+    candidate evaluation, so results are memoised process-wide
+    (:func:`repro.clear_cache` resets the memo via :func:`clear_memos`).
     """
     return _split_parallelism_cached(parallelism, clusters, pes_per_cluster)
+
+
+def clear_memos() -> None:
+    """Reset this module's process-wide memos (the ``split_parallelism``
+    divisor-search cache), for callers that mutate machine descriptions
+    in place; wired into :func:`repro.clear_cache`."""
+    _split_parallelism_cached.cache_clear()
 
 
 @functools.lru_cache(maxsize=4096)

@@ -6,14 +6,17 @@ Usage::
     python -m repro.experiments.runner fig9 table3 --thorough
     python -m repro.experiments.runner --all --parallelism 8 --cache-dir ~/.cache/repro
 
-``--parallelism`` fans unique-layer searches across worker processes and
-``--cache-dir`` persists each search's chosen configuration on disk, so a
-rerun recalls every configuration instead of re-searching (paper
-Section V: the analysis runs once per CNN and is then saved and
-recalled).  Both set the process-wide engine defaults
-(:func:`repro.optimizer.engine.set_engine_defaults`), which every
-experiment's ``optimize_network`` / ``optimize_layer`` call picks up;
-``--no-cache`` disables memoisation entirely for timing cold runs.
+``--parallelism`` fans unique-layer searches across worker processes
+(``--parallelism-mode thread`` swaps in a thread pool for free-threaded
+builds) and ``--cache-dir`` persists each search's chosen configuration
+on disk, so a rerun recalls every configuration instead of re-searching
+(paper Section V: the analysis runs once per CNN and is then saved and
+recalled); ``--cache-backend`` picks the store layout (``local`` flat
+directory, ``sharded`` two-level fan-out for cluster-shared mounts,
+``memory`` in-process).  All of these set the process-wide engine
+defaults (:func:`repro.optimizer.engine.set_engine_defaults`), which
+every experiment's ``optimize_network`` / ``optimize_layer`` call picks
+up; ``--no-cache`` disables memoisation entirely for timing cold runs.
 """
 
 from __future__ import annotations
@@ -75,11 +78,28 @@ def main(argv: list[str] | None = None) -> int:
         "$REPRO_PARALLELISM or serial)",
     )
     parser.add_argument(
+        "--parallelism-mode",
+        choices=("process", "thread"),
+        default=None,
+        help="executor for parallel searches (default: "
+        "$REPRO_PARALLELISM_MODE or process; thread suits free-threaded "
+        "builds — results are identical either way)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="persist/recall per-layer configurations under DIR (default: "
         "$REPRO_CACHE_DIR or no disk cache)",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=("local", "sharded", "memory"),
+        default=None,
+        help="config-store layout for --cache-dir (default: "
+        "$REPRO_CACHE_BACKEND or local); 'sharded' fans records over "
+        "two directory levels plus a manifest for cluster-shared "
+        "NFS/object-storage mounts, 'memory' keeps them in-process",
     )
     parser.add_argument(
         "--no-cache",
@@ -111,7 +131,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     set_engine_defaults(
         parallelism=args.parallelism,
+        parallelism_mode=args.parallelism_mode,
         cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
         use_cache=False if args.no_cache else None,
         vectorize=args.vectorize,
     )

@@ -12,19 +12,35 @@ Module map:
   fast path, plus :func:`optimize_network`.  Candidates are scored through
   the columnar batch pipeline (:mod:`repro.core.batch`) by default, with
   the scalar reference path behind ``vectorize=False`` /
-  ``REPRO_VECTORIZE=0`` — identical results either way.
+  ``REPRO_VECTORIZE=0`` — identical results either way.  The
+  (parallelism, L2-tile) candidate blocks are visited *best-first* —
+  ascending by objective lower bound — so the prune bites as early as
+  possible; the ordering guarantee (equal-score ties keyed to candidate
+  identity, never visit order) makes the chosen configuration and score
+  bit-identical to the legacy order, available for A/B runs via
+  ``OptimizerOptions(search_order="legacy")``.
 * :mod:`~repro.optimizer.engine` — the scaling layer every network sweep
   runs through: content-keyed deduplication of identical layer shapes,
-  process-pool fan-out of unique searches, and the persistent on-disk
-  configuration cache (paper Section V's "saved and recalled"
-  configuration files).  Knobs: ``use_cache``, ``parallelism``,
-  ``cache_dir``, ``vectorize`` on :func:`optimize_network` /
+  process-pool (or, with ``parallelism_mode="thread"``, thread-pool)
+  fan-out of unique searches, and the persistent configuration cache
+  (paper Section V's "saved and recalled" configuration files).  Knobs:
+  ``use_cache``, ``parallelism``, ``parallelism_mode``, ``cache_dir``,
+  ``cache_backend``, ``vectorize`` on :func:`optimize_network` /
   :func:`optimize_layer`, process-wide defaults via
   :func:`set_engine_defaults` or the ``REPRO_PARALLELISM`` /
-  ``REPRO_CACHE_DIR`` / ``REPRO_VECTORIZE`` environment variables.
+  ``REPRO_PARALLELISM_MODE`` / ``REPRO_CACHE_DIR`` /
+  ``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE`` environment variables
+  (runner flags of the same names exist for all of them).
 * :mod:`~repro.optimizer.config_store` — the JSON codec for whole-network
-  configuration files and the engine's per-layer cache records.
+  configuration files, the engine's per-layer cache records, and the
+  pluggable :class:`~repro.optimizer.config_store.ConfigStore` backends
+  those records live in: ``"local"`` (flat directory, atomic renames,
+  corrupt-record quarantine), ``"sharded"`` (two-level fan-out plus
+  manifest for cluster-shared NFS/object-storage mounts) and ``"memory"``
+  (in-process) — or any user-supplied store instance.
 * :mod:`~repro.optimizer.allocation` / :mod:`~repro.optimizer.space` —
-  sub-tile allocation and search-space discretisation.
+  sub-tile allocation and search-space discretisation (including the
+  best-first block ordering of
+  :func:`~repro.optimizer.space.candidate_blocks`).
 * :mod:`~repro.optimizer.schedule` — lowering to hardware state.
 """

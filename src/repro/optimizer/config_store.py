@@ -7,13 +7,48 @@ file: JSON with one record per layer capturing exactly the paper's
 configuration vector — ``[outer loop order, inner loop order, Ht, Wt, Ct,
 Kt, Ft (per level), Hp, Wp, Kp]`` — plus enough layer shape to detect
 mismatches on recall.
+
+Pluggable record stores
+-----------------------
+The optimizer engine keeps one versioned JSON record per unique search,
+keyed by the sha256 of its search signature.  Where those records live is
+a :class:`ConfigStore` backend, selected with ``cache_backend=`` on
+:class:`~repro.optimizer.engine.OptimizerEngine` /
+:func:`~repro.optimizer.search.optimize_network`, process-wide via
+:func:`~repro.optimizer.engine.set_engine_defaults`, the
+``REPRO_CACHE_BACKEND`` environment variable, or the runner's
+``--cache-backend`` flag:
+
+* ``"local"`` — :class:`LocalDirectoryStore`, the original flat
+  ``<dir>/<key>.json`` layout.  Writes are atomic (temp file +
+  ``os.replace``), so concurrent engines — processes or threads — racing
+  on one directory never see torn records; unparseable records are moved
+  to a ``quarantine/`` subdirectory and re-searched instead of crashing
+  the sweep.
+* ``"sharded"`` — :class:`ShardedStore`, a two-level fan-out layout
+  (``<dir>/ab/cd/<key>.json`` for key ``abcd...``) plus an append-only
+  ``MANIFEST.jsonl`` index.  Suited to cluster-shared mounts (NFS, object
+  storage gateways) where a single flat directory with many thousands of
+  entries is slow to list and the manifest gives cheap enumeration.
+* ``"memory"`` — :class:`MemoryStore`, an in-process dict holding the
+  JSON-serialised records; the process-wide instance behind the
+  ``"memory"`` name is shared across engines (see :func:`memory_store`)
+  so tests exercise the full save-and-recall flow without touching disk.
+
+Any :class:`ConfigStore` *instance* can be passed wherever a backend name
+is accepted, so bespoke stores (an object-storage client, a read-through
+tier) plug in without touching the engine.
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import json
+import os
+import threading
 from pathlib import Path
+from typing import Iterator
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.dataflow import Dataflow, Parallelism
@@ -152,4 +187,296 @@ def load_network_configs(
         evaluations.append(evaluate(dataflow, arch))
     return RecalledNetwork(
         network_name=payload["network"], evaluations=tuple(evaluations)
+    )
+
+
+# ----------------------------------------------------------------------
+# Pluggable per-search record stores (the engine's cache backends)
+# ----------------------------------------------------------------------
+#: Backend names accepted by ``cache_backend=`` / ``REPRO_CACHE_BACKEND``.
+CACHE_BACKENDS = ("local", "sharded", "memory")
+
+
+class ConfigStore(abc.ABC):
+    """Key-value store of versioned per-search configuration records.
+
+    Keys are sha256 hex digests of search signatures
+    (:func:`repro.optimizer.engine.signature_key`); values are the
+    JSON-able record dicts the engine writes (``format_version``, the full
+    signature, the winning dataflow).  Implementations must be safe under
+    concurrent writers — many engine processes or threads sharing one
+    store — and must treat every failure as a miss, never an exception:
+    the store is an optimisation, not a correctness requirement.
+    """
+
+    @abc.abstractmethod
+    def get(self, key: str) -> dict | None:
+        """Return the record stored under ``key``, or ``None`` on any miss
+        (absent, unreadable, corrupt)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, payload: dict) -> bool:
+        """Store ``payload`` under ``key``; ``False`` on I/O failure."""
+
+    @abc.abstractmethod
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no payload validation)."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate over the keys of every stored record."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class _FileConfigStore(ConfigStore):
+    """Shared machinery of the directory-backed stores.
+
+    Writes go through a per-process-and-thread temp file followed by
+    ``os.replace``, so a reader (or a racing writer) only ever observes
+    either no record or one complete record.  Records that exist but do
+    not parse are *quarantined* — moved into ``<directory>/quarantine/``
+    for forensics — and reported as misses, so one corrupt file (torn
+    non-atomic copy, disk error, manual edit) costs one re-search instead
+    of crashing the sweep.
+    """
+
+    QUARANTINE = "quarantine"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory).expanduser()
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"cache directory {str(self.directory)!r} exists and is "
+                "not a directory"
+            )
+
+    @abc.abstractmethod
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s record lives (exists or not)."""
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> dict | None:
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> bool:
+        path = self.path_for(key)
+        # Unique per writer: two processes (or two threads in thread
+        # mode) racing on one key each stage their own temp file; the
+        # final os.replace is atomic, so last-writer-wins with no torn
+        # state either way.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, indent=2))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self._register(key, path)
+        return True
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unparseable record aside (best-effort, race-tolerant)."""
+        quarantine = self.directory / self.QUARANTINE
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / f"{path.name}.{os.getpid()}")
+        except OSError:
+            pass  # a racing engine may have quarantined/rewritten it first
+
+    def _register(self, key: str, path: Path) -> None:
+        """Hook for layouts that maintain an index of written records."""
+
+
+class LocalDirectoryStore(_FileConfigStore):
+    """The original flat layout: ``<directory>/<key>.json``.
+
+    Right for a single machine or a modest record count; every write is
+    atomic and corrupt records are quarantined rather than fatal.
+    """
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def keys(self) -> Iterator[str]:
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            yield path.stem
+
+    def describe(self) -> str:
+        return f"local:{self.directory}"
+
+
+class ShardedStore(_FileConfigStore):
+    """Two-level fan-out layout for cluster-shared cache mounts.
+
+    Key ``abcdef...`` lives at ``<directory>/ab/cd/abcdef....json``: 65536
+    shard directories bound each directory's entry count, which keeps
+    listing and creation fast on NFS and object-storage gateways where
+    flat million-entry directories degrade.  Each successful write also
+    appends one line to ``MANIFEST.jsonl`` (``{"key": ..., "path": ...}``)
+    — an advisory index giving cheap enumeration without walking the
+    shard tree.  Appends are best-effort and line-oriented; readers
+    tolerate torn or duplicate lines, and the shard tree (walked by
+    :meth:`keys`) remains the source of truth.
+    """
+
+    MANIFEST = "MANIFEST.jsonl"
+
+    def path_for(self, key: str) -> Path:
+        prefix = key[:2] if len(key) >= 2 else "__"
+        middle = key[2:4] if len(key) >= 4 else "__"
+        return self.directory / prefix / middle / f"{key}.json"
+
+    def keys(self) -> Iterator[str]:
+        if not self.directory.is_dir():
+            return
+        # Two glob levels cover every shard (including the "__" fallback
+        # dirs of sub-4-char keys) and cannot match the single-level
+        # quarantine/ directory or the manifest.
+        for path in sorted(self.directory.glob("*/*/*.json")):
+            yield path.stem
+
+    def manifest_keys(self) -> Iterator[str]:
+        """Keys listed in the advisory manifest (deduplicated, in append
+        order; torn or non-JSON lines are skipped)."""
+        seen: set[str] = set()
+        try:
+            lines = (self.directory / self.MANIFEST).read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if isinstance(key, str) and key not in seen:
+                seen.add(key)
+                yield key
+
+    def _register(self, key: str, path: Path) -> None:
+        entry = {"key": key, "path": str(path.relative_to(self.directory))}
+        try:
+            # O_APPEND: single-line writes from concurrent engines land
+            # whole on POSIX local filesystems; on shared mounts a torn
+            # line costs nothing (readers skip it, the tree is truth).
+            with open(self.directory / self.MANIFEST, "a") as manifest:
+                manifest.write(json.dumps(entry) + "\n")
+        except OSError:
+            pass
+
+    def describe(self) -> str:
+        return f"sharded:{self.directory}"
+
+
+class MemoryStore(ConfigStore):
+    """In-process store holding JSON-serialised records.
+
+    Records round-trip through ``json.dumps``/``json.loads`` so the
+    backend has exactly the fidelity of the disk stores (no shared
+    mutable payloads, no non-JSON-able smuggling) and the same property
+    tests run against all three.  Single dict assignments keep it safe
+    under the thread-mode engine.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, str] = {}
+
+    def get(self, key: str) -> dict | None:
+        text = self._records.get(key)
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:  # pragma: no cover - puts only store valid JSON
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> bool:
+        try:
+            self._records[key] = json.dumps(payload)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    def contains(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[str]:
+        return iter(tuple(self._records))
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def describe(self) -> str:
+        return f"memory:{len(self._records)} records"
+
+
+#: Process-wide named :class:`MemoryStore` instances, so every engine
+#: created with ``cache_backend="memory"`` shares one store (the whole
+#: point of a cache); tests wanting isolation construct their own
+#: :class:`MemoryStore` and pass the instance.
+_SHARED_MEMORY_STORES: dict[str, MemoryStore] = {}
+
+
+def memory_store(name: str = "default") -> MemoryStore:
+    """The process-shared :class:`MemoryStore` registered under ``name``."""
+    return _SHARED_MEMORY_STORES.setdefault(name, MemoryStore())
+
+
+def clear_memory_stores() -> None:
+    """Empty every shared :class:`MemoryStore` (test isolation helper)."""
+    for store in _SHARED_MEMORY_STORES.values():
+        store.clear()
+
+
+def create_store(
+    backend: str | ConfigStore, directory: str | Path | None = None
+) -> ConfigStore:
+    """Resolve a backend selector to a :class:`ConfigStore` instance.
+
+    ``backend`` may already be a store (returned as-is), or one of
+    :data:`CACHE_BACKENDS`: ``"local"`` / ``"sharded"`` need ``directory``;
+    ``"memory"`` ignores it and returns the shared in-process store.
+    """
+    if isinstance(backend, ConfigStore):
+        return backend
+    if backend == "memory":
+        return memory_store()
+    if backend == "local":
+        if directory is None:
+            raise ValueError("cache_backend 'local' needs a cache directory")
+        return LocalDirectoryStore(directory)
+    if backend == "sharded":
+        if directory is None:
+            raise ValueError("cache_backend 'sharded' needs a cache directory")
+        return ShardedStore(directory)
+    raise ValueError(
+        f"unknown cache backend {backend!r}; choose from {CACHE_BACKENDS} "
+        "or pass a ConfigStore instance"
     )

@@ -18,14 +18,22 @@ experiment harness behave that way at scale:
   with a ``parallelism == 1`` in-process fallback.  Results are collected
   with ``Executor.map`` in submission order, so the outcome is
   deterministic and identical to the serial path, layer by layer.
-* **Persistent disk cache** — when a cache directory is configured, each
+  ``parallelism_mode="thread"`` swaps in a ``ThreadPoolExecutor`` — the
+  right executor on free-threaded builds (no pickling, shared memos) and
+  for exercising the cache's thread-safety; results are identical.
+* **Persistent config-store cache** — when a store is configured, each
   unique search's chosen configuration is written as a versioned JSON
   record (via :mod:`repro.optimizer.config_store`'s dataflow codec) keyed
   by the sha256 of its search signature.  A later run — any process —
   recalls the configuration and re-evaluates it (one model evaluation
   instead of a full search), exactly the paper's save-and-recall flow.
   Records whose embedded signature does not match (hash collision, older
-  format, edited file) are treated as misses and rewritten.
+  format, edited file) are treated as misses and rewritten.  *Where*
+  records live is a pluggable :class:`~repro.optimizer.config_store.ConfigStore`
+  backend — ``cache_backend=`` one of ``"local"`` (flat directory,
+  atomic-rename writes, corrupt-record quarantine), ``"sharded"``
+  (two-level fan-out plus manifest, for cluster-shared mounts) or
+  ``"memory"`` (in-process, for tests) — or any ``ConfigStore`` instance.
 
 API
 ---
@@ -43,27 +51,35 @@ here, so every experiment, benchmark and example goes through the engine.
 How experiments opt in/out
 --------------------------
 ``optimize_network`` / ``optimize_layer`` accept ``use_cache``,
-``parallelism``, ``cache_dir`` and ``vectorize`` keywords.  Leaving
-``parallelism`` / ``cache_dir`` / ``vectorize`` as ``None`` falls back to
+``parallelism``, ``parallelism_mode``, ``cache_dir``, ``cache_backend``
+and ``vectorize`` keywords.  Leaving them as ``None`` falls back to
 process-wide defaults, settable with :func:`set_engine_defaults` (the
-experiment runner's ``--parallelism`` / ``--cache-dir`` / ``--no-cache`` /
-``--vectorize`` / ``--no-vectorize`` flags do this) or the
-``REPRO_PARALLELISM`` / ``REPRO_CACHE_DIR`` / ``REPRO_VECTORIZE``
-environment variables; the built-in defaults are serial, in-memory-only
-caching, columnar (vectorized) candidate scoring when NumPy is available.
-``vectorize`` is purely a speed knob — the columnar pipeline
-(:mod:`repro.core.batch`) returns bit-identical configurations and scores
-to the scalar path, so it is excluded from search signatures and cache
-keys.  Passing ``cache_dir=False`` disables the disk cache even when a
-default is configured (``None`` merely defers to the defaults).
+experiment runner's ``--parallelism`` / ``--parallelism-mode`` /
+``--cache-dir`` / ``--cache-backend`` / ``--no-cache`` / ``--vectorize``
+/ ``--no-vectorize`` flags do this) or the ``REPRO_PARALLELISM`` /
+``REPRO_PARALLELISM_MODE`` / ``REPRO_CACHE_DIR`` /
+``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE`` environment variables; the
+built-in defaults are serial, process-pool workers, in-memory-only
+caching, the ``"local"`` store layout, and columnar (vectorized)
+candidate scoring when NumPy is available.  ``vectorize`` is purely a
+speed knob — the columnar pipeline (:mod:`repro.core.batch`) returns
+bit-identical configurations and scores to the scalar path, so it is
+excluded from search signatures and cache keys (as are
+``cache_backend``/``parallelism_mode``, which never change results).
+Passing ``cache_dir=False`` disables the persistent cache entirely —
+whatever the backend — even when a default is configured (``None``
+merely defers to the defaults).
 
 Cache location and versioning
 -----------------------------
-Disk records live flat under ``cache_dir`` as ``<sha256>.json`` and carry
-``format_version`` (:data:`CACHE_FORMAT_VERSION`) plus the full signature
-they were computed from.  Bump the version whenever the analytic models or
-the record layout change meaning; stale records then invalidate
-automatically on recall.
+Records carry ``format_version`` (:data:`CACHE_FORMAT_VERSION`) plus the
+full signature they were computed from.  Bump the version whenever the
+analytic models or the record layout change meaning; stale records then
+invalidate automatically on recall.  The on-store layout is the
+backend's concern: flat ``<sha256>.json`` files for ``"local"``,
+``ab/cd/<sha256>.json`` shards plus a manifest for ``"sharded"``, a dict
+for ``"memory"`` — all safe under concurrent writers via atomic
+temp-file + rename (corrupt records are quarantined, not fatal).
 """
 
 from __future__ import annotations
@@ -72,7 +88,7 @@ import dataclasses
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -80,6 +96,10 @@ from repro.arch.accelerator import AcceleratorConfig
 from repro.core.evaluate import CapacityError, evaluate
 from repro.core.layer import ConvLayer
 from repro.optimizer.config_store import (
+    CACHE_BACKENDS,
+    ConfigStore,
+    LocalDirectoryStore,
+    create_store,
     dataflow_from_json,
     dataflow_to_json,
     layer_signature,
@@ -103,10 +123,15 @@ CACHE_FORMAT_VERSION = 2
 # ----------------------------------------------------------------------
 _DEFAULTS: dict = {
     "parallelism": None,
+    "parallelism_mode": None,
     "cache_dir": None,
+    "cache_backend": None,
     "use_cache": None,
     "vectorize": None,
 }
+
+#: Executor selectors accepted by ``parallelism_mode=``.
+PARALLELISM_MODES = ("process", "thread")
 
 #: Sentinel distinguishing "leave this knob untouched" from an explicit
 #: ``None`` ("clear it back to the environment-derived behaviour").
@@ -116,7 +141,9 @@ _UNSET: object = object()
 def set_engine_defaults(
     *,
     parallelism=_UNSET,
+    parallelism_mode=_UNSET,
     cache_dir=_UNSET,
+    cache_backend=_UNSET,
     use_cache=_UNSET,
     vectorize=_UNSET,
 ) -> None:
@@ -129,8 +156,12 @@ def set_engine_defaults(
     """
     if parallelism is not _UNSET:
         _DEFAULTS["parallelism"] = parallelism
+    if parallelism_mode is not _UNSET:
+        _DEFAULTS["parallelism_mode"] = _check_mode(parallelism_mode)
     if cache_dir is not _UNSET:
         _DEFAULTS["cache_dir"] = None if cache_dir is None else Path(cache_dir)
+    if cache_backend is not _UNSET:
+        _DEFAULTS["cache_backend"] = _check_backend(cache_backend)
     if use_cache is not _UNSET:
         _DEFAULTS["use_cache"] = use_cache
     if vectorize is not _UNSET:
@@ -139,8 +170,31 @@ def set_engine_defaults(
 
 def reset_engine_defaults() -> None:
     _DEFAULTS.update(
-        parallelism=None, cache_dir=None, use_cache=None, vectorize=None
+        parallelism=None, parallelism_mode=None, cache_dir=None,
+        cache_backend=None, use_cache=None, vectorize=None,
     )
+
+
+def _check_mode(mode):
+    if mode is not None and mode not in PARALLELISM_MODES:
+        raise ValueError(
+            f"parallelism_mode must be one of {PARALLELISM_MODES}, "
+            f"got {mode!r}"
+        )
+    return mode
+
+
+def _check_backend(backend):
+    if (
+        backend is not None
+        and not isinstance(backend, ConfigStore)
+        and backend not in CACHE_BACKENDS
+    ):
+        raise ValueError(
+            f"cache_backend must be one of {CACHE_BACKENDS} or a "
+            f"ConfigStore instance, got {backend!r}"
+        )
+    return backend
 
 
 def default_parallelism() -> int:
@@ -157,11 +211,34 @@ def default_parallelism() -> int:
         ) from None
 
 
+def default_parallelism_mode() -> str:
+    """Executor kind for parallel searches: ``"process"`` (default) or
+    ``"thread"`` (free-threaded builds), via :func:`set_engine_defaults`
+    or ``REPRO_PARALLELISM_MODE``."""
+    if _DEFAULTS["parallelism_mode"] is not None:
+        return _DEFAULTS["parallelism_mode"]
+    env = os.environ.get("REPRO_PARALLELISM_MODE")
+    if not env:
+        return "process"
+    return _check_mode(env.strip().lower())
+
+
 def default_cache_dir() -> Path | None:
     if _DEFAULTS["cache_dir"] is not None:
         return _DEFAULTS["cache_dir"]
     env = os.environ.get("REPRO_CACHE_DIR")
     return Path(env) if env else None
+
+
+def default_cache_backend() -> str | ConfigStore:
+    """Config-store backend selector: ``"local"`` unless overridden via
+    :func:`set_engine_defaults` or ``REPRO_CACHE_BACKEND``."""
+    if _DEFAULTS["cache_backend"] is not None:
+        return _DEFAULTS["cache_backend"]
+    env = os.environ.get("REPRO_CACHE_BACKEND")
+    if not env:
+        return "local"
+    return _check_backend(env.strip().lower())
 
 
 def default_use_cache() -> bool:
@@ -211,24 +288,27 @@ def signature_key(signature: dict) -> str:
 
 
 # ----------------------------------------------------------------------
-# Persistent disk cache
+# Persistent config cache (record codec over a pluggable store)
 # ----------------------------------------------------------------------
 class DiskConfigCache:
-    """Versioned per-layer configuration records under one directory."""
+    """Versioned per-search configuration records over a config store.
 
-    def __init__(self, directory: str | Path) -> None:
-        self.directory = Path(directory).expanduser()
-        if self.directory.exists() and not self.directory.is_dir():
-            raise ValueError(
-                f"cache_dir {str(self.directory)!r} exists and is not a "
-                "directory"
-            )
+    This class owns *what* a record means — the format version, the
+    embedded signature check, the dataflow codec, re-evaluation on recall
+    — while the :class:`~repro.optimizer.config_store.ConfigStore` backend
+    owns *where* the bytes live.  Constructing it from a path keeps the
+    historical behaviour (a flat local directory).
+    """
 
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+    def __init__(self, target: str | Path | ConfigStore) -> None:
+        self.backend: ConfigStore = (
+            target
+            if isinstance(target, ConfigStore)
+            else LocalDirectoryStore(target)
+        )
 
     def contains(self, signature: dict) -> bool:
-        return self._path(signature_key(signature)).exists()
+        return self.backend.contains(signature_key(signature))
 
     def load(
         self,
@@ -239,14 +319,12 @@ class DiskConfigCache:
     ) -> LayerResult | None:
         """Recall a configuration and re-evaluate it (no search).
 
-        Returns ``None`` on any miss: absent file, unreadable JSON, format
-        or signature mismatch (stale record), or a configuration the
-        current models reject.
+        Returns ``None`` on any miss: absent or corrupt record (the file
+        backends quarantine those), format or signature mismatch (stale
+        record), or a configuration the current models reject.
         """
-        path = self._path(signature_key(signature))
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        payload = self.backend.get(signature_key(signature))
+        if payload is None:
             return None
         if payload.get("format_version") != CACHE_FORMAT_VERSION:
             return None
@@ -266,14 +344,13 @@ class DiskConfigCache:
             pruned=int(payload.get("pruned", 0)),
         )
 
-    def store(self, signature: dict, result: LayerResult) -> Path | None:
+    def store(self, signature: dict, result: LayerResult) -> bool:
         """Atomically write one search's winning configuration.
 
         The cache is an optimisation, never a correctness requirement: an
         I/O failure (directory vanished, permissions, disk full) returns
-        ``None`` instead of killing a sweep whose search work is done.
+        ``False`` instead of killing a sweep whose search work is done.
         """
-        path = self._path(signature_key(signature))
         payload = {
             "format_version": CACHE_FORMAT_VERSION,
             "signature": signature,
@@ -283,15 +360,7 @@ class DiskConfigCache:
             "objective": result.objective,
             "expected_score": result.score,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(payload, indent=2))
-            # Atomic rename: concurrent engines never see torn files.
-            os.replace(tmp, path)
-        except OSError:
-            return None
-        return path
+        return self.backend.put(signature_key(signature), payload)
 
 
 # ----------------------------------------------------------------------
@@ -361,7 +430,9 @@ class OptimizerEngine:
         options: OptimizerOptions | None = None,
         *,
         parallelism: int | None = None,
+        parallelism_mode: str | None = None,
         cache_dir: str | Path | bool | None = None,
+        cache_backend: str | ConfigStore | None = None,
         use_cache: bool | None = None,
         vectorize: bool | None = None,
     ) -> None:
@@ -382,17 +453,37 @@ class OptimizerEngine:
         self.parallelism = (
             default_parallelism() if parallelism is None else max(1, parallelism)
         )
+        self.parallelism_mode = _check_mode(
+            default_parallelism_mode()
+            if parallelism_mode is None
+            else parallelism_mode
+        )
         self.use_cache = default_use_cache() if use_cache is None else use_cache
         # cache_dir: None defers to set_engine_defaults()/$REPRO_CACHE_DIR;
-        # False disables the disk cache even when a default is configured.
+        # False disables the persistent cache — whatever the backend —
+        # even when a default is configured.
         if cache_dir is False:
             directory = None
         elif cache_dir is None:
             directory = default_cache_dir()
         else:
             directory = Path(cache_dir)
+        backend = _check_backend(
+            default_cache_backend() if cache_backend is None else cache_backend
+        )
+        store: ConfigStore | None
+        if cache_dir is False:
+            store = None
+        elif isinstance(backend, ConfigStore):
+            store = backend
+        elif backend == "memory":
+            # The shared in-process store needs no directory.
+            store = create_store(backend)
+        else:
+            store = create_store(backend, directory) if directory else None
         self.disk = (
-            DiskConfigCache(directory) if (directory and self.use_cache) else None
+            DiskConfigCache(store) if (store is not None and self.use_cache)
+            else None
         )
         self.stats = EngineStats()
 
@@ -462,9 +553,15 @@ class OptimizerEngine:
         if self.parallelism <= 1 or len(payloads) <= 1:
             return [_search_one(payload) for payload in payloads]
         workers = min(self.parallelism, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        executor = (
+            ThreadPoolExecutor
+            if self.parallelism_mode == "thread"
+            else ProcessPoolExecutor
+        )
+        with executor(max_workers=workers) as pool:
             # Executor.map preserves submission order: deterministic,
-            # layer-for-layer identical to the serial path.
+            # layer-for-layer identical to the serial path (threads and
+            # processes alike — searches share no mutable state).
             return list(pool.map(_search_one, payloads))
 
     # ------------------------------------------------------------------
@@ -541,7 +638,9 @@ def optimize_layer(
     *,
     use_cache: bool | None = None,
     parallelism: int | None = None,
+    parallelism_mode: str | None = None,
     cache_dir: str | Path | bool | None = None,
+    cache_backend: str | ConfigStore | None = None,
     vectorize: bool | None = None,
 ) -> LayerResult:
     """Single-layer search through the engine's shared caches."""
@@ -549,7 +648,9 @@ def optimize_layer(
         arch,
         options,
         parallelism=parallelism,
+        parallelism_mode=parallelism_mode,
         cache_dir=cache_dir,
+        cache_backend=cache_backend,
         use_cache=use_cache,
         vectorize=vectorize,
     )

@@ -30,6 +30,7 @@ from repro.optimizer.allocation import allocate_hierarchy
 from repro.optimizer.space import (
     REPRESENTATIVE_INNER_ORDERS,
     REPRESENTATIVE_OUTER_ORDERS,
+    candidate_blocks,
     dedupe_orders_by_signature,
     last_level_tile_candidates,
     loop_order_candidates,
@@ -68,12 +69,29 @@ class OptimizerOptions:
     vectorize: bool | None = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    #: Visit order of the (parallelism, L2-tile) candidate blocks:
+    #: ``"best_first"`` (default) sorts blocks by ascending objective
+    #: lower bound so the early-prune incumbent tightens as fast as
+    #: possible; ``"legacy"`` keeps the historical enumeration order.
+    #: **Ordering guarantee:** the chosen configuration and score are
+    #: bit-identical either way — equal-score ties are broken by candidate
+    #: identity (legacy enumeration rank), never by visit order — so,
+    #: like ``vectorize``, this is a pure speed knob excluded from search
+    #: signatures and cache keys.
+    search_order: str = dataclasses.field(
+        default="best_first", repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.objective not in OBJECTIVES:
             raise ValueError(
                 f"unknown objective {self.objective!r}; "
                 f"choose from {sorted(OBJECTIVES)}"
+            )
+        if self.search_order not in ("best_first", "legacy"):
+            raise ValueError(
+                f"unknown search_order {self.search_order!r}; "
+                "choose 'best_first' or 'legacy'"
             )
 
     @classmethod
@@ -311,6 +329,19 @@ class LayerOptimizer:
         cannot beat the incumbent before the full analytic models run;
         the returned best configuration is identical to an unpruned sweep.
 
+        By default the (parallelism, L2-tile) candidate blocks are visited
+        best-first — ascending by each block's objective lower bound
+        (:func:`repro.optimizer.space.candidate_blocks`) — so the
+        incumbent reaches near-optimal almost immediately and the prune
+        discards most of the space.  **The chosen configuration and score
+        are bit-identical to the legacy visit order** (and to an unpruned
+        sweep): candidates are ranked lexicographically by
+        ``(score, legacy enumeration rank)``, so equal-score ties resolve
+        by candidate identity no matter when each candidate is visited,
+        and the bound only discards candidates that provably lose that
+        comparison.  ``options.search_order="legacy"`` restores the
+        historical order (for A/B measurement; results are identical).
+
         With vectorization on (the default), candidates are lowered into
         columnar tables and scored by :mod:`repro.core.batch` — same
         equations, same chosen configuration and score, a fraction of the
@@ -326,6 +357,10 @@ class LayerOptimizer:
         """Pure-Python reference search (``vectorize=False``)."""
         best: Evaluation | None = None
         best_score = float("inf")
+        #: Legacy-enumeration rank (block index, row index) of the
+        #: incumbent: equal-score ties resolve to the candidate the legacy
+        #: order would have met first, independent of visit order.
+        best_rank = (float("inf"), float("inf"))
         evaluated = 0
         pruned = 0
         #: (l2 tile, outer order) -> objective lower bound, memoised across
@@ -349,47 +384,78 @@ class LayerOptimizer:
                 bounds[(l2_tile, outer)] = bound
             return bound
 
-        for par in parallelisms:
+        #: L2 tile -> deduped outer orders (pure function of the tile).
+        outer_memo: dict[TileShape, list[LoopOrder]] = {}
+
+        def outers_for(l2_tile: TileShape) -> list[LoopOrder]:
+            orders = outer_memo.get(l2_tile)
+            if orders is None:
+                orders = self._outer_orders(layer, l2_tile)
+                outer_memo[l2_tile] = orders
+            return orders
+
+        def can_beat(value: float, block_idx: int, row_idx) -> bool:
+            """Could a candidate with lower bound (or score) ``value`` at
+            legacy rank ``(block_idx, row_idx)`` displace the incumbent
+            under the (score, rank) lexicographic comparison?"""
+            if value < best_score:
+                return True
+            return value == best_score and (block_idx, row_idx) < best_rank
+
+        best_first = self.options.search_order == "best_first"
+        blocks = candidate_blocks(
+            parallelisms, l2_tiles, best_first=best_first,
+            block_bound=(
+                (lambda l2: min(bound_for(l2, o) for o in outers_for(l2)))
+                if best_first else None
+            ),
+        )
+
+        for block_idx, p_idx, t_idx in blocks:
+            par = parallelisms[p_idx]
+            l2_tile = l2_tiles[t_idx]
+            outer_orders = outers_for(l2_tile)
+            # Branch-level prune: if no outer order of this L2 tile can
+            # displace the incumbent, skip the whole sub-tile allocation.
+            if not any(
+                can_beat(bound_for(l2_tile, o), block_idx, -1)
+                for o in outer_orders
+            ):
+                pruned += len(outer_orders)
+                continue
             level_degrees = self._level_degrees(par)
-            for l2_tile in l2_tiles:
-                outer_orders = self._outer_orders(layer, l2_tile)
-                # Branch-level prune: if no outer order of this L2 tile can
-                # beat the incumbent, skip the whole sub-tile allocation.
-                viable_outers = [
-                    o for o in outer_orders if bound_for(l2_tile, o) < best_score
-                ]
-                if not viable_outers:
-                    pruned += len(outer_orders)
+            row = -1  # legacy row rank within this block
+            for inner in inner_orders:
+                try:
+                    beams = allocate_hierarchy(
+                        layer,
+                        self.arch,
+                        l2_tile,
+                        inner,
+                        keep_per_level=self.options.keep_per_level,
+                        level_degrees=level_degrees,
+                    )
+                except ValueError:
                     continue
-                for inner in inner_orders:
-                    try:
-                        beams = allocate_hierarchy(
-                            layer,
-                            self.arch,
-                            l2_tile,
-                            inner,
-                            keep_per_level=self.options.keep_per_level,
-                            level_degrees=level_degrees,
-                        )
-                    except ValueError:
-                        continue
-                    for tiles in beams[: self.options.keep_allocations]:
-                        hierarchy = TileHierarchy(layer, tiles)
-                        for outer in viable_outers:
-                            # Re-check: the incumbent may have improved
-                            # since the branch-level filter.
-                            if bound_for(l2_tile, outer) >= best_score:
-                                pruned += 1
-                                continue
-                            dataflow = Dataflow(outer, inner, hierarchy, par)
-                            try:
-                                ev = evaluate(dataflow, self.arch)
-                            except CapacityError:
-                                continue
-                            evaluated += 1
-                            score = self._score(ev)
-                            if score < best_score:
-                                best, best_score = ev, score
+                for tiles in beams[: self.options.keep_allocations]:
+                    hierarchy = TileHierarchy(layer, tiles)
+                    for outer in outer_orders:
+                        row += 1
+                        # Per-candidate prune against the (possibly
+                        # improved) incumbent.
+                        if not can_beat(bound_for(l2_tile, outer), block_idx, row):
+                            pruned += 1
+                            continue
+                        dataflow = Dataflow(outer, inner, hierarchy, par)
+                        try:
+                            ev = evaluate(dataflow, self.arch)
+                        except CapacityError:
+                            continue
+                        evaluated += 1
+                        score = self._score(ev)
+                        if can_beat(score, block_idx, row):
+                            best, best_score = ev, score
+                            best_rank = (block_idx, row)
 
         if best is None:
             raise CapacityError(
@@ -408,12 +474,12 @@ class LayerOptimizer:
 
         Enumeration follows the scalar path's nesting exactly — per
         ``(parallelism, L2 tile)`` block the rows run [inner order x
-        allocation x outer order] — and the block argmin breaks ties by
-        first enumeration index, so the chosen configuration and score
-        match :meth:`_optimize_scalar` bit for bit.  The PR 1 lower-bound
-        prune survives as a vectorized mask: branches whose bound cannot
-        beat the incumbent are skipped before allocation, rows before
-        evaluation.
+        allocation x outer order], blocks visited best-first by default —
+        and ties are broken by legacy enumeration rank exactly as in
+        :meth:`_optimize_scalar`, so the chosen configuration and score
+        match it bit for bit.  The PR 1 lower-bound prune survives as a
+        vectorized mask: branches whose bound cannot displace the
+        incumbent are skipped before allocation, rows before evaluation.
         """
         import numpy as np
 
@@ -423,6 +489,9 @@ class LayerOptimizer:
         best_batch: CandidateBatch | None = None
         best_row = -1
         best_score = float("inf")
+        #: Legacy-enumeration rank (block index, row index) of the
+        #: incumbent — the same tie-break key as the scalar path.
+        best_rank = (float("inf"), float("inf"))
         evaluated = 0
         pruned = 0
         bounds: dict[tuple[TileShape, LoopOrder], float] = {}
@@ -455,76 +524,113 @@ class LayerOptimizer:
                 bounds[(l2_tile, outer)] = bound
             return bound
 
+        outer_memo: dict[TileShape, list[LoopOrder]] = {}
+
+        def outers_for(l2_tile: TileShape) -> list[LoopOrder]:
+            orders = outer_memo.get(l2_tile)
+            if orders is None:
+                orders = self._outer_orders(layer, l2_tile)
+                outer_memo[l2_tile] = orders
+            return orders
+
+        def can_beat(value: float, block_idx: int, row_idx) -> bool:
+            if value < best_score:
+                return True
+            return value == best_score and (block_idx, row_idx) < best_rank
+
+        best_first = self.options.search_order == "best_first"
+        blocks = candidate_blocks(
+            parallelisms, l2_tiles, best_first=best_first,
+            block_bound=(
+                (lambda l2: min(bound_for(l2, o) for o in outers_for(l2)))
+                if best_first else None
+            ),
+        )
+
         num_levels = self.arch.num_levels
-        for par_idx, par in enumerate(parallelisms):
+        for block_idx, p_idx, t_idx in blocks:
+            par = parallelisms[p_idx]
+            l2_tile = l2_tiles[t_idx]
+            outer_orders = outers_for(l2_tile)
+            # Branch-level prune, as in the scalar path.
+            if not any(
+                can_beat(bound_for(l2_tile, o), block_idx, -1)
+                for o in outer_orders
+            ):
+                pruned += len(outer_orders)
+                continue
             level_degrees = self._level_degrees(par)
-            for l2_tile in l2_tiles:
-                outer_orders = self._outer_orders(layer, l2_tile)
-                # Branch-level prune, as in the scalar path.
-                viable_outers = [
-                    o for o in outer_orders if bound_for(l2_tile, o) < best_score
-                ]
-                if not viable_outers:
-                    pruned += len(outer_orders)
-                    continue
 
-                rows_tiles: list[tuple[TileShape, ...]] = []
-                rows_outer: list[int] = []
-                rows_inner: list[int] = []
-                for inner in inner_orders:
-                    try:
-                        beams = allocate_hierarchy(
-                            layer,
-                            self.arch,
-                            l2_tile,
-                            inner,
-                            keep_per_level=self.options.keep_per_level,
-                            level_degrees=level_degrees,
-                            vectorize=True,
-                            candidate_memo=candidate_memo,
-                        )
-                    except ValueError:
-                        continue
-                    inner_idx = index_of(inner)
-                    for tiles in beams[: self.options.keep_allocations]:
-                        for outer in viable_outers:
-                            # Vectorized-mask analogue of the scalar
-                            # re-check against the (block-start) incumbent.
-                            if bound_for(l2_tile, outer) >= best_score:
-                                pruned += 1
-                                continue
-                            rows_tiles.append(tiles)
-                            rows_outer.append(index_of(outer))
-                            rows_inner.append(inner_idx)
-                if not rows_tiles:
+            rows_tiles: list[tuple[TileShape, ...]] = []
+            rows_outer: list[int] = []
+            rows_inner: list[int] = []
+            rows_rank: list[int] = []
+            row = -1  # legacy row rank within this block
+            for inner in inner_orders:
+                try:
+                    beams = allocate_hierarchy(
+                        layer,
+                        self.arch,
+                        l2_tile,
+                        inner,
+                        keep_per_level=self.options.keep_per_level,
+                        level_degrees=level_degrees,
+                        vectorize=True,
+                        candidate_memo=candidate_memo,
+                    )
+                except ValueError:
                     continue
+                inner_idx = index_of(inner)
+                for tiles in beams[: self.options.keep_allocations]:
+                    for outer in outer_orders:
+                        row += 1
+                        # Vectorized-mask analogue of the scalar
+                        # per-candidate prune (block-start incumbent).
+                        if not can_beat(bound_for(l2_tile, outer), block_idx, row):
+                            pruned += 1
+                            continue
+                        rows_tiles.append(tiles)
+                        rows_outer.append(index_of(outer))
+                        rows_inner.append(inner_idx)
+                        rows_rank.append(row)
+            if not rows_tiles:
+                continue
 
-                n = len(rows_tiles)
-                tiles_cols = np.empty((num_levels, 5, n), dtype=np.int64)
-                for i, tiles in enumerate(rows_tiles):
-                    for lvl in range(num_levels):
-                        tile = tiles[lvl]
-                        tiles_cols[lvl, 0, i] = tile.w
-                        tiles_cols[lvl, 1, i] = tile.h
-                        tiles_cols[lvl, 2, i] = tile.c
-                        tiles_cols[lvl, 3, i] = tile.k
-                        tiles_cols[lvl, 4, i] = tile.f
-                batch = CandidateBatch(
-                    layer,
-                    self.arch,
-                    tuple(order_index),
-                    parallelisms,
-                    tiles_cols,
-                    np.array(rows_outer, dtype=np.int64),
-                    np.array(rows_inner, dtype=np.int64),
-                    np.full(n, par_idx, dtype=np.int64),
-                )
-                scores = batch.scores(objective)
-                evaluated += int(np.isfinite(scores).sum())
-                winner = int(np.argmin(scores))  # first minimum wins ties
-                if scores[winner] < best_score:
-                    best_batch, best_row = batch, winner
-                    best_score = float(scores[winner])
+            n = len(rows_tiles)
+            tiles_cols = np.empty((num_levels, 5, n), dtype=np.int64)
+            for i, tiles in enumerate(rows_tiles):
+                for lvl in range(num_levels):
+                    tile = tiles[lvl]
+                    tiles_cols[lvl, 0, i] = tile.w
+                    tiles_cols[lvl, 1, i] = tile.h
+                    tiles_cols[lvl, 2, i] = tile.c
+                    tiles_cols[lvl, 3, i] = tile.k
+                    tiles_cols[lvl, 4, i] = tile.f
+            batch = CandidateBatch(
+                layer,
+                self.arch,
+                tuple(order_index),
+                parallelisms,
+                tiles_cols,
+                np.array(rows_outer, dtype=np.int64),
+                np.array(rows_inner, dtype=np.int64),
+                np.full(n, p_idx, dtype=np.int64),
+            )
+            scores = batch.scores(objective)
+            evaluated += int(np.isfinite(scores).sum())
+            # First minimum wins: among equal scores argmin picks the
+            # lowest table position, which (ranks increase with position)
+            # is the lowest legacy rank in this block.
+            winner = int(np.argmin(scores))
+            winner_score = float(scores[winner])
+            # The finiteness guard keeps an all-infeasible block (score
+            # inf) from tying the initial incumbent via the rank rule.
+            if np.isfinite(winner_score) and can_beat(
+                winner_score, block_idx, rows_rank[winner]
+            ):
+                best_batch, best_row = batch, winner
+                best_score = winner_score
+                best_rank = (block_idx, rows_rank[winner])
 
         if best_batch is None:
             raise CapacityError(
@@ -597,7 +703,9 @@ def optimize_network(
     network_name: str = "network",
     use_cache: bool | None = None,
     parallelism: int | None = None,
+    parallelism_mode: str | None = None,
     cache_dir=None,
+    cache_backend=None,
     vectorize: bool | None = None,
 ) -> NetworkResult:
     """Optimize each layer of a network through the optimizer engine.
@@ -611,14 +719,21 @@ def optimize_network(
     recalled from versioned on-disk configuration files across runs.
 
     ``parallelism`` > 1 fans unique-layer searches out across worker
-    processes; ``None`` defers to the engine defaults (see
-    :func:`repro.optimizer.engine.set_engine_defaults` /
-    ``REPRO_PARALLELISM``).  ``cache_dir`` likewise defaults to
-    ``REPRO_CACHE_DIR`` when unset.  ``use_cache=False`` disables both the
-    in-process memo and the disk cache (deduplication still applies — it
-    never changes results).  ``vectorize`` selects the columnar batch
-    evaluator (``None`` defers to the engine default / ``REPRO_VECTORIZE``;
-    results are identical either way).
+    processes — or threads with ``parallelism_mode="thread"`` (the right
+    executor on free-threaded builds); ``None`` defers to the engine
+    defaults (see :func:`repro.optimizer.engine.set_engine_defaults` /
+    ``REPRO_PARALLELISM`` / ``REPRO_PARALLELISM_MODE``).  ``cache_dir``
+    likewise defaults to ``REPRO_CACHE_DIR`` when unset, and
+    ``cache_backend`` selects the config-store layout — ``"local"``
+    (flat directory), ``"sharded"`` (two-level fan-out for cluster-shared
+    mounts), ``"memory"`` (in-process), or any
+    :class:`~repro.optimizer.config_store.ConfigStore` instance —
+    defaulting to ``REPRO_CACHE_BACKEND`` / ``"local"``.
+    ``use_cache=False`` disables both the in-process memo and the
+    persistent cache (deduplication still applies — it never changes
+    results).  ``vectorize`` selects the columnar batch evaluator
+    (``None`` defers to the engine default / ``REPRO_VECTORIZE``; results
+    are identical either way).
     """
     from repro.optimizer.engine import OptimizerEngine
 
@@ -626,7 +741,9 @@ def optimize_network(
         arch,
         options,
         parallelism=parallelism,
+        parallelism_mode=parallelism_mode,
         cache_dir=cache_dir,
+        cache_backend=cache_backend,
         use_cache=use_cache,
         vectorize=vectorize,
     )
@@ -634,9 +751,21 @@ def optimize_network(
 
 
 def clear_cache() -> None:
-    """Drop every in-process memoised search result (not the disk cache)."""
+    """Drop every in-process memo (the persistent config store survives).
+
+    Beyond the engine's layer/network memos and the Eyeriss baseline
+    cache, this also resets the model-constant memos added for the
+    columnar pipeline — the :func:`split_parallelism` divisor search, the
+    per-machine energy cost tables and the batch pipeline's constant
+    columns — so tests (or notebooks) that mutate an accelerator or
+    technology description in place can never observe stale constants.
+    """
     from repro.baselines import eyeriss
+    from repro.core import batch, energy_model, performance_model
     from repro.optimizer import engine
 
     engine.clear_memory_caches()
     eyeriss.clear_cache()
+    performance_model.clear_memos()
+    energy_model.clear_memos()
+    batch.clear_constant_caches()

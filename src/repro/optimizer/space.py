@@ -233,6 +233,42 @@ def parallelism_candidates(
     return results[:max_candidates]
 
 
+def candidate_blocks(
+    parallelisms: Sequence,
+    l2_tiles: Sequence[TileShape],
+    *,
+    best_first: bool = False,
+    block_bound=None,
+) -> list[tuple[int, int, int]]:
+    """Visit order for the search's (parallelism, L2-tile) blocks.
+
+    Returns ``(legacy_index, parallelism_index, l2_tile_index)`` triples.
+    Legacy order is the historical nesting — parallelism-major, L2-tile
+    minor — and ``legacy_index`` numbers the blocks in that order; it is a
+    pure function of candidate identity, never of visit order, so the
+    search can break equal-score ties exactly as the legacy enumeration
+    would regardless of how blocks are visited.
+
+    With ``best_first=True``, blocks are sorted by ascending
+    ``block_bound(l2_tile)`` — the cheap objective lower bound of the
+    block's best outer order (:func:`~repro.optimizer.search.objective_lower_bound`)
+    — so the blocks most likely to contain the optimum are evaluated
+    first and the incumbent-based prune bites as early as possible.  Ties
+    (including every parallelism variant of one L2 tile, since the bound
+    does not depend on parallelism) fall back to legacy order, keeping the
+    visit sequence deterministic.
+    """
+    blocks = [
+        (p_idx * len(l2_tiles) + t_idx, p_idx, t_idx)
+        for p_idx in range(len(parallelisms))
+        for t_idx in range(len(l2_tiles))
+    ]
+    if best_first:
+        bounds = [block_bound(l2_tile) for l2_tile in l2_tiles]
+        blocks.sort(key=lambda block: (bounds[block[2]], block[0]))
+    return blocks
+
+
 def dedupe_orders_by_signature(
     orders: Iterator[LoopOrder] | Sequence[LoopOrder],
     parent: TileShape,

@@ -324,6 +324,36 @@ class TestNetworkMemo:
         assert repro.clear_cache is clear_cache
 
 
+class TestClearCacheMemos:
+    """clear_cache() must also reset the model-constant memos, so tests
+    that mutate accelerator/technology descriptions in place can never
+    observe stale split-parallelism or cost-table entries."""
+
+    def test_model_constant_memos_are_reset(self, morph_arch):
+        from repro.core import batch, energy_model, performance_model
+
+        # A search primes every memo under test.
+        LayerOptimizer(morph_arch, FAST).optimize(LAYER_B)
+        energy_model.energy_cost_tables(morph_arch)
+        stale_tables = energy_model.energy_cost_tables(morph_arch)
+        assert performance_model._split_parallelism_cached.cache_info().currsize
+        assert energy_model.energy_cost_tables.cache_info().currsize
+        if batch.available:
+            assert batch.full_extents.cache_info().currsize
+
+        clear_cache()
+        assert (
+            performance_model._split_parallelism_cached.cache_info().currsize
+            == 0
+        )
+        assert energy_model.energy_cost_tables.cache_info().currsize == 0
+        assert batch.full_extents.cache_info().currsize == 0
+        assert batch.parallelism_tables.cache_info().currsize == 0
+        assert batch._order_tables.cache_info().currsize == 0
+        # A fresh call recomputes rather than returning the stale object.
+        assert energy_model.energy_cost_tables(morph_arch) is not stale_tables
+
+
 class TestEngineDefaults:
     def test_set_and_reset(self):
         set_engine_defaults(parallelism=7)

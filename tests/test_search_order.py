@@ -1,0 +1,152 @@
+"""Best-first block ordering: bit-identical results, fewer evaluations.
+
+The search visits (parallelism, L2-tile) candidate blocks best-first —
+ascending by objective lower bound — so the incumbent-based prune bites
+as early as possible.  The ordering guarantee under test: the chosen
+configuration and score are *bit-identical* to the legacy enumeration
+order (equal-score ties resolve by candidate identity, never visit
+order), while the number of full model evaluations only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.optimizer.engine import search_signature, signature_key
+from repro.optimizer.search import (
+    OBJECTIVES,
+    LayerOptimizer,
+    OptimizerOptions,
+    clear_cache,
+    optimize_network,
+)
+from repro.optimizer.space import candidate_blocks
+from repro.workloads import build_network, network_names
+
+FAST = OptimizerOptions.fast()
+
+LAYERS = (
+    ConvLayer("mid", h=14, w=14, c=32, f=4, k=64, r=3, s=3, t=3,
+              pad_h=1, pad_w=1, pad_f=1),
+    ConvLayer("deep", h=7, w=7, c=128, f=2, k=128, r=3, s=3, t=3,
+              pad_h=1, pad_w=1, pad_f=1),
+    #: AlexNet conv3-like: verified to prune strictly more best-first.
+    ConvLayer("alex3", h=13, w=13, c=256, f=1, k=384, r=3, s=3, t=1,
+              pad_h=1, pad_w=1),
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestBlockOrder:
+    def test_legacy_order_is_parallelism_major(self):
+        blocks = candidate_blocks(["p0", "p1"], ["t0", "t1", "t2"])
+        assert blocks == [
+            (0, 0, 0), (1, 0, 1), (2, 0, 2),
+            (3, 1, 0), (4, 1, 1), (5, 1, 2),
+        ]
+
+    def test_best_first_sorts_by_bound_then_legacy_rank(self):
+        bounds = {"t0": 5.0, "t1": 1.0, "t2": 5.0}
+        blocks = candidate_blocks(
+            ["p0", "p1"], ["t0", "t1", "t2"],
+            best_first=True, block_bound=bounds.__getitem__,
+        )
+        # t1's blocks first (lowest bound); bound ties keep legacy order.
+        assert blocks == [
+            (1, 0, 1), (4, 1, 1),
+            (0, 0, 0), (2, 0, 2), (3, 1, 0), (5, 1, 2),
+        ]
+
+
+class TestIdenticalResults:
+    @pytest.mark.parametrize("vectorize", (False, True))
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_bit_identical_choice_and_score(
+        self, morph_arch, vectorize, objective
+    ):
+        options = FAST.with_(objective=objective, vectorize=vectorize)
+        # The scalar reference path is an order of magnitude slower, and
+        # per-layer coverage beyond two shapes adds nothing it checks.
+        layers = LAYERS if vectorize else LAYERS[:2]
+        for layer in layers:
+            best_first = LayerOptimizer(
+                morph_arch, options.with_(search_order="best_first")
+            ).optimize(layer)
+            legacy = LayerOptimizer(
+                morph_arch, options.with_(search_order="legacy")
+            ).optimize(layer)
+            assert best_first.best.dataflow == legacy.best.dataflow, layer.name
+            assert best_first.score == legacy.score, layer.name
+
+    @pytest.mark.parametrize("vectorize", (False, True))
+    def test_prune_counter_monotonically_better(self, morph_arch, vectorize):
+        """Best-first never evaluates more candidates, and on layers whose
+        heuristic L2 ranking is imperfect it evaluates strictly fewer."""
+        strict_gain = False
+        for layer in LAYERS:
+            best_first = LayerOptimizer(
+                morph_arch, FAST.with_(search_order="best_first",
+                                       vectorize=vectorize)
+            ).optimize(layer)
+            legacy = LayerOptimizer(
+                morph_arch, FAST.with_(search_order="legacy",
+                                       vectorize=vectorize)
+            ).optimize(layer)
+            assert best_first.evaluated <= legacy.evaluated, layer.name
+            strict_gain |= best_first.evaluated < legacy.evaluated
+        assert strict_gain  # the alex3 layer pins a strict improvement
+
+    def test_order_excluded_from_signatures(self, morph_arch):
+        """A pure speed knob: records cached under one order must recall
+        under the other, so the order cannot enter the signature."""
+        base = FAST.with_(search_order="best_first")
+        legacy = FAST.with_(search_order="legacy")
+        layer = LAYERS[0]
+        assert search_signature(layer, morph_arch, base) == search_signature(
+            layer, morph_arch, legacy
+        )
+        assert signature_key(
+            search_signature(layer, morph_arch, base)
+        ) == signature_key(search_signature(layer, morph_arch, legacy))
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="search_order"):
+            OptimizerOptions(search_order="random")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("network_name", sorted(network_names()))
+def test_best_first_identical_and_cheaper_on_every_network(
+    network_name, morph_arch
+):
+    """Whole-network invariance sweep: every registered network chooses
+    bit-identical configurations and scores under best-first visiting,
+    while evaluating strictly fewer full candidates in total."""
+    network = build_network(network_name)
+    sweeps = {}
+    for order in ("best_first", "legacy"):
+        clear_cache()
+        sweeps[order] = optimize_network(
+            network.layers, morph_arch, FAST.with_(search_order=order),
+            network_name=network.name, use_cache=False, parallelism=1,
+        )
+    best_first, legacy = sweeps["best_first"], sweeps["legacy"]
+    for chosen, reference in zip(best_first.layers, legacy.layers):
+        assert chosen.best.dataflow == reference.best.dataflow, (
+            chosen.layer.name
+        )
+        assert chosen.score == reference.score, chosen.layer.name
+    assert best_first.total_energy_pj == legacy.total_energy_pj
+    evaluated_best_first = sum(r.evaluated for r in best_first.layers)
+    evaluated_legacy = sum(r.evaluated for r in legacy.layers)
+    assert evaluated_best_first < evaluated_legacy, (
+        f"{network_name}: best-first evaluated {evaluated_best_first}, "
+        f"legacy {evaluated_legacy}"
+    )
