@@ -152,17 +152,68 @@ def test_bench_best_first_vs_legacy_order(record_bench):
         assert chosen.score == reference.score, chosen.layer.name
     evaluated_best_first = sum(r.evaluated for r in best_first.layers)
     evaluated_legacy = sum(r.evaluated for r in legacy.layers)
+    # Bound-quality telemetry: how often the first-visited block (the
+    # lower bound's top pick under best-first) held the eventual winner.
+    first_block_wins = sum(
+        1 for r in best_first.layers if r.first_block_won
+    )
     record_bench(
         search_order_legacy_candidates=evaluated_legacy,
         search_order_best_first_candidates=evaluated_best_first,
         search_order_candidates_saved=evaluated_legacy - evaluated_best_first,
         search_order_legacy_s=round(legacy_s, 3),
         search_order_best_first_s=round(best_first_s, 3),
+        search_order_first_block_wins=first_block_wins,
+        search_order_layers=len(best_first.layers),
     )
     assert evaluated_best_first < evaluated_legacy, (
         f"best-first evaluated {evaluated_best_first}, "
         f"legacy {evaluated_legacy}"
     )
+
+
+def test_bench_cache_backend_stats(record_bench, tmp_path):
+    """Save-and-recall statistics per config-store backend.
+
+    One cold search followed by one recall through each backend; the
+    per-backend hit/miss/re-eval counters land in
+    ``BENCH_core_models.json`` so cache efficacy is tracked across PRs.
+    """
+    from repro.optimizer.engine import (
+        cache_statistics,
+        optimize_layer,
+        reset_cache_statistics,
+    )
+
+    from repro.optimizer.config_store import clear_memory_stores
+
+    layer = ConvLayer(
+        "cachestat", h=14, w=14, c=32, f=4, k=48, r=3, s=3, t=3,
+        pad_h=1, pad_w=1, pad_f=1,
+    )
+    arch = morph()
+    options = OptimizerOptions.fast()
+    reset_cache_statistics()
+    clear_memory_stores()  # the "memory" backend is shared process-wide
+    metrics = {}
+    for backend in ("local", "sharded", "memory"):
+        cache_dir = tmp_path / backend
+        for _ in range(2):  # cold (miss + write), then recall (hit)
+            clear_cache()
+            optimize_layer(
+                layer, arch, options,
+                cache_dir=cache_dir, cache_backend=backend, parallelism=1,
+            )
+        stats = cache_statistics()[backend]
+        assert stats.hits == 1 and stats.misses == 1, (backend, stats)
+        assert stats.recall_reevals == 1 and stats.writes == 1, (backend, stats)
+        metrics.update({
+            f"cache_{backend}_hits": stats.hits,
+            f"cache_{backend}_misses": stats.misses,
+            f"cache_{backend}_recall_reevals": stats.recall_reevals,
+        })
+    record_bench(**metrics)
+    reset_cache_statistics()
 
 
 @pytest.mark.slow

@@ -50,6 +50,17 @@ def sum_input_extents_kernel(total, tile, span, stride):
     return stride * total + ceil_div(total, tile) * (span - stride)
 
 
+def minimum_kernel(a, b):
+    """Elementwise ``min`` for Python ints and NumPy arrays alike."""
+    return b + (a - b) * (a < b)
+
+
+def tile_extent_at_kernel(index, total, tile):
+    """Output extent of tile ``index`` covering ``total``: ``tile`` except a
+    possibly short final tile — ``min(tile, total - index * tile)``."""
+    return minimum_kernel(tile, total - index * tile)
+
+
 @dataclasses.dataclass(frozen=True)
 class Precision:
     """Datum widths in bytes for the three data types.
@@ -250,10 +261,25 @@ def tile_positions(total: int, tile: int) -> list[int]:
     if tile < 1:
         raise ValueError("tile extent must be >= 1")
     count = math.ceil(total / tile)
-    extents = [tile] * count
-    if count:
-        extents[-1] = total - tile * (count - 1)
-    return extents
+    return [tile_extent_at_kernel(index, total, tile) for index in range(count)]
+
+
+def tile_positions_array(total: int, tile: int):
+    """Vectorized :func:`tile_positions`: one int64 array instead of a list.
+
+    Same closed form (:func:`tile_extent_at_kernel`) evaluated over
+    ``arange(ceil(total / tile))`` — the building block the columnar
+    simulators (:mod:`repro.sim`) use to materialise whole tile schedules
+    as coordinate tables.
+    """
+    import numpy as np
+
+    if tile < 1:
+        raise ValueError("tile extent must be >= 1")
+    count = ceil_div(total, tile)
+    return tile_extent_at_kernel(
+        np.arange(count, dtype=np.int64), np.int64(total), np.int64(tile)
+    )
 
 
 def sum_input_extents(layer: ConvLayer, dim: Dim, total: int, tile: int) -> int:

@@ -26,7 +26,7 @@ import sys
 import time
 from typing import Callable
 
-from repro.optimizer.engine import set_engine_defaults
+from repro.optimizer.engine import describe_cache_statistics, set_engine_defaults
 from repro.workloads import set_build_defaults
 
 from repro.experiments import (
@@ -157,6 +157,9 @@ def main(argv: list[str] | None = None) -> int:
         start = time.time()
         EXPERIMENTS[name](fast)
         print(f"[{name} done in {time.time() - start:.1f}s]")
+    # Per-backend recall statistics of every persistent config store the
+    # sweeps touched (hits, misses, recall re-evaluations).
+    print(f"\n{describe_cache_statistics()}")
     return 0
 
 

@@ -229,6 +229,12 @@ class ConfigStore(abc.ABC):
     def describe(self) -> str:
         return type(self).__name__
 
+    def kind(self) -> str:
+        """Stable backend-kind label for per-backend cache statistics
+        (``"local"`` / ``"sharded"`` / ``"memory"`` for the built-ins,
+        the class name for bespoke stores)."""
+        return type(self).__name__
+
 
 class _FileConfigStore(ConfigStore):
     """Shared machinery of the directory-backed stores.
@@ -327,6 +333,9 @@ class LocalDirectoryStore(_FileConfigStore):
     def describe(self) -> str:
         return f"local:{self.directory}"
 
+    def kind(self) -> str:
+        return "local"
+
 
 class ShardedStore(_FileConfigStore):
     """Two-level fan-out layout for cluster-shared cache mounts.
@@ -340,6 +349,8 @@ class ShardedStore(_FileConfigStore):
     shard tree.  Appends are best-effort and line-oriented; readers
     tolerate torn or duplicate lines, and the shard tree (walked by
     :meth:`keys`) remains the source of truth.
+    :meth:`compact_manifest` periodically rewrites the manifest keeping
+    only the latest entry per key, with an atomic replace.
     """
 
     MANIFEST = "MANIFEST.jsonl"
@@ -387,8 +398,55 @@ class ShardedStore(_FileConfigStore):
         except OSError:
             pass
 
+    def compact_manifest(self) -> int:
+        """Rewrite the append-only manifest keeping only the latest entry
+        per key.
+
+        Long-running cluster caches grow one manifest line per write —
+        re-writes of one key included — so periodic compaction keeps
+        enumeration cheap.  Entries keep first-appearance order with each
+        key's *latest* payload (torn or non-JSON lines are dropped); the
+        replacement is atomic (temp file + ``os.replace``), so concurrent
+        readers see either the old or the compacted manifest, never a torn
+        one.  Appends racing with the rewrite can be lost from the
+        manifest — which is advisory; the shard tree stays the source of
+        truth and the next write re-registers its key.  Returns the number
+        of entries kept (0 when there is no manifest or on I/O failure).
+        """
+        path = self.directory / self.MANIFEST
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return 0
+        latest: dict[str, dict] = {}
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+                latest[entry["key"]] = entry
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            tmp.write_text(
+                "".join(json.dumps(entry) + "\n" for entry in latest.values())
+            )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return 0
+        return len(latest)
+
     def describe(self) -> str:
         return f"sharded:{self.directory}"
+
+    def kind(self) -> str:
+        return "sharded"
 
 
 class MemoryStore(ConfigStore):
@@ -435,6 +493,9 @@ class MemoryStore(ConfigStore):
 
     def describe(self) -> str:
         return f"memory:{len(self._records)} records"
+
+    def kind(self) -> str:
+        return "memory"
 
 
 #: Process-wide named :class:`MemoryStore` instances, so every engine

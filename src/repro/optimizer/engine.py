@@ -288,6 +288,63 @@ def signature_key(signature: dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# Per-backend cache statistics (process-wide, across engines)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class BackendCacheStats:
+    """Cross-run recall statistics of one config-store backend kind."""
+
+    hits: int = 0  #: records recalled and re-evaluated successfully
+    misses: int = 0  #: lookups that fell through to a full search
+    stale: int = 0  #: records present but format/signature mismatched
+    recall_reevals: int = 0  #: recall re-evaluations attempted
+    reeval_failures: int = 0  #: recalled configs the current models reject
+    writes: int = 0  #: records written successfully
+    write_failures: int = 0  #: writes that failed (I/O)
+
+    def describe(self) -> str:
+        lookups = self.hits + self.misses
+        return (
+            f"{self.hits}/{lookups} hits"
+            f" ({self.stale} stale, {self.reeval_failures} re-eval rejects),"
+            f" {self.recall_reevals} recall re-evals,"
+            f" {self.writes} writes"
+            + (f" ({self.write_failures} failed)" if self.write_failures else "")
+        )
+
+
+#: Backend kind (``"local"`` / ``"sharded"`` / ``"memory"`` / class name)
+#: -> accumulated statistics.  Engines come and go per ``optimize_network``
+#: call; this registry is what survives to the bench JSON and the runner's
+#: end-of-run summary.
+_CACHE_STATS: dict[str, BackendCacheStats] = {}
+
+
+def cache_statistics() -> dict[str, BackendCacheStats]:
+    """Per-backend recall statistics accumulated in this process
+    (returned as copies; mutate-safe)."""
+    return {kind: dataclasses.replace(stats) for kind, stats in _CACHE_STATS.items()}
+
+
+def reset_cache_statistics() -> None:
+    _CACHE_STATS.clear()
+
+
+def describe_cache_statistics() -> str:
+    """One line per backend kind, for the runner's summary output."""
+    if not _CACHE_STATS:
+        return "config cache: no persistent-store activity"
+    return "\n".join(
+        f"config cache [{kind}]: {stats.describe()}"
+        for kind, stats in sorted(_CACHE_STATS.items())
+    )
+
+
+def _stats_for(backend: ConfigStore) -> BackendCacheStats:
+    return _CACHE_STATS.setdefault(backend.kind(), BackendCacheStats())
+
+
+# ----------------------------------------------------------------------
 # Persistent config cache (record codec over a pluggable store)
 # ----------------------------------------------------------------------
 class DiskConfigCache:
@@ -321,21 +378,31 @@ class DiskConfigCache:
 
         Returns ``None`` on any miss: absent or corrupt record (the file
         backends quarantine those), format or signature mismatch (stale
-        record), or a configuration the current models reject.
+        record), or a configuration the current models reject.  Every
+        outcome feeds the per-backend :func:`cache_statistics`.
         """
+        stats = _stats_for(self.backend)
         payload = self.backend.get(signature_key(signature))
         if payload is None:
+            stats.misses += 1
             return None
-        if payload.get("format_version") != CACHE_FORMAT_VERSION:
+        if (
+            payload.get("format_version") != CACHE_FORMAT_VERSION
+            or payload.get("signature") != signature
+        ):
+            stats.stale += 1
+            stats.misses += 1
             return None
-        if payload.get("signature") != signature:
-            return None
+        stats.recall_reevals += 1
         try:
             dataflow = dataflow_from_json(layer, payload["dataflow"])
             best = evaluate(dataflow, arch)
         except (KeyError, TypeError, ValueError, CapacityError):
             # Malformed record fields count as a miss, like unreadable JSON.
+            stats.reeval_failures += 1
+            stats.misses += 1
             return None
+        stats.hits += 1
         return LayerResult(
             layer=layer,
             best=best,
@@ -360,7 +427,12 @@ class DiskConfigCache:
             "objective": result.objective,
             "expected_score": result.score,
         }
-        return self.backend.put(signature_key(signature), payload)
+        stats = _stats_for(self.backend)
+        if self.backend.put(signature_key(signature), payload):
+            stats.writes += 1
+            return True
+        stats.write_failures += 1
+        return False
 
 
 # ----------------------------------------------------------------------

@@ -140,6 +140,12 @@ class LayerResult:
     #: Candidates (or whole L2-tile branches, counted per outer order)
     #: discarded by the lower bound without a model evaluation.
     pruned: int = 0
+    #: Bound-quality telemetry: did the *first-visited* (parallelism,
+    #: L2-tile) block contain the eventual winner?  Under best-first
+    #: ordering this measures how often the cheap objective lower bound
+    #: ranks the winning block first (the prune's best case); ``None``
+    #: for results recalled from the persistent cache (no search ran).
+    first_block_won: bool | None = None
 
     @property
     def score(self) -> float:
@@ -467,6 +473,7 @@ class LayerOptimizer:
             evaluated=evaluated,
             objective=self.options.objective,
             pruned=pruned,
+            first_block_won=bool(blocks) and best_rank[0] == blocks[0][0],
         )
 
     def _optimize_batch(self, layer: ConvLayer) -> LayerResult:
@@ -651,6 +658,7 @@ class LayerOptimizer:
             evaluated=evaluated,
             objective=objective,
             pruned=pruned,
+            first_block_won=bool(blocks) and best_rank[0] == blocks[0][0],
         )
 
 

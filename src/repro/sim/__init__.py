@@ -4,7 +4,25 @@
   (Algorithm 1 of the paper).
 * :mod:`repro.sim.tiled_executor` — executes a configuration's actual tile
   schedule; must be bit-identical to the reference for every legal config.
+  Also home of the **columnar schedule lowering** (:func:`tile_table` /
+  :func:`schedule_tables`): a dataflow's complete multi-level tile
+  schedule materialised as NumPy origin/extent coordinate tables, one row
+  per tile visit, in exact scalar visit order.
 * :mod:`repro.sim.trace` — walks the schedule with buffer-residency
   tracking; the analytic access model must agree exactly on
   evenly-dividing shapes.
+* :mod:`repro.sim.pipeline_sim` — double-buffered pipeline timing over
+  the outer tile schedule, cross-checking the analytic cycle model.
+
+The trace and pipeline simulators each have two interchangeable paths:
+the scalar tile-by-tile reference walk, and a columnar event pipeline
+that computes region intervals, fill/writeback bytes, slide-reuse
+credits and per-tile timing as array passes over the coordinate tables
+(shifted-array diffs instead of per-iteration dict/tuple work).  Both
+paths evaluate the same shared ``*_kernel`` formulas, and their counters
+and cycle totals are **bit-identical** — pinned by
+``tests/test_sim_equivalence.py`` — so the columnar path is purely a
+speed knob (``vectorize=`` argument, engine defaults, or the
+``REPRO_VECTORIZE`` environment variable), fast enough to validate every
+registered network in the slow CI tier.
 """

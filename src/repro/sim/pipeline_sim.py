@@ -10,10 +10,22 @@ Section IV-A2) — the next tile's fills overlap the current tile's
 compute, so steady-state cycles are ``max(load, compute)`` per tile plus
 a pipeline prologue/epilogue.
 
+Like the trace simulator, the walk has two interchangeable paths sharing
+one set of ``*_kernel`` formulas: the scalar tile-by-tile reference and a
+**columnar pass** (``vectorize=True``, the default when NumPy imports)
+that lowers the outer schedule into one coordinate table, detects tensor
+movement with shifted-array comparisons, and reduces the double-buffered
+step recurrence with a sequential ``cumsum`` — so cycle totals, tile
+classifications and the prologue are **bit-identical** between the paths
+(pinned by ``tests/test_sim_equivalence.py``).  ``vectorize=`` /
+``set_engine_defaults`` / ``REPRO_VECTORIZE`` select the path.
+
 Fidelity notes: the inner levels' traffic is folded into per-L2-tile
 aggregate transfer times (their buses run concurrently with compute the
 same way); utilisation inside one tile's compute uses the analytic
-utilisation factor.  Tests assert agreement with the analytic cycle count
+utilisation factor; input windows use the dilation-aware filter span
+(:func:`~repro.core.tiling.kernel_and_stride`), matching the analytic
+footprint math.  Tests assert agreement with the analytic cycle count
 within tolerance and identical compute/bandwidth-bound classification.
 """
 
@@ -29,6 +41,7 @@ from repro.core.performance_model import (
     compute_utilization,
     parallel_level_degrees,
 )
+from repro.core.tiling import input_extent_kernel, kernel_and_stride
 from repro.sim.tiled_executor import TileCoord, iter_tiles
 
 
@@ -60,6 +73,27 @@ class PipelineReport:
         )
 
 
+# ----------------------------------------------------------------------
+# Scalar/array-agnostic formula kernels (shared by both execution paths)
+# ----------------------------------------------------------------------
+def input_tile_elements_kernel(layer, w, h, c, f):
+    """Input-window elements of an output tile (dilated halos included)."""
+    return (
+        input_extent_kernel(w, *kernel_and_stride(layer, Dim.W))
+        * input_extent_kernel(h, *kernel_and_stride(layer, Dim.H))
+        * input_extent_kernel(f, *kernel_and_stride(layer, Dim.F))
+        * c
+    )
+
+
+def weight_tile_elements_kernel(layer, c, k):
+    return k * c * (layer.r * layer.s * layer.t)
+
+
+def psum_tile_elements_kernel(w, h, k, f):
+    return w * h * k * f
+
+
 def _tile_io_bytes(
     layer, coord: TileCoord, previous: TileCoord | None, precision
 ) -> tuple[float, float]:
@@ -80,47 +114,30 @@ def _tile_io_bytes(
 
     load = 0.0
     if moved((Dim.W, Dim.H, Dim.C, Dim.F)):
-        in_w = (coord.extent[Dim.W] - 1) * layer.stride_w + layer.s
-        in_h = (coord.extent[Dim.H] - 1) * layer.stride_h + layer.r
-        in_f = (coord.extent[Dim.F] - 1) * layer.stride_f + layer.t
-        load += in_w * in_h * in_f * coord.extent[Dim.C] * precision.activation_bytes
+        load += input_tile_elements_kernel(
+            layer,
+            coord.extent[Dim.W], coord.extent[Dim.H],
+            coord.extent[Dim.C], coord.extent[Dim.F],
+        ) * precision.activation_bytes
     if moved((Dim.C, Dim.K)):
-        load += (
-            coord.extent[Dim.K]
-            * coord.extent[Dim.C]
-            * layer.r * layer.s * layer.t
-            * precision.weight_bytes
-        )
+        load += weight_tile_elements_kernel(
+            layer, coord.extent[Dim.C], coord.extent[Dim.K]
+        ) * precision.weight_bytes
     drain = 0.0
     if moved((Dim.W, Dim.H, Dim.K, Dim.F)):
-        drain = (
-            coord.extent[Dim.W]
-            * coord.extent[Dim.H]
-            * coord.extent[Dim.F]
-            * coord.extent[Dim.K]
-            * precision.activation_bytes
-        )
+        drain = psum_tile_elements_kernel(
+            coord.extent[Dim.W], coord.extent[Dim.H],
+            coord.extent[Dim.K], coord.extent[Dim.F],
+        ) * precision.activation_bytes
     return load, drain
 
 
-def simulate_pipeline(
-    dataflow: Dataflow,
-    arch: AcceleratorConfig,
-) -> PipelineReport:
-    """Walk the outer tile schedule with double-buffered overlap."""
-    layer = dataflow.layer
-    precision = arch.precision
-    hierarchy = dataflow.hierarchy
-    util = compute_utilization(hierarchy, arch, dataflow.parallelism)
-    peak = arch.peak_maccs_per_cycle * util
-
-    # Inner-boundary traffic runs concurrently with compute on the L2->L1
-    # and L1->L0 buses; a tile's effective compute time is the max of its
-    # MACC time and its share of inner-bus transfer time.
+def _inner_bus_cycles(dataflow: Dataflow, arch: AcceleratorConfig) -> float:
+    """Aggregate inner-boundary transfer cycles (the slowest inner bus)."""
     level_degrees = parallel_level_degrees(
         arch.num_levels, arch.clusters, arch.pes_per_cluster, dataflow.parallelism
     )
-    traffic = compute_traffic(dataflow, precision, level_degrees)
+    traffic = compute_traffic(dataflow, arch.precision, level_degrees)
     inner_bus_cycles_total = 0.0
     for index, boundary in enumerate(traffic.boundaries):
         if index == 0:
@@ -134,10 +151,46 @@ def simulate_pipeline(
                 bytes_crossing += t.fill_bytes
         bw = arch.noc.boundary_bandwidth_bytes_per_cycle(index)
         inner_bus_cycles_total = max(inner_bus_cycles_total, bytes_crossing / bw)
+    return inner_bus_cycles_total
 
+
+def simulate_pipeline(
+    dataflow: Dataflow,
+    arch: AcceleratorConfig,
+    *,
+    vectorize: bool | None = None,
+) -> PipelineReport:
+    """Walk the outer tile schedule with double-buffered overlap.
+
+    ``vectorize`` selects the columnar pass over the scalar reference
+    walk (default: the engine knob / ``REPRO_VECTORIZE``); reports are
+    bit-identical either way.
+    """
+    from repro.sim.trace import _resolve_vectorize
+
+    layer = dataflow.layer
+    precision = arch.precision
+    hierarchy = dataflow.hierarchy
+    util = compute_utilization(hierarchy, arch, dataflow.parallelism)
+    peak = arch.peak_maccs_per_cycle * util
+
+    # Inner-boundary traffic runs concurrently with compute on the L2->L1
+    # and L1->L0 buses; a tile's effective compute time is the max of its
+    # MACC time and its share of inner-bus transfer time.
+    inner_bus_cycles_total = _inner_bus_cycles(dataflow, arch)
     dram_bw = arch.noc.boundary_bandwidth_bytes_per_cycle(0)
 
-    root = TileCoord(
+    if _resolve_vectorize(vectorize):
+        return _simulate_columnar(
+            dataflow, arch, peak, inner_bus_cycles_total, dram_bw
+        )
+    return _simulate_scalar(
+        dataflow, arch, peak, inner_bus_cycles_total, dram_bw
+    )
+
+
+def _root_coord(layer) -> TileCoord:
+    return TileCoord(
         origin={d: 0 for d in Dim},
         extent={
             Dim.W: layer.out_w,
@@ -147,8 +200,26 @@ def simulate_pipeline(
             Dim.F: layer.out_f,
         },
     )
+
+
+# ----------------------------------------------------------------------
+# Scalar reference walk
+# ----------------------------------------------------------------------
+def _simulate_scalar(
+    dataflow: Dataflow,
+    arch: AcceleratorConfig,
+    peak: float,
+    inner_bus_cycles_total: float,
+    dram_bw: float,
+) -> PipelineReport:
+    layer = dataflow.layer
+    precision = arch.precision
+    root = _root_coord(layer)
     coords = list(
-        iter_tiles(root.origin, root.extent, hierarchy.outermost, dataflow.outer_order)
+        iter_tiles(
+            root.origin, root.extent,
+            dataflow.hierarchy.outermost, dataflow.outer_order,
+        )
     )
     total_maccs = layer.maccs
     total_tile_maccs = sum(
@@ -199,4 +270,85 @@ def simulate_pipeline(
         load_bound_tiles=load_bound,
         compute_bound_tiles=compute_bound,
         prologue_cycles=timings[0].load_cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Columnar pass
+# ----------------------------------------------------------------------
+def _simulate_columnar(
+    dataflow: Dataflow,
+    arch: AcceleratorConfig,
+    peak: float,
+    inner_bus_cycles_total: float,
+    dram_bw: float,
+) -> PipelineReport:
+    """One-table re-expression of the scalar walk over the outer schedule.
+
+    Tensor movement between consecutive tiles is a shifted-array
+    comparison over the tensor's relevant dims; the double-buffered step
+    recurrence ``cycles += max(compute, next load, prev drain)`` reduces
+    with a sequential ``cumsum`` over ``[prologue, steps..., epilogue]``,
+    reproducing the scalar left-to-right float accumulation bit for bit.
+    """
+    import numpy as np
+
+    from repro.core.batch import DIM_INDEX
+    from repro.sim.tiled_executor import schedule_tables
+
+    layer = dataflow.layer
+    precision = arch.precision
+    table = schedule_tables(dataflow, levels=1)[0]
+    n = len(table)
+    ext = table.extent
+    w, h, c, k, f = (ext[DIM_INDEX[d]] for d in (Dim.W, Dim.H, Dim.C, Dim.K, Dim.F))
+
+    maccs = (w * h * f * k * c) * (layer.r * layer.s * layer.t)
+    assert int(maccs.sum()) == layer.maccs, "schedule must cover the layer"
+
+    def moved(dims) -> np.ndarray:
+        rows = [DIM_INDEX[d] for d in dims]
+        flags = np.empty(n, dtype=bool)
+        flags[0] = True
+        flags[1:] = (
+            (table.origin[rows, 1:] != table.origin[rows, :-1])
+            | (ext[rows, 1:] != ext[rows, :-1])
+        ).any(axis=0)
+        return flags
+
+    in_bytes = input_tile_elements_kernel(layer, w, h, c, f) * precision.activation_bytes
+    wt_bytes = weight_tile_elements_kernel(layer, c, k) * precision.weight_bytes
+    ps_bytes = psum_tile_elements_kernel(w, h, k, f) * precision.activation_bytes
+
+    load_bytes = (
+        moved((Dim.W, Dim.H, Dim.C, Dim.F)) * in_bytes
+        + moved((Dim.C, Dim.K)) * wt_bytes
+    ).astype(np.float64)
+    drain_bytes = (moved((Dim.W, Dim.H, Dim.K, Dim.F)) * ps_bytes).astype(
+        np.float64
+    )
+
+    load_cycles = load_bytes / dram_bw
+    drain_cycles = drain_bytes / dram_bw
+    inner_share = inner_bus_cycles_total / n
+    compute_cycles = np.maximum(maccs / peak, inner_share)
+
+    next_load = np.concatenate([load_cycles[1:], [0.0]])
+    prev_drain = np.concatenate([[0.0], drain_cycles[:-1]])
+    steps = np.maximum(np.maximum(compute_cycles, next_load), prev_drain)
+    load_bound = int((next_load > compute_cycles).sum())
+
+    # cumsum is the sequential left-to-right accumulation the scalar loop
+    # performs — same association order, bit-identical total.
+    timeline = np.concatenate(
+        [load_cycles[:1], steps, drain_cycles[-1:]]
+    )
+    cycles = float(np.cumsum(timeline)[-1])
+
+    return PipelineReport(
+        tiles=n,
+        cycles=cycles,
+        load_bound_tiles=load_bound,
+        compute_bound_tiles=n - load_bound,
+        prologue_cycles=float(load_cycles[0]),
     )

@@ -6,6 +6,19 @@ loop order inside them — accumulating partial sums across channel tiles the
 way the hardware does.  Its output must equal the reference convolution for
 *every* legal configuration: the paper's loop-order-invariance claim
 (Section II-E) plus the correctness of our halo arithmetic.
+
+Columnar schedule lowering
+--------------------------
+:func:`iter_tiles` is the scalar reference enumeration — one
+:class:`TileCoord` at a time, innermost dim fastest.  :func:`tile_table`
+is its columnar counterpart: it materialises the child tiles of *many*
+parent regions at once as NumPy origin/extent columns (``(5, N)`` int64,
+``ALL_DIMS`` order), in exactly the order the scalar enumeration would
+visit them; :func:`schedule_tables` chains it level by level to lower a
+dataflow's complete multi-level schedule into one coordinate table per
+boundary.  The columnar simulators (:mod:`repro.sim.trace`,
+:mod:`repro.sim.pipeline_sim`) run array passes over these tables instead
+of walking tiles one by one.
 """
 
 from __future__ import annotations
@@ -16,11 +29,17 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.batch import DIM_INDEX, full_extents
 from repro.core.dataflow import Dataflow
-from repro.core.dims import Dim
+from repro.core.dims import ALL_DIMS, Dim
 from repro.core.layer import ConvLayer
 from repro.core.loopnest import LoopOrder
-from repro.core.tiling import TileShape, tile_positions
+from repro.core.tiling import (
+    TileShape,
+    ceil_div,
+    tile_extent_at_kernel,
+    tile_positions,
+)
 from repro.sim.conv3d_ref import conv3d_reference, pad_inputs
 
 
@@ -59,6 +78,112 @@ def iter_tiles(
         origin = {dim: off for dim, (off, _) in zip(order.dims, combo)}
         extent = {dim: ext for dim, (_, ext) in zip(order.dims, combo)}
         yield TileCoord(origin=origin, extent=extent)
+
+
+@dataclasses.dataclass(frozen=True)
+class TileTable:
+    """Columnar tile coordinates: one row per visited tile, in visit order.
+
+    ``origin``/``extent`` are ``(5, N)`` int64 columns in ``ALL_DIMS``
+    order (W, H, C, K, F — :data:`repro.core.batch.DIM_INDEX`);
+    ``parent`` maps each row to its parent's row in the enclosing level's
+    table; ``first_child`` marks the first tile of each parent's
+    enumeration (the scalar walk's ``index == 0``, where slide reuse
+    cannot apply because the double buffer was freshly swapped).
+    """
+
+    origin: np.ndarray
+    extent: np.ndarray
+    parent: np.ndarray
+    first_child: np.ndarray
+
+    def __len__(self) -> int:
+        return self.origin.shape[-1]
+
+    def coord(self, row: int) -> TileCoord:
+        """Materialise one row as a scalar :class:`TileCoord`."""
+        return TileCoord(
+            origin={d: int(self.origin[DIM_INDEX[d], row]) for d in ALL_DIMS},
+            extent={d: int(self.extent[DIM_INDEX[d], row]) for d in ALL_DIMS},
+        )
+
+
+def tile_table(
+    parent_origin: np.ndarray,
+    parent_extent: np.ndarray,
+    tile: TileShape,
+    order: LoopOrder,
+) -> TileTable:
+    """Columnar :func:`iter_tiles` over many parent regions at once.
+
+    ``parent_origin``/``parent_extent`` are ``(5, P)`` int64 columns
+    (``ALL_DIMS`` order).  Rows of the result enumerate, for each parent in
+    column order, that parent's child tiles in loop order (outermost dim
+    of ``order`` slowest, innermost fastest) — exactly the sequence the
+    scalar recursion visits, ragged edge tiles included: a short parent
+    has fewer and/or shorter children, via the same
+    :func:`~repro.core.tiling.tile_extent_at_kernel` closed form that
+    :func:`~repro.core.tiling.tile_positions` evaluates per tile.
+    """
+    parent_origin = np.asarray(parent_origin, dtype=np.int64).reshape(5, -1)
+    parent_extent = np.asarray(parent_extent, dtype=np.int64).reshape(5, -1)
+    dim_rows = np.array([DIM_INDEX[d] for d in order.dims], dtype=np.intp)
+    tile_ext = np.array(
+        [tile.extent(d) for d in order.dims], dtype=np.int64
+    )[:, None]
+    counts = ceil_div(parent_extent[dim_rows], tile_ext)  # (5, P)
+    per_parent = counts.prod(axis=0)
+    total = int(per_parent.sum())
+    parent_index = np.repeat(
+        np.arange(parent_origin.shape[-1], dtype=np.int64), per_parent
+    )
+    starts = np.cumsum(per_parent) - per_parent
+    local = np.arange(total, dtype=np.int64) - starts[parent_index]
+    # Mixed-radix decode of the per-parent linear index: stride of an
+    # ordered dim is the product of the counts of every dim inside it.
+    strides = np.ones_like(counts)
+    for row in range(len(order.dims) - 2, -1, -1):
+        strides[row] = strides[row + 1] * counts[row + 1]
+    steps = (local[None, :] // strides[:, parent_index]) % counts[:, parent_index]
+    origin_ordered = parent_origin[dim_rows][:, parent_index] + steps * tile_ext
+    extent_ordered = tile_extent_at_kernel(
+        steps, parent_extent[dim_rows][:, parent_index], tile_ext
+    )
+    origin = np.empty((5, total), dtype=np.int64)
+    extent = np.empty((5, total), dtype=np.int64)
+    origin[dim_rows] = origin_ordered
+    extent[dim_rows] = extent_ordered
+    return TileTable(
+        origin=origin,
+        extent=extent,
+        parent=parent_index,
+        first_child=local == 0,
+    )
+
+
+def schedule_tables(
+    dataflow: Dataflow, levels: int | None = None
+) -> list[TileTable]:
+    """Lower a dataflow's full multi-level schedule into coordinate tables.
+
+    Returns one :class:`TileTable` per boundary, outermost first; table
+    ``i`` enumerates every tile visit at level ``i`` across the whole
+    layer, in the scalar walk's visit order (its rows are the level-``i``
+    invocations chained across all parents).
+    """
+    origin = np.zeros((5, 1), dtype=np.int64)
+    extent = full_extents(dataflow.layer)[:, None]
+    tables: list[TileTable] = []
+    depth = dataflow.hierarchy.levels if levels is None else levels
+    for boundary in range(depth):
+        table = tile_table(
+            origin, extent,
+            dataflow.hierarchy.tiles[boundary],
+            dataflow.order_for_boundary(boundary),
+        )
+        tables.append(table)
+        origin, extent = table.origin, table.extent
+    return tables
 
 
 def _layer_for_tile(layer: ConvLayer, coord: TileCoord) -> ConvLayer:

@@ -176,6 +176,58 @@ class TestThreadRaces:
             assert json.loads(record.read_text())["format_version"]
 
 
+class TestManifestCompactionRaces:
+    def test_compaction_races_with_writers(self, tmp_path):
+        """Writers appending while another thread compacts repeatedly:
+        every record stays retrievable (the shard tree is truth), the
+        manifest never tears, and a final compaction deduplicates it."""
+        from repro.optimizer.config_store import ShardedStore
+
+        store = ShardedStore(tmp_path)
+        keys = [f"{i:02x}{i:02x}" + "0" * 60 for i in range(24)]
+        barrier = threading.Barrier(3)
+        failures = []
+
+        def write(chunk):
+            try:
+                barrier.wait(timeout=60)
+                for key in chunk:
+                    assert store.put(key, {"v": key})
+                    assert store.put(key, {"v": key, "rev": 2})
+            except Exception as exc:
+                failures.append(exc)
+
+        def compact():
+            try:
+                barrier.wait(timeout=60)
+                for _ in range(20):
+                    store.compact_manifest()
+            except Exception as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(keys[:12],)),
+            threading.Thread(target=write, args=(keys[12:],)),
+            threading.Thread(target=compact),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures
+        # Records are never touched by compaction.
+        for key in keys:
+            assert store.get(key) == {"v": key, "rev": 2}
+        assert sorted(store.keys()) == sorted(keys)
+        # After the dust settles one compaction yields a duplicate-free,
+        # fully parseable manifest whose keys all exist in the tree.
+        kept = store.compact_manifest()
+        manifest_keys = list(store.manifest_keys())
+        assert kept == len(manifest_keys) == len(set(manifest_keys))
+        assert set(manifest_keys) <= set(keys)
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+
 class TestThreadMode:
     def test_thread_pool_matches_serial(self, morph_arch):
         serial = OptimizerEngine(

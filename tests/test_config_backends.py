@@ -244,6 +244,113 @@ class TestShardedLayout:
         assert list(store.keys()) == []
 
 
+class TestManifestCompaction:
+    """compact_manifest(): latest record per key, atomic replace."""
+
+    def test_duplicates_collapse_to_latest(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key_a, key_b = "aabb" + "0" * 60, "ccdd" + "0" * 60
+        store.put(key_a, {"v": 1})
+        store.put(key_b, {"v": 2})
+        store.put(key_a, {"v": 3})  # re-write appends a second line
+        manifest = tmp_path / ShardedStore.MANIFEST
+        assert len(manifest.read_text().splitlines()) == 3
+        assert store.compact_manifest() == 2
+        lines = [json.loads(line) for line in manifest.read_text().splitlines()]
+        assert [entry["key"] for entry in lines] == [key_a, key_b]
+        # Records themselves are untouched; enumeration still agrees.
+        assert store.get(key_a) == {"v": 3}
+        assert sorted(store.manifest_keys()) == sorted(store.keys())
+
+    def test_torn_lines_are_dropped(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "eeff" + "0" * 60
+        store.put(key, {"v": 1})
+        manifest = tmp_path / ShardedStore.MANIFEST
+        with open(manifest, "a") as handle:
+            handle.write('{"key": "torn')  # torn append, no newline
+        assert store.compact_manifest() == 1
+        assert list(store.manifest_keys()) == [key]
+        # The rewritten manifest is fully valid JSON lines again.
+        for line in manifest.read_text().splitlines():
+            json.loads(line)
+
+    def test_no_manifest_is_a_noop(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        assert store.compact_manifest() == 0
+        assert not (tmp_path / ShardedStore.MANIFEST).exists()
+
+    def test_no_temp_files_left(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        store.put("aa" * 32, {"v": 1})
+        store.compact_manifest()
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+
+class TestCacheStatistics:
+    """Per-backend hit/miss/re-eval counters behind cache_statistics()."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_stats(self):
+        from repro.optimizer.engine import reset_cache_statistics
+
+        reset_cache_statistics()
+        yield
+        reset_cache_statistics()
+
+    @pytest.mark.parametrize("backend", CACHE_BACKENDS)
+    def test_cold_then_warm_counts(self, backend, tmp_path, morph_arch):
+        from repro.optimizer.engine import cache_statistics
+
+        store = make_store(backend, tmp_path)
+        OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
+            (LAYER,)
+        )
+        stats = cache_statistics()[backend]
+        assert (stats.misses, stats.writes, stats.hits) == (1, 1, 0)
+
+        clear_cache()  # force the store path on the warm run
+        OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
+            (LAYER,)
+        )
+        stats = cache_statistics()[backend]
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert stats.recall_reevals == 1
+        assert stats.stale == 0
+
+    def test_stale_record_counts_as_stale_miss(self, tmp_path, morph_arch):
+        from repro.optimizer.engine import cache_statistics
+
+        store = make_store("local", tmp_path)
+        OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
+            (LAYER,)
+        )
+        key = signature_key(search_signature(LAYER, morph_arch, TINY))
+        payload = store.get(key)
+        payload["format_version"] = -1  # e.g. a record from older models
+        store.put(key, payload)
+
+        clear_cache()
+        OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
+            (LAYER,)
+        )
+        stats = cache_statistics()["local"]
+        assert stats.stale == 1
+        assert stats.misses == 2  # the cold miss plus the stale one
+        assert stats.hits == 0
+
+    def test_describe_lists_backends(self, tmp_path, morph_arch):
+        from repro.optimizer.engine import describe_cache_statistics
+
+        assert "no persistent-store activity" in describe_cache_statistics()
+        store = make_store("sharded", tmp_path)
+        OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
+            (LAYER,)
+        )
+        summary = describe_cache_statistics()
+        assert "[sharded]" in summary and "writes" in summary
+
+
 class TestBackendSelection:
     def test_create_store_rejects_unknown_backend(self, tmp_path):
         with pytest.raises(ValueError, match="unknown cache backend"):

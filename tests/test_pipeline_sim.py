@@ -52,14 +52,16 @@ def balanced_dataflow():
 
 
 class TestAgainstAnalyticModel:
+    @pytest.mark.parametrize("vectorize", [False, True])
     @pytest.mark.parametrize("fixture", ["balanced_dataflow", "bus_bound_dataflow"])
-    def test_cycles_within_tolerance(self, morph_arch, fixture, request):
+    def test_cycles_within_tolerance(self, morph_arch, fixture, vectorize, request):
         """Simulated and analytic cycles agree within 2x: same first-order
-        physics, different granularity of overlap accounting."""
+        physics, different granularity of overlap accounting — through
+        either execution path."""
         dataflow = request.getfixturevalue(fixture)
         traffic = compute_traffic(dataflow, morph_arch.precision)
         analytic = compute_performance(traffic, morph_arch, dataflow)
-        simulated = simulate_pipeline(dataflow, morph_arch)
+        simulated = simulate_pipeline(dataflow, morph_arch, vectorize=vectorize)
         ratio = simulated.cycles / analytic.cycles
         assert 0.5 <= ratio <= 2.0, ratio
 

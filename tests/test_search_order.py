@@ -121,6 +121,44 @@ class TestIdenticalResults:
             OptimizerOptions(search_order="random")
 
 
+class TestBoundQualityTelemetry:
+    """first_block_won: does the bound's top-ranked block hold the winner?"""
+
+    @pytest.mark.parametrize("vectorize", (False, True))
+    def test_fresh_search_records_outcome(self, morph_arch, vectorize):
+        for layer in LAYERS[:2]:
+            result = LayerOptimizer(
+                morph_arch, FAST.with_(vectorize=vectorize)
+            ).optimize(layer)
+            assert result.first_block_won in (True, False), layer.name
+
+    @pytest.mark.parametrize("vectorize", (False, True))
+    def test_consistent_between_paths(self, morph_arch, vectorize):
+        """Both paths rank blocks identically, so the telemetry agrees."""
+        layer = LAYERS[0]
+        scalar = LayerOptimizer(
+            morph_arch, FAST.with_(vectorize=False)
+        ).optimize(layer)
+        batch = LayerOptimizer(
+            morph_arch, FAST.with_(vectorize=True)
+        ).optimize(layer)
+        assert scalar.first_block_won == batch.first_block_won
+
+    def test_recalled_results_carry_no_telemetry(self, morph_arch, tmp_path):
+        """A disk recall runs no search, so the field stays None."""
+        from repro.optimizer.engine import OptimizerEngine
+
+        options = FAST
+        engine = OptimizerEngine(morph_arch, options, cache_dir=tmp_path)
+        fresh = engine.optimize_layers((LAYERS[0],))[0]
+        assert fresh.first_block_won is not None
+        clear_cache()
+        recalled = OptimizerEngine(
+            morph_arch, options, cache_dir=tmp_path
+        ).optimize_layers((LAYERS[0],))[0]
+        assert recalled.first_block_won is None
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("network_name", sorted(network_names()))
 def test_best_first_identical_and_cheaper_on_every_network(

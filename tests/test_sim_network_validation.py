@@ -1,0 +1,113 @@
+"""Full-network simulator validation sweeps (slow tier).
+
+Before the columnar simulation engine, the trace and pipeline simulators
+walked every tile in pure Python, so cross-checking the analytic models
+was confined to tiny hand-picked shapes.  The columnar passes make the
+full loop feasible: optimize every layer of a registered network, then
+drive each chosen configuration through the residency trace and the
+double-buffered pipeline simulator and hold the analytic models to the
+observed traffic and timing — including the frame-flexible C3D and the
+dilated D2Conv3D variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.accelerator import morph
+from repro.core.access_model import compute_traffic
+from repro.core.dims import ALL_DATA_TYPES, DataType
+from repro.core.performance_model import compute_performance
+from repro.optimizer.search import OptimizerOptions, optimize_network
+from repro.sim.pipeline_sim import simulate_pipeline
+from repro.sim.trace import trace_dataflow
+from repro.workloads import build_network
+
+
+def _unique_configs(result):
+    """Deduplicate layer results by (shape, chosen configuration)."""
+    seen = set()
+    for layer_result in result.layers:
+        layer = layer_result.layer
+        dataflow = layer_result.best.dataflow
+        key = (
+            layer.h, layer.w, layer.c, layer.f, layer.k,
+            layer.r, layer.s, layer.t,
+            layer.stride_h, layer.stride_w, layer.stride_f,
+            layer.dilation_h, layer.dilation_w, layer.dilation_f,
+            repr(dataflow.hierarchy.tiles), repr(dataflow.outer_order),
+            repr(dataflow.inner_order), repr(dataflow.parallelism),
+        )
+        if key not in seen:
+            seen.add(key)
+            yield layer_result
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["c3d", "c3d_dilated"])
+def test_full_network_trace_and_pipeline_validation(name):
+    """Every optimized layer of a registered network passes both
+    simulators, with the analytic models inside tolerance throughout."""
+    arch = morph()
+    network = build_network(name)
+    result = optimize_network(
+        network.layers, arch, OptimizerOptions.fast(),
+        network_name=network.name, use_cache=False, parallelism=1,
+    )
+    unique = list(_unique_configs(result))
+    assert unique
+
+    for layer_result in unique:
+        dataflow = layer_result.best.dataflow
+        trace = trace_dataflow(dataflow)  # columnar: feasible at full size
+        traffic = compute_traffic(dataflow, arch.precision)
+        for boundary_index, (analytic, observed) in enumerate(
+            zip(traffic.boundaries, trace.boundaries)
+        ):
+            for data_type in (DataType.INPUTS, DataType.WEIGHTS):
+                a_bytes = analytic.of(data_type).fill_bytes
+                t_bytes = observed.fill_bytes[data_type]
+                # The analytic model assumes full-sized parent tiles, so it
+                # can only overcount at ragged edges — never undercount —
+                # and the fast-preset configurations stay well inside 3x.
+                assert a_bytes >= t_bytes, (
+                    layer_result.layer.name, boundary_index, data_type,
+                )
+                assert a_bytes <= t_bytes * 3.0 + 512, (
+                    layer_result.layer.name, boundary_index, data_type,
+                )
+
+        analytic_perf = compute_performance(traffic, arch, dataflow)
+        pipeline = simulate_pipeline(dataflow, arch)
+        ratio = pipeline.cycles / analytic_perf.cycles
+        assert 0.5 <= ratio <= 2.0, (layer_result.layer.name, ratio)
+        assert (
+            pipeline.load_bound_tiles + pipeline.compute_bound_tiles
+            == pipeline.tiles
+        )
+
+    # Tie the sweep back to the reference simulator: the cheapest unique
+    # configuration must be bit-identical through the scalar walk.
+    smallest = min(unique, key=lambda r: r.layer.maccs)
+    dataflow = smallest.best.dataflow
+    scalar = trace_dataflow(dataflow, vectorize=False)
+    columnar = trace_dataflow(dataflow, vectorize=True)
+    for scalar_boundary, columnar_boundary in zip(
+        scalar.boundaries, columnar.boundaries
+    ):
+        for data_type in ALL_DATA_TYPES:
+            assert scalar_boundary.fills[data_type] == (
+                columnar_boundary.fills[data_type]
+            )
+            assert scalar_boundary.fill_bytes[data_type] == (
+                columnar_boundary.fill_bytes[data_type]
+            )
+        assert scalar_boundary.psum_load_bytes == (
+            columnar_boundary.psum_load_bytes
+        )
+        assert scalar_boundary.psum_writeback_bytes == (
+            columnar_boundary.psum_writeback_bytes
+        )
+    assert simulate_pipeline(dataflow, arch, vectorize=False) == (
+        simulate_pipeline(dataflow, arch, vectorize=True)
+    )

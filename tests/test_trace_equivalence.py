@@ -91,7 +91,15 @@ def ragged_config(draw):
 
 def assert_exact_match(dataflow: Dataflow) -> None:
     analytic = compute_traffic(dataflow)
-    trace = trace_dataflow(dataflow)
+    trace = trace_dataflow(dataflow, vectorize=False)
+    # The columnar pass must agree with the scalar walk bit for bit — so
+    # both must match the analytic model exactly on dividing shapes.
+    columnar = trace_dataflow(dataflow, vectorize=True)
+    for sb, cb in zip(trace.boundaries, columnar.boundaries):
+        assert sb.fills == cb.fills, dataflow.describe()
+        assert sb.fill_bytes == cb.fill_bytes, dataflow.describe()
+        assert sb.psum_load_bytes == cb.psum_load_bytes
+        assert sb.psum_writeback_bytes == cb.psum_writeback_bytes
     for i, (ab, tb) in enumerate(zip(analytic.boundaries, trace.boundaries)):
         for dt in DataType:
             a = ab.of(dt)
