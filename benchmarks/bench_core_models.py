@@ -172,6 +172,46 @@ def test_bench_best_first_vs_legacy_order(record_bench):
     )
 
 
+def test_bench_session_sweep(record_bench, tmp_path):
+    """The session front door end to end: scoped sweep + merged stats.
+
+    Runs a small sweep through :meth:`repro.api.Session.sweep` with a
+    persistent local store, closes the session (flushing the
+    cross-process statistics sidecar), then re-opens a second session on
+    the same store and confirms the recall path; wall time and the merged
+    hit counters land in ``BENCH_core_models.json``.
+    """
+    from repro.api import Session, SessionConfig
+
+    config = SessionConfig(
+        cache_dir=tmp_path / "session-cache", parallelism=1
+    )
+    options = OptimizerOptions.fast(
+        max_l2_candidates=4, keep_per_level=2, keep_allocations=1,
+        max_parallelism_candidates=1,
+    )
+    clear_cache()
+    start = time.perf_counter()
+    with Session(config) as session:
+        cold = session.sweep(["alexnet"], options=options)
+    cold_s = time.perf_counter() - start
+    clear_cache()  # drop the in-process memos; the store survives
+    start = time.perf_counter()
+    with Session(config) as session:
+        warm = session.sweep(["alexnet"], options=options)
+    warm_s = time.perf_counter() - start
+    for before, after in zip(cold.results, warm.results):
+        assert before.total_energy_pj == after.total_energy_pj
+    merged = warm.cache_statistics["local"]
+    assert merged.hits >= warm.entries[0].stats.disk_hits > 0
+    record_bench(
+        session_sweep_cold_s=round(cold_s, 3),
+        session_sweep_warm_s=round(warm_s, 3),
+        session_sweep_merged_hits=merged.hits,
+        session_sweep_merged_writes=merged.writes,
+    )
+
+
 def test_bench_cache_backend_stats(record_bench, tmp_path):
     """Save-and-recall statistics per config-store backend.
 

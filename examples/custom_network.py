@@ -3,14 +3,15 @@
 Builds a compact gesture-recognition-style 3D CNN with the workload
 builder, *functionally validates* the chosen schedules with the tiled
 executor against the reference convolution (loop-order invariance,
-Section II-E), and then maps every layer onto Morph.
+Section II-E), and then maps every layer onto Morph through a
+:class:`repro.Session` (the engine dedups/memoises every repeated shape).
 
 Run:  python examples/custom_network.py
 """
 
 import numpy as np
 
-from repro import LayerOptimizer, OptimizerOptions, morph
+from repro import OptimizerOptions, Session, morph
 from repro.sim.conv3d_ref import conv3d_reference, make_inputs, make_weights
 from repro.sim.tiled_executor import execute_tiled
 from repro.workloads.networks import ShapeTracker
@@ -34,13 +35,14 @@ def main() -> None:
     print()
 
     arch = morph()
-    optimizer = LayerOptimizer(arch, OptimizerOptions.fast())
+    session = Session()
+    options = OptimizerOptions.fast()
     rng = np.random.default_rng(7)
 
     total_pj = 0.0
     total_cycles = 0.0
     for layer in network:
-        result = optimizer.optimize(layer)
+        result = session.optimize_layer(layer, arch, options)
         best = result.best
         total_pj += best.total_energy_pj
         total_cycles += best.cycles

@@ -6,9 +6,11 @@ width, re-optimising the dataflow for each machine (hardware/software
 codesign, as the paper argues, must happen jointly), and reports the
 energy/area Pareto candidates for I3D's heaviest layers.
 
-The sweep runs through the optimizer engine: unique layer shapes are
-searched once per machine variant, searches fan out across worker
-processes, and each variant's chosen configurations persist under
+The sweep runs through one :class:`repro.Session`: its
+:class:`repro.SessionConfig` (materialised from the CLI flags, with
+``$REPRO_*`` variables as the fallback layer) carries the parallelism and
+the persistent cache, unique layer shapes are searched once per machine
+variant, and each variant's chosen configurations persist under
 ``--cache-dir`` (default ``./.repro-cache``) so a rerun recalls every
 configuration instead of re-searching (paper Section V).
 
@@ -19,7 +21,7 @@ Run:  python examples/design_space_exploration.py [--parallelism N]
 import argparse
 import os
 
-from repro import OptimizerEngine, OptimizerOptions, i3d, morph
+from repro import OptimizerOptions, Session, SessionConfig, i3d, morph
 from repro.arch.sram import sram_area_mm2
 from repro.arch.area import morph_pe_area
 
@@ -67,14 +69,17 @@ def main() -> None:
           f"{sum(l.maccs for l in heavy) / 1e9:.1f} GMACs\n")
 
     options = OptimizerOptions.fast()
-    # False (not None) so --no-disk-cache wins over $REPRO_CACHE_DIR.
-    cache_dir = False if args.no_disk_cache else args.cache_dir
+    config = SessionConfig.resolve(
+        parallelism=args.parallelism,
+        cache_dir=None if args.no_disk_cache else args.cache_dir,
+    )
+    session = Session(config)
     rows = []
     stats = []
+    # --no-disk-cache wins over the config/$REPRO_CACHE_DIR layer.
+    knobs = {"cache_dir": False} if args.no_disk_cache else {}
     for arch in machine_variants():
-        engine = OptimizerEngine(
-            arch, options, parallelism=args.parallelism, cache_dir=cache_dir
-        )
+        engine = session.engine(arch, options, **knobs)
         result = engine.optimize_network(
             heavy,
             network_name=f"i3d-top5@{arch.levels[0].capacity_kb:.0f}kB"
@@ -82,6 +87,7 @@ def main() -> None:
         )
         rows.append((arch, result, chip_area_mm2(arch)))
         stats.append(engine.stats)
+    session.close()  # fold cache statistics into the store's sidecar
 
     print(f"{'L2 kB':>6s} {'Vw':>3s} {'energy mJ':>10s} {'Mcycles':>9s} "
           f"{'area mm^2':>10s} {'GMACs/J':>9s}")
@@ -103,8 +109,8 @@ def main() -> None:
     recalled = sum(s.memo_hits + s.disk_hits + s.dedup_hits for s in stats)
     print(f"\nEngine: {searched} layer searches run, {recalled} recalled "
           f"from caches/dedup.")
-    if cache_dir:
-        print(f"Rerun to recall every configuration from {cache_dir}.")
+    if not args.no_disk_cache:
+        print(f"Rerun to recall every configuration from {config.cache_dir}.")
     else:
         print("Disk cache disabled: a rerun repeats the full search.")
 

@@ -1,13 +1,14 @@
 """Quickstart: optimise one 3D-CNN layer for the Morph accelerator.
 
-Runs the paper's software flow (Section V) on C3D's layer3a: enumerate
-configurations, pick the energy-optimal one, inspect the result, and lower
-it to the hardware programming state (bank assignments + FSM programs).
+Runs the paper's software flow (Section V) on C3D's layer3a through the
+:class:`repro.Session` front door: enumerate configurations, pick the
+energy-optimal one, inspect the result, and lower it to the hardware
+programming state (bank assignments + FSM programs).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import LayerOptimizer, OptimizerOptions, c3d, morph
+from repro import OptimizerOptions, Session, morph
 from repro.optimizer.schedule import lower
 
 
@@ -16,14 +17,14 @@ def main() -> None:
     print(arch.describe())
     print()
 
-    layer = c3d().layer_named("layer3a")
-    print(f"Optimising: {layer.describe()}")
-    print(f"  {layer.maccs / 1e9:.2f} GMACs, "
-          f"{layer.footprint_bytes() / 1e6:.2f} MB input+weight footprint")
-    print()
+    with Session() as session:
+        layer = session.build_network("c3d").layer_named("layer3a")
+        print(f"Optimising: {layer.describe()}")
+        print(f"  {layer.maccs / 1e9:.2f} GMACs, "
+              f"{layer.footprint_bytes() / 1e6:.2f} MB input+weight footprint")
+        print()
 
-    optimizer = LayerOptimizer(arch, OptimizerOptions.fast())
-    result = optimizer.optimize(layer)
+        result = session.optimize_layer(layer, arch, OptimizerOptions.fast())
     best = result.best
 
     print(f"Searched {result.evaluated} configurations; best by energy:")

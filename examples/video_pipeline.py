@@ -10,21 +10,23 @@ layer (the paper's Table III in action).
 Run:  python examples/video_pipeline.py
 """
 
-from repro import OptimizerOptions, c3d, morph, optimize_network
+from repro import OptimizerOptions, Session, morph
 from repro.baselines.morph_base import evaluate_network_on_morph_base
 
 
 def main() -> None:
-    network = c3d()
     options = OptimizerOptions.fast()
 
-    print(f"Workload: {network.name}, {len(network)} conv layers, "
-          f"{network.total_maccs / 1e9:.1f} GMACs per 16-frame clip\n")
+    with Session() as session:
+        network = session.build_network("c3d")
+        print(f"Workload: {network.name}, {len(network)} conv layers, "
+              f"{network.total_maccs / 1e9:.1f} GMACs per 16-frame clip\n")
 
-    flexible = optimize_network(
-        network.layers, morph(), options, network_name=network.name
-    )
-    baseline = evaluate_network_on_morph_base(network, options)
+        flexible = session.optimize_network(
+            network, morph(), options
+        )
+        with session.activate():
+            baseline = evaluate_network_on_morph_base(network, options)
 
     header = (
         f"{'layer':9s} {'Morph uJ':>10s} {'base uJ':>10s} {'saving':>7s}  "

@@ -6,19 +6,47 @@ Eyeriss-style 2D comparison point, the per-layer configuration optimizer,
 and the analytic traffic/energy/performance models the paper's evaluation
 is built on — plus functional simulators that validate them.
 
-Quick start::
+Quick start — the :class:`Session` front door owns the full engine
+configuration (parallelism, cache dir/backend, vectorize, frames, ...)
+as one immutable, serializable :class:`SessionConfig` value::
 
-    from repro import morph, c3d, LayerOptimizer, OptimizerOptions
+    from repro import Session, SessionConfig, morph, OptimizerOptions
 
-    layer = c3d().layers[0]
-    result = LayerOptimizer(morph(), OptimizerOptions.fast()).optimize(layer)
-    print(result.best.describe())
+    config = SessionConfig(parallelism=4, cache_dir="~/.cache/repro")
+    with Session(config) as session:
+        layer = session.build_network("c3d").layers[0]
+        result = session.optimize_layer(layer, morph(), OptimizerOptions.fast())
+        print(result.best.describe())
+
+        sweep = session.sweep(["c3d", "i3d"])        # per-network results
+        print(sweep.describe())                       # + merged cache stats
+
+Configs layer with documented precedence — explicit kwargs beat dict/file
+values (:meth:`SessionConfig.from_dict` / :meth:`SessionConfig.from_file`,
+TOML or JSON) beat ``$REPRO_*`` environment variables beat built-in
+defaults (:meth:`SessionConfig.resolve`).  Inside ``with session:`` every
+legacy entry point resolves through the session, so two sessions with
+different backends or vectorize settings run concurrently in one process
+with bit-identical results to the global-default paths.
+
+Deprecated: :func:`set_engine_defaults` (process-wide mutable state);
+scope a :class:`Session` instead.  The module-level
+:func:`optimize_network` / :func:`optimize_layer` remain supported shims
+that route through the currently scoped session.
 
 See ``examples/`` for runnable walkthroughs and
 ``python -m repro.experiments.runner --all`` to regenerate every paper
 figure and table.
 """
 
+from repro.api import (
+    Session,
+    SessionConfig,
+    SweepEntry,
+    SweepResult,
+    current_session,
+    default_session,
+)
 from repro.arch.accelerator import (
     AcceleratorConfig,
     eyeriss_like,
@@ -85,7 +113,11 @@ __all__ = [
     "OptimizerOptions",
     "Parallelism",
     "Precision",
+    "Session",
+    "SessionConfig",
     "ShardedStore",
+    "SweepEntry",
+    "SweepResult",
     "TileHierarchy",
     "TileShape",
     "TrafficReport",
@@ -95,6 +127,8 @@ __all__ = [
     "c3d_dilated",
     "clear_cache",
     "compute_traffic",
+    "current_session",
+    "default_session",
     "evaluate",
     "eyeriss_like",
     "i3d",

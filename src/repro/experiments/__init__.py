@@ -12,5 +12,40 @@ table3_*    Table III: chosen C3D configurations
 table4_*    Table IV: PE area breakdown
 ==========  ===========================================================
 
+Every experiment exposes the same session-aware entry point
+``main(fast=True, session=None) -> str`` (and a structured ``run_*``
+counterpart); :data:`EXPERIMENTS` is the canonical name -> entry-point
+table the runner, benchmarks and tests share.  No wrappers, no lambdas —
+the uniform signature means no flag can be silently dropped on the way
+through.
+
 Run everything with ``python -m repro.experiments.runner --all``.
 """
+
+from repro.experiments import (
+    ablation_flexibility,
+    fig1_footprint,
+    fig4_loop_orders,
+    fig5_hierarchy,
+    fig9_energy,
+    fig10_perf_watt,
+    precision_study,
+    table3_configs,
+    table4_area,
+)
+
+#: Canonical experiment registry: every value is the module's
+#: ``main(fast=True, session=None) -> str`` — one uniform signature.
+EXPERIMENTS = {
+    "fig1": fig1_footprint.main,
+    "fig4": fig4_loop_orders.main,
+    "fig5": fig5_hierarchy.main,
+    "fig9": fig9_energy.main,
+    "fig10": fig10_perf_watt.main,
+    "table3": table3_configs.main,
+    "table4": table4_area.main,
+    "ablation": ablation_flexibility.main,
+    "precision": precision_study.main,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -32,9 +32,8 @@ from repro.arch.accelerator import (
     morph,
     morph_base,
 )
-from repro.experiments.common import default_options, format_table
-from repro.optimizer.search import OptimizerOptions, optimize_network
-from repro.workloads import build_network
+from repro.experiments.common import default_options, format_table, resolve_session
+from repro.optimizer.search import OptimizerOptions
 
 
 def _variant(
@@ -89,24 +88,26 @@ def run_ablation(
     fast: bool = True,
     options: OptimizerOptions | None = None,
     layers: tuple[str, ...] | None = None,
+    session=None,
 ) -> AblationResult:
+    session = resolve_session(session)
     options = options or default_options(fast)
-    network = build_network("c3d")
+    network = session.build_network("c3d")
     selected = tuple(
         layer for layer in network if layers is None or layer.name in layers
     )
     results: dict[str, tuple[float, float]] = {}
     for name, flags in VARIANTS:
         arch = _variant(f"Morph[{name}]", **flags)
-        outcome = optimize_network(
+        outcome = session.optimize_network(
             selected, arch, options, network_name=f"c3d-ablation-{name}"
         )
         results[name] = (outcome.total_energy_pj, outcome.total_cycles)
     return AblationResult(variants=results)
 
 
-def main(fast: bool = True) -> str:
-    result = run_ablation(fast)
+def main(fast: bool = True, session=None) -> str:
+    result = run_ablation(fast, session=session)
     rows = []
     for name, _ in VARIANTS:
         energy, cycles = result.variants[name]

@@ -1,9 +1,18 @@
 """Shared plumbing for the experiment harness.
 
 Every experiment module exposes a ``run_*`` function returning a structured
-result object plus a ``main()`` that pretty-prints it the way the paper's
-figure/table reports the data.  Results carry plain dict/list rows so
+result object plus a ``main(fast=True, session=None)`` that pretty-prints
+it the way the paper's figure/table reports the data — one uniform
+session-aware signature across all experiments, so the runner's table
+needs no per-experiment adapters.  Results carry plain dict/list rows so
 benchmarks and tests can assert on them without parsing text.
+
+Experiments run *through a session* (:mod:`repro.api`): ``session=None``
+resolves to the currently scoped session (or the process default), so a
+bare ``run_figure9()`` behaves exactly as before while
+``run_figure9(session=my_session)`` — or calling inside ``with
+my_session:`` — applies that session's parallelism/cache/vectorize/frames
+configuration to every search the experiment performs.
 """
 
 from __future__ import annotations
@@ -12,6 +21,14 @@ import dataclasses
 from typing import Iterable, Sequence
 
 from repro.optimizer.search import OptimizerOptions
+
+
+def resolve_session(session=None):
+    """The session an experiment should run under: the explicit argument,
+    else the currently scoped session, else the process default."""
+    from repro.api import current_session
+
+    return session if session is not None else current_session()
 
 
 def default_options(fast: bool = True, **overrides) -> OptimizerOptions:

@@ -15,9 +15,8 @@ import dataclasses
 
 from repro.arch.accelerator import morph
 from repro.baselines.morph_base import evaluate_network_on_morph_base
-from repro.experiments.common import default_options, format_table
-from repro.optimizer.search import OptimizerOptions, optimize_network
-from repro.workloads import build_network
+from repro.experiments.common import default_options, format_table, resolve_session
+from repro.optimizer.search import OptimizerOptions
 
 FIG10_NETWORKS = ("c3d", "resnet3d50", "i3d", "two_stream", "alexnet")
 
@@ -55,16 +54,19 @@ def run_figure10(
     fast: bool = True,
     options: OptimizerOptions | None = None,
     networks: tuple[str, ...] = FIG10_NETWORKS,
+    session=None,
 ) -> Figure10Result:
+    session = resolve_session(session)
     options = (options or default_options(fast)).with_(objective="perf_per_watt")
     morph_arch = morph()
     entries = []
     for name in networks:
-        network = build_network(name)
-        flexible = optimize_network(
+        network = session.build_network(name)
+        flexible = session.optimize_network(
             network.layers, morph_arch, options, network_name=network.name
         )
-        base = evaluate_network_on_morph_base(network, options)
+        with session.activate():
+            base = evaluate_network_on_morph_base(network, options)
         entries.append(
             PerfWattEntry(
                 network=network.name,
@@ -83,8 +85,8 @@ def _mean_util(result) -> float:
     return sum(utils) / len(utils)
 
 
-def main(fast: bool = True) -> str:
-    result = run_figure10(fast)
+def main(fast: bool = True, session=None) -> str:
+    result = run_figure10(fast, session=session)
     rows = [
         (
             e.network,

@@ -81,7 +81,10 @@ def run_figure1() -> Figure1Result:
     return Figure1Result(footprints=tuple(footprints), reuse=reuse)
 
 
-def main() -> str:
+def main(fast: bool = True, session=None) -> str:
+    # ``fast``/``session`` are accepted for the uniform experiment
+    # signature; the footprint analysis runs no search to scale or scope
+    # (its builds pin the figure's own normalisation explicitly).
     result = run_figure1()
     out = []
     rows_a = []

@@ -23,10 +23,8 @@ import dataclasses
 from repro.arch.accelerator import morph
 from repro.core.dims import DataType
 from repro.core.loopnest import LoopOrder
-from repro.experiments.common import default_options, format_table
-from repro.optimizer.engine import optimize_layer
+from repro.experiments.common import default_options, format_table, resolve_session
 from repro.optimizer.search import OptimizerOptions
-from repro.workloads import build_network
 
 #: The fixed outer orders of Figure 4a.
 FIG4A_OUTER_ORDERS = ("KWHCF", "WFHCK", "WHCKF")
@@ -55,18 +53,19 @@ class Figure4Result:
         )
 
 
-def _optimize(layer, arch, options: OptimizerOptions):
+def _optimize(session, layer, arch, options: OptimizerOptions):
     """Engine-backed per-layer search: each (layer, fixed order) study is
     memoised, so re-running the figure (tests, benchmarks) recalls it."""
-    return optimize_layer(layer, arch, options).best
+    return session.optimize_layer(layer, arch, options).best
 
 
 def run_figure4(
-    fast: bool = True, layers: tuple[str, ...] | None = None
+    fast: bool = True, layers: tuple[str, ...] | None = None, session=None
 ) -> Figure4Result:
     """``layers`` restricts the study to a subset of C3D layers (tests)."""
+    session = resolve_session(session)
     arch = morph()
-    network = build_network("c3d")
+    network = session.build_network("c3d")
     selected = [
         layer for layer in network if layers is None or layer.name in layers
     ]
@@ -83,11 +82,11 @@ def run_figure4(
             options = base_options.with_(
                 fixed_outer_order=LoopOrder.parse(order_name)
             )
-            ev = _optimize(layer, arch, options)
+            ev = _optimize(session, layer, arch, options)
             dram[order_name].append(ev.energy.dram_pj)
             if best_total is None or ev.total_energy_pj < best_total.total_energy_pj:
                 best_total = ev
-        opt_ev = _optimize(layer, arch, base_options)
+        opt_ev = _optimize(session, layer, arch, base_options)
         if opt_ev.total_energy_pj > best_total.total_energy_pj:
             opt_ev = best_total  # Opt may at worst equal the best fixed order
         opt_evals.append(opt_ev)
@@ -122,7 +121,7 @@ def run_figure4(
             options = base_options.with_(
                 fixed_inner_order=LoopOrder.parse(order_name)
             )
-            ev = _optimize(layer, arch, options)
+            ev = _optimize(session, layer, arch, options)
             onchip[order_name].append(ev.energy.on_chip_pj)
         onchip["Opt"].append(
             min(
@@ -139,8 +138,8 @@ def run_figure4(
     )
 
 
-def main(fast: bool = True) -> str:
-    result = run_figure4(fast)
+def main(fast: bool = True, session=None) -> str:
+    result = run_figure4(fast, session=session)
     out = []
     orders = list(result.dram_energy)
     rows = [

@@ -185,7 +185,9 @@ def run_figure5(max_levels: int = 4) -> Figure5Result:
     )
 
 
-def main() -> str:
+def main(fast: bool = True, session=None) -> str:
+    # ``fast``/``session``: uniform experiment signature; the hierarchy
+    # sweep uses its own fixed grid rather than the optimizer engine.
     result = run_figure5()
     adv3, adv2 = result.advantage(True), result.advantage(False)
     rows = [

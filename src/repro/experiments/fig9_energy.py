@@ -19,9 +19,8 @@ import dataclasses
 from repro.arch.accelerator import morph
 from repro.baselines.eyeriss import evaluate_network_on_eyeriss
 from repro.baselines.morph_base import evaluate_network_on_morph_base
-from repro.experiments.common import default_options, format_table
-from repro.optimizer.search import OptimizerOptions, optimize_network
-from repro.workloads import build_network
+from repro.experiments.common import default_options, format_table, resolve_session
+from repro.optimizer.search import OptimizerOptions
 
 #: Display order follows the figure: 3D CNNs first, then 2D.
 FIG9_NETWORKS = ("c3d", "resnet3d50", "i3d", "two_stream", "alexnet")
@@ -72,15 +71,19 @@ def run_figure9(
     fast: bool = True,
     options: OptimizerOptions | None = None,
     networks: tuple[str, ...] = FIG9_NETWORKS,
+    session=None,
 ) -> Figure9Result:
+    session = resolve_session(session)
     options = options or default_options(fast)
     morph_arch = morph()
     rows = []
     for name in networks:
-        network = build_network(name)
-        eyeriss = evaluate_network_on_eyeriss(network, options)
-        base = evaluate_network_on_morph_base(network, options)
-        flexible = optimize_network(
+        network = session.build_network(name)
+        with session.activate():
+            # The baselines' engine calls resolve through this session.
+            eyeriss = evaluate_network_on_eyeriss(network, options)
+            base = evaluate_network_on_morph_base(network, options)
+        flexible = session.optimize_network(
             network.layers, morph_arch, options, network_name=network.name
         )
         components = {
@@ -100,8 +103,8 @@ def _pad(components: dict[str, float]) -> dict[str, float]:
     return {name: components.get(name, 0.0) for name in COMPONENTS}
 
 
-def main(fast: bool = True) -> str:
-    result = run_figure9(fast)
+def main(fast: bool = True, session=None) -> str:
+    result = run_figure9(fast, session=session)
     out = []
     rows = []
     for entry in result.networks:

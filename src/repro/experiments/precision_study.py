@@ -18,9 +18,8 @@ import dataclasses
 
 from repro.arch.accelerator import morph
 from repro.core.tiling import Precision
-from repro.experiments.common import default_options, format_table
-from repro.optimizer.search import OptimizerOptions, optimize_network
-from repro.workloads import build_network
+from repro.experiments.common import default_options, format_table, resolve_session
+from repro.optimizer.search import OptimizerOptions
 
 #: (label, activation/weight bytes, psum bytes).
 PRECISIONS = (
@@ -46,9 +45,11 @@ def run_precision_study(
     fast: bool = True,
     options: OptimizerOptions | None = None,
     layers: tuple[str, ...] | None = None,
+    session=None,
 ) -> PrecisionResult:
+    session = resolve_session(session)
     options = options or default_options(fast)
-    network = build_network("c3d")
+    network = session.build_network("c3d")
     selected = tuple(
         layer for layer in network if layers is None or layer.name in layers
     )
@@ -63,7 +64,7 @@ def run_precision_study(
                 psum_bytes=psum_bytes,
             ),
         )
-        result = optimize_network(
+        result = session.optimize_network(
             selected, arch, options, network_name=f"c3d-{label}"
         )
         dram = sum(r.best.traffic.dram_total_bytes for r in result.layers)
@@ -71,8 +72,8 @@ def run_precision_study(
     return PrecisionResult(points=points)
 
 
-def main(fast: bool = True) -> str:
-    result = run_precision_study(fast)
+def main(fast: bool = True, session=None) -> str:
+    result = run_precision_study(fast, session=session)
     rows = [
         (
             label,

@@ -5,6 +5,16 @@ Usage::
     python -m repro.experiments.runner --all
     python -m repro.experiments.runner fig9 table3 --thorough
     python -m repro.experiments.runner --all --parallelism 8 --cache-dir ~/.cache/repro
+    python -m repro.experiments.runner --all --config sweep.toml
+
+The runner is a thin CLI over :mod:`repro.api`: it materialises one
+:class:`~repro.api.SessionConfig` from its flags (with the documented
+precedence — explicit flags beat ``--config`` file values beat
+``$REPRO_*`` environment variables beat built-in defaults), opens a
+:class:`~repro.api.Session`, and hands that session to every experiment's
+uniform ``main(fast=..., session=...)`` entry point.  Nothing is mutated
+process-wide: two runners embedded in one process (or a runner inside a
+larger service) cannot leak configuration into each other.
 
 ``--parallelism`` fans unique-layer searches across worker processes
 (``--parallelism-mode thread`` swaps in a thread pool for free-threaded
@@ -12,11 +22,12 @@ builds) and ``--cache-dir`` persists each search's chosen configuration
 on disk, so a rerun recalls every configuration instead of re-searching
 (paper Section V: the analysis runs once per CNN and is then saved and
 recalled); ``--cache-backend`` picks the store layout (``local`` flat
-directory, ``sharded`` two-level fan-out for cluster-shared mounts,
-``memory`` in-process).  All of these set the process-wide engine
-defaults (:func:`repro.optimizer.engine.set_engine_defaults`), which
-every experiment's ``optimize_network`` / ``optimize_layer`` call picks
-up; ``--no-cache`` disables memoisation entirely for timing cold runs.
+directory, ``sharded`` two-level fan-out for cluster-shared mounts —
+with automatic manifest compaction tunable via
+``--manifest-compact-ratio`` — ``memory`` in-process).  ``--no-cache``
+disables memoisation entirely for timing cold runs.  On exit the session
+folds its cache statistics into the store's ``CACHE_STATS.json`` sidecar
+and prints the merged (cross-process) totals.
 """
 
 from __future__ import annotations
@@ -24,34 +35,25 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
 
-from repro.optimizer.engine import describe_cache_statistics, set_engine_defaults
-from repro.workloads import set_build_defaults
+from repro.api import Session, SessionConfig
+from repro.experiments import EXPERIMENTS
 
-from repro.experiments import (
-    ablation_flexibility,
-    fig1_footprint,
-    fig4_loop_orders,
-    fig5_hierarchy,
-    fig9_energy,
-    fig10_perf_watt,
-    precision_study,
-    table3_configs,
-    table4_area,
-)
 
-EXPERIMENTS: dict[str, Callable[..., str]] = {
-    "fig1": lambda fast: fig1_footprint.main(),
-    "fig4": fig4_loop_orders.main,
-    "fig5": lambda fast: fig5_hierarchy.main(),
-    "fig9": fig9_energy.main,
-    "fig10": fig10_perf_watt.main,
-    "table3": table3_configs.main,
-    "table4": lambda fast: table4_area.main(),
-    "ablation": ablation_flexibility.main,
-    "precision": precision_study.main,
-}
+def build_config(args: argparse.Namespace) -> SessionConfig:
+    """One :class:`SessionConfig` from the CLI flags, layered over any
+    ``--config`` file and the environment (explicit flags win)."""
+    return SessionConfig.resolve(
+        file=args.config,
+        parallelism=args.parallelism,
+        parallelism_mode=args.parallelism_mode,
+        cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
+        use_cache=False if args.no_cache else None,
+        vectorize=args.vectorize,
+        frames=args.frames,
+        manifest_compact_ratio=args.manifest_compact_ratio,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +70,13 @@ def main(argv: list[str] | None = None) -> int:
         "--thorough",
         action="store_true",
         help="full search-space sweep (slow; default uses the fast preset)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="load a SessionConfig from a TOML/JSON file; explicit flags "
+        "override its values, which override $REPRO_* variables",
     )
     parser.add_argument(
         "--parallelism",
@@ -102,6 +111,15 @@ def main(argv: list[str] | None = None) -> int:
         "NFS/object-storage mounts, 'memory' keeps them in-process",
     )
     parser.add_argument(
+        "--manifest-compact-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="auto-compact the sharded store's manifest once it exceeds "
+        "R lines per live key (default: $REPRO_MANIFEST_COMPACT_RATIO "
+        "or 4.0; 0 disables)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable all optimizer caching (cold-run timing)",
@@ -129,17 +147,12 @@ def main(argv: list[str] | None = None) -> int:
         "sweeps like C3D at 8/16/32 frames need no code edits",
     )
     args = parser.parse_args(argv)
-    set_engine_defaults(
-        parallelism=args.parallelism,
-        parallelism_mode=args.parallelism_mode,
-        cache_dir=args.cache_dir,
-        cache_backend=args.cache_backend,
-        use_cache=False if args.no_cache else None,
-        vectorize=args.vectorize,
-    )
     if args.frames is not None and args.frames < 1:
         parser.error("--frames must be >= 1")
-    set_build_defaults(frames=args.frames)
+    try:
+        config = build_config(args)
+    except (OSError, ValueError) as error:
+        parser.error(str(error))
 
     chosen = list(args.experiments or [])
     unknown = [name for name in chosen if name not in EXPERIMENTS and name != "all"]
@@ -152,14 +165,15 @@ def main(argv: list[str] | None = None) -> int:
         chosen = list(EXPERIMENTS)
 
     fast = not args.thorough
-    for name in chosen:
-        print(f"\n=== {name} " + "=" * (70 - len(name)))
-        start = time.time()
-        EXPERIMENTS[name](fast)
-        print(f"[{name} done in {time.time() - start:.1f}s]")
-    # Per-backend recall statistics of every persistent config store the
-    # sweeps touched (hits, misses, recall re-evaluations).
-    print(f"\n{describe_cache_statistics()}")
+    with Session(config) as session:
+        for name in chosen:
+            print(f"\n=== {name} " + "=" * (70 - len(name)))
+            start = time.time()
+            EXPERIMENTS[name](fast=fast, session=session)
+            print(f"[{name} done in {time.time() - start:.1f}s]")
+        # Engine counters plus per-backend recall statistics, merged with
+        # the persisted cross-process sidecar of the session's store.
+        print(f"\n{session.describe_statistics()}")
     return 0
 
 

@@ -14,10 +14,8 @@ import dataclasses
 from repro.arch.accelerator import morph
 from repro.core.dims import Dim
 from repro.core.tiling import input_extent
-from repro.experiments.common import default_options, format_table
-from repro.optimizer.engine import optimize_layer
+from repro.experiments.common import default_options, format_table, resolve_session
 from repro.optimizer.search import OptimizerOptions
-from repro.workloads import build_network
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,14 +55,16 @@ def run_table3(
     fast: bool = True,
     options: OptimizerOptions | None = None,
     layers: tuple[str, ...] | None = None,
+    session=None,
 ) -> Table3Result:
+    session = resolve_session(session)
     options = options or default_options(fast)
     arch = morph()
     rows = []
-    for layer in build_network("c3d"):
+    for layer in session.build_network("c3d"):
         if layers is not None and layer.name not in layers:
             continue
-        ev = optimize_layer(layer, arch, options).best
+        ev = session.optimize_layer(layer, arch, options).best
         tile = ev.dataflow.hierarchy.outermost
         rows.append(
             Table3Row(
@@ -80,8 +80,8 @@ def run_table3(
     return Table3Result(rows=tuple(rows))
 
 
-def main(fast: bool = True) -> str:
-    result = run_table3(fast)
+def main(fast: bool = True, session=None) -> str:
+    result = run_table3(fast, session=session)
     report = format_table(
         ["layer", "outer", "inner", "Kt", "Ht", "Ft", "Kp*Vw"],
         [row.as_tuple() for row in result.rows],

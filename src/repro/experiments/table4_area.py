@@ -44,7 +44,9 @@ def run_table4() -> Table4Result:
     return Table4Result(base=morph_base_pe_area(), flexible=morph_pe_area())
 
 
-def main() -> str:
+def main(fast: bool = True, session=None) -> str:
+    # ``fast``/``session``: uniform experiment signature; the area model
+    # is closed-form — nothing to search, cache or parallelise.
     result = run_table4()
     rows = []
     for name in ("l0_buffer", "arithmetic", "control", "total"):

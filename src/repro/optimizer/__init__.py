@@ -26,11 +26,14 @@ Module map:
   (paper Section V's "saved and recalled" configuration files).  Knobs:
   ``use_cache``, ``parallelism``, ``parallelism_mode``, ``cache_dir``,
   ``cache_backend``, ``vectorize`` on :func:`optimize_network` /
-  :func:`optimize_layer`, process-wide defaults via
-  :func:`set_engine_defaults` or the ``REPRO_PARALLELISM`` /
-  ``REPRO_PARALLELISM_MODE`` / ``REPRO_CACHE_DIR`` /
-  ``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE`` environment variables
-  (runner flags of the same names exist for all of them).
+  :func:`optimize_layer`; scoped defaults via a
+  :class:`repro.api.Session` (preferred — concurrent sweeps with
+  different configs coexist in one process), legacy process-wide
+  defaults via the deprecated :func:`set_engine_defaults`, or the
+  ``REPRO_PARALLELISM`` / ``REPRO_PARALLELISM_MODE`` /
+  ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE``
+  environment variables (runner flags of the same names exist for all
+  of them).
 * :mod:`~repro.optimizer.config_store` — the JSON codec for whole-network
   configuration files, the engine's per-layer cache records, and the
   pluggable :class:`~repro.optimizer.config_store.ConfigStore` backends

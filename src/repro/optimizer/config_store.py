@@ -235,6 +235,24 @@ class ConfigStore(abc.ABC):
         the class name for bespoke stores)."""
         return type(self).__name__
 
+    # -- cache-statistics sidecar ---------------------------------------
+    # Per-process recall counters (repro.optimizer.engine.cache_statistics)
+    # die with the process; sessions fold their deltas into a small JSON
+    # sidecar *in the store* on close so cross-process sweeps sharing one
+    # store can report merged totals.  The sidecar is advisory telemetry —
+    # lock-free read-modify-write, so a concurrent flush can lose an
+    # update — never a correctness input.
+
+    def load_statistics(self) -> dict[str, dict[str, int]]:
+        """The persisted cache-statistics sidecar (``{backend_kind:
+        {counter: total}}``); ``{}`` for stores without one."""
+        return {}
+
+    def merge_statistics(self, deltas: dict[str, dict[str, int]]) -> bool:
+        """Fold counter deltas into the sidecar; ``False`` if this store
+        does not persist statistics (the base default) or on I/O failure."""
+        return False
+
 
 class _FileConfigStore(ConfigStore):
     """Shared machinery of the directory-backed stores.
@@ -249,6 +267,7 @@ class _FileConfigStore(ConfigStore):
     """
 
     QUARANTINE = "quarantine"
+    STATS_SIDECAR = "CACHE_STATS.json"
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory).expanduser()
@@ -313,6 +332,57 @@ class _FileConfigStore(ConfigStore):
     def _register(self, key: str, path: Path) -> None:
         """Hook for layouts that maintain an index of written records."""
 
+    # -- cache-statistics sidecar ---------------------------------------
+    def load_statistics(self) -> dict[str, dict[str, int]]:
+        try:
+            payload = json.loads(
+                (self.directory / self.STATS_SIDECAR).read_text()
+            )
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        stats = payload.get("statistics")
+        return stats if isinstance(stats, dict) else {}
+
+    def merge_statistics(self, deltas: dict[str, dict[str, int]]) -> bool:
+        """Read-modify-write the ``CACHE_STATS.json`` sidecar atomically.
+
+        Counters add across processes (each engine process flushes its own
+        deltas on session close); the write is temp-file + ``os.replace``
+        like every record write, so readers never see a torn sidecar.
+        Concurrent flushes are last-writer-wins on the *replace* but each
+        starts from a fresh read, so losses are bounded to one racing
+        session's deltas — acceptable for advisory telemetry.
+        """
+        if not deltas:
+            return True
+        merged = self.load_statistics()
+        for kind, counters in deltas.items():
+            into = merged.setdefault(kind, {})
+            for name, value in counters.items():
+                if value:
+                    into[name] = int(into.get(name, 0)) + int(value)
+        path = self.directory / self.STATS_SIDECAR
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(
+                    {"format_version": 1, "statistics": merged},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True
+
 
 class LocalDirectoryStore(_FileConfigStore):
     """The original flat layout: ``<directory>/<key>.json``.
@@ -328,6 +398,10 @@ class LocalDirectoryStore(_FileConfigStore):
         if not self.directory.is_dir():
             return
         for path in sorted(self.directory.glob("*.json")):
+            # The statistics sidecar shares the flat directory but is
+            # telemetry, not a record.
+            if path.name == self.STATS_SIDECAR:
+                continue
             yield path.stem
 
     def describe(self) -> str:
@@ -349,11 +423,43 @@ class ShardedStore(_FileConfigStore):
     shard tree.  Appends are best-effort and line-oriented; readers
     tolerate torn or duplicate lines, and the shard tree (walked by
     :meth:`keys`) remains the source of truth.
-    :meth:`compact_manifest` periodically rewrites the manifest keeping
-    only the latest entry per key, with an atomic replace.
+    :meth:`compact_manifest` rewrites the manifest keeping only the
+    latest entry per key, with an atomic replace — and runs
+    *automatically* once the manifest's line count exceeds
+    ``compact_ratio`` times its live (distinct) keys, checked every
+    ``compact_check_interval`` appends so steady-state writes stay one
+    ``O(1)`` append.  ``compact_ratio <= 0`` disables auto-compaction
+    (:meth:`compact_manifest` stays available for manual/periodic runs).
     """
 
     MANIFEST = "MANIFEST.jsonl"
+
+    #: Manifest lines per live key that trigger an automatic compaction.
+    DEFAULT_COMPACT_RATIO = 4.0
+
+    #: Manifest appends since the last ratio check, keyed by resolved
+    #: directory and shared process-wide.  The engine builds a fresh
+    #: store instance per :class:`~repro.optimizer.engine.OptimizerEngine`
+    #: (i.e. per ``optimize_network`` call), so a per-*instance* counter
+    #: would never reach the check interval; counting per directory makes
+    #: the interval mean "appends to this manifest by this process".
+    _APPENDS_SINCE_CHECK: dict[str, int] = {}
+    _APPENDS_LOCK = threading.Lock()
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        compact_ratio: float | None = None,
+        compact_check_interval: int = 64,
+    ) -> None:
+        super().__init__(directory)
+        self.compact_ratio = (
+            self.DEFAULT_COMPACT_RATIO
+            if compact_ratio is None
+            else float(compact_ratio)
+        )
+        self.compact_check_interval = max(1, int(compact_check_interval))
 
     def path_for(self, key: str) -> Path:
         prefix = key[:2] if len(key) >= 2 else "__"
@@ -396,7 +502,38 @@ class ShardedStore(_FileConfigStore):
             with open(self.directory / self.MANIFEST, "a") as manifest:
                 manifest.write(json.dumps(entry) + "\n")
         except OSError:
-            pass
+            return
+        if self.compact_ratio <= 0:
+            return
+        counter_key = str(self.directory)
+        with self._APPENDS_LOCK:
+            count = self._APPENDS_SINCE_CHECK.get(counter_key, 0) + 1
+            due = count >= self.compact_check_interval
+            self._APPENDS_SINCE_CHECK[counter_key] = 0 if due else count
+        if due:
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Compact when manifest lines exceed ``compact_ratio`` x live keys.
+
+        One manifest read every ``compact_check_interval`` appends; torn
+        or non-JSON lines count as bloat (they are dropped by compaction).
+        """
+        try:
+            lines = (self.directory / self.MANIFEST).read_text().splitlines()
+        except OSError:
+            return
+        total = len(lines)
+        live: set[str] = set()
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+                live.add(entry["key"])
+        if total > len(live) and total >= self.compact_ratio * max(1, len(live)):
+            self.compact_manifest()
 
     def compact_manifest(self) -> int:
         """Rewrite the append-only manifest keeping only the latest entry
@@ -461,6 +598,7 @@ class MemoryStore(ConfigStore):
 
     def __init__(self) -> None:
         self._records: dict[str, str] = {}
+        self._statistics: dict[str, dict[str, int]] = {}
 
     def get(self, key: str) -> dict | None:
         text = self._records.get(key)
@@ -487,6 +625,18 @@ class MemoryStore(ConfigStore):
 
     def clear(self) -> None:
         self._records.clear()
+        self._statistics.clear()
+
+    def load_statistics(self) -> dict[str, dict[str, int]]:
+        return {kind: dict(c) for kind, c in self._statistics.items()}
+
+    def merge_statistics(self, deltas: dict[str, dict[str, int]]) -> bool:
+        for kind, counters in deltas.items():
+            into = self._statistics.setdefault(kind, {})
+            for name, value in counters.items():
+                if value:
+                    into[name] = into.get(name, 0) + int(value)
+        return True
 
     def __len__(self) -> int:
         return len(self._records)
@@ -517,13 +667,19 @@ def clear_memory_stores() -> None:
 
 
 def create_store(
-    backend: str | ConfigStore, directory: str | Path | None = None
+    backend: str | ConfigStore,
+    directory: str | Path | None = None,
+    *,
+    manifest_compact_ratio: float | None = None,
 ) -> ConfigStore:
     """Resolve a backend selector to a :class:`ConfigStore` instance.
 
     ``backend`` may already be a store (returned as-is), or one of
     :data:`CACHE_BACKENDS`: ``"local"`` / ``"sharded"`` need ``directory``;
     ``"memory"`` ignores it and returns the shared in-process store.
+    ``manifest_compact_ratio`` tunes the sharded store's automatic
+    manifest compaction (``None`` keeps the store default, ``0`` disables
+    it); other backends ignore it.
     """
     if isinstance(backend, ConfigStore):
         return backend
@@ -536,7 +692,7 @@ def create_store(
     if backend == "sharded":
         if directory is None:
             raise ValueError("cache_backend 'sharded' needs a cache directory")
-        return ShardedStore(directory)
+        return ShardedStore(directory, compact_ratio=manifest_compact_ratio)
     raise ValueError(
         f"unknown cache backend {backend!r}; choose from {CACHE_BACKENDS} "
         "or pass a ConfigStore instance"

@@ -52,13 +52,18 @@ How experiments opt in/out
 --------------------------
 ``optimize_network`` / ``optimize_layer`` accept ``use_cache``,
 ``parallelism``, ``parallelism_mode``, ``cache_dir``, ``cache_backend``
-and ``vectorize`` keywords.  Leaving them as ``None`` falls back to
-process-wide defaults, settable with :func:`set_engine_defaults` (the
-experiment runner's ``--parallelism`` / ``--parallelism-mode`` /
-``--cache-dir`` / ``--cache-backend`` / ``--no-cache`` / ``--vectorize``
-/ ``--no-vectorize`` flags do this) or the ``REPRO_PARALLELISM`` /
+and ``vectorize`` keywords.  Leaving them as ``None`` falls back through
+the resolution chain: the active :class:`repro.api.Session`'s config
+(the preferred way to configure the engine — scoped, so concurrent
+sweeps with different settings coexist in one process), then the
+process-wide defaults of the *deprecated* :func:`set_engine_defaults`
+mutator, then the ``REPRO_PARALLELISM`` /
 ``REPRO_PARALLELISM_MODE`` / ``REPRO_CACHE_DIR`` /
-``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE`` environment variables; the
+``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE`` environment variables
+(the experiment runner materialises its ``--parallelism`` /
+``--parallelism-mode`` / ``--cache-dir`` / ``--cache-backend`` /
+``--no-cache`` / ``--vectorize`` / ``--no-vectorize`` flags into a
+:class:`repro.api.SessionConfig` instead of mutating anything); the
 built-in defaults are serial, process-pool workers, in-memory-only
 caching, the ``"local"`` store layout, and columnar (vectorized)
 candidate scoring when NumPy is available.  ``vectorize`` is purely a
@@ -88,10 +93,13 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro._scope import active_value
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.evaluate import CapacityError, evaluate
 from repro.core.layer import ConvLayer
@@ -119,7 +127,15 @@ CACHE_FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
-# Process-wide defaults (runner CLI flags / environment variables)
+# Process-wide defaults (legacy: runner CLI flags / environment variables)
+#
+# Resolution order of every ``default_*`` knob below:
+#   1. the active :class:`repro.api.Session`'s config (contextvar-scoped,
+#      so concurrent sessions in one process never see each other);
+#   2. the process-wide defaults set by the deprecated
+#      :func:`set_engine_defaults`;
+#   3. the ``$REPRO_*`` environment variable;
+#   4. the built-in default.
 # ----------------------------------------------------------------------
 _DEFAULTS: dict = {
     "parallelism": None,
@@ -149,11 +165,25 @@ def set_engine_defaults(
 ) -> None:
     """Set process-wide fallbacks for engine knobs left as ``None``.
 
+    .. deprecated::
+        Mutable process-wide defaults cannot express two differently
+        configured sweeps in one process.  Scope the configuration with
+        ``with repro.Session(repro.SessionConfig(...)):`` instead — the
+        session covers every knob this function covers (and more) and
+        restores the outer configuration on exit.
+
     Omitting a knob leaves its current default untouched; passing ``None``
     clears it back to the environment-derived behaviour (so repeated CLI
     invocations in one process never inherit a stale default).
     :func:`reset_engine_defaults` clears everything at once.
     """
+    warnings.warn(
+        "set_engine_defaults() mutates process-wide state and is "
+        "deprecated; scope configuration with repro.Session / "
+        "repro.SessionConfig instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if parallelism is not _UNSET:
         _DEFAULTS["parallelism"] = parallelism
     if parallelism_mode is not _UNSET:
@@ -198,6 +228,9 @@ def _check_backend(backend):
 
 
 def default_parallelism() -> int:
+    scoped = active_value("parallelism")
+    if scoped is not None:
+        return max(1, scoped)
     if _DEFAULTS["parallelism"] is not None:
         return _DEFAULTS["parallelism"]
     env = os.environ.get("REPRO_PARALLELISM")
@@ -213,8 +246,11 @@ def default_parallelism() -> int:
 
 def default_parallelism_mode() -> str:
     """Executor kind for parallel searches: ``"process"`` (default) or
-    ``"thread"`` (free-threaded builds), via :func:`set_engine_defaults`
-    or ``REPRO_PARALLELISM_MODE``."""
+    ``"thread"`` (free-threaded builds), via the active session,
+    :func:`set_engine_defaults` or ``REPRO_PARALLELISM_MODE``."""
+    scoped = active_value("parallelism_mode")
+    if scoped is not None:
+        return _check_mode(scoped)
     if _DEFAULTS["parallelism_mode"] is not None:
         return _DEFAULTS["parallelism_mode"]
     env = os.environ.get("REPRO_PARALLELISM_MODE")
@@ -224,6 +260,9 @@ def default_parallelism_mode() -> str:
 
 
 def default_cache_dir() -> Path | None:
+    scoped = active_value("cache_dir")
+    if scoped is not None:
+        return Path(scoped)
     if _DEFAULTS["cache_dir"] is not None:
         return _DEFAULTS["cache_dir"]
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -232,7 +271,11 @@ def default_cache_dir() -> Path | None:
 
 def default_cache_backend() -> str | ConfigStore:
     """Config-store backend selector: ``"local"`` unless overridden via
-    :func:`set_engine_defaults` or ``REPRO_CACHE_BACKEND``."""
+    the active session, :func:`set_engine_defaults` or
+    ``REPRO_CACHE_BACKEND``."""
+    scoped = active_value("cache_backend")
+    if scoped is not None:
+        return _check_backend(scoped)
     if _DEFAULTS["cache_backend"] is not None:
         return _DEFAULTS["cache_backend"]
     env = os.environ.get("REPRO_CACHE_BACKEND")
@@ -242,12 +285,23 @@ def default_cache_backend() -> str | ConfigStore:
 
 
 def default_use_cache() -> bool:
-    return True if _DEFAULTS["use_cache"] is None else _DEFAULTS["use_cache"]
+    scoped = active_value("use_cache")
+    if scoped is not None:
+        return scoped
+    if _DEFAULTS["use_cache"] is not None:
+        return _DEFAULTS["use_cache"]
+    env = os.environ.get("REPRO_USE_CACHE")
+    if env is not None and env.strip() != "":
+        return env.strip().lower() not in ("0", "false", "no", "off")
+    return True
 
 
 def default_vectorize() -> bool:
     """Columnar batch evaluation on by default; ``REPRO_VECTORIZE=0`` (or
     a missing NumPy) falls back to the scalar reference path."""
+    scoped = active_value("vectorize")
+    if scoped is not None:
+        return scoped
     if _DEFAULTS["vectorize"] is not None:
         return _DEFAULTS["vectorize"]
     env = os.environ.get("REPRO_VECTORIZE")
@@ -256,6 +310,74 @@ def default_vectorize() -> bool:
     from repro.core import batch
 
     return batch.available
+
+
+def default_search_order() -> str:
+    """Candidate-block visit order (``"best_first"`` unless overridden by
+    the active session or ``REPRO_SEARCH_ORDER``).  Like ``vectorize``,
+    this is a pure speed knob: results are bit-identical either way."""
+    scoped = active_value("search_order")
+    if scoped is not None:
+        return scoped
+    env = os.environ.get("REPRO_SEARCH_ORDER")
+    if env:
+        return env.strip().lower()
+    return "best_first"
+
+
+def default_manifest_compact_ratio() -> float | None:
+    """Auto-compaction threshold for :class:`ShardedStore` manifests (the
+    manifest is rewritten once its line count exceeds this multiple of
+    its live keys).  ``None`` defers to the store's built-in default;
+    overridable via the active session or
+    ``$REPRO_MANIFEST_COMPACT_RATIO`` (``0`` disables auto-compaction)."""
+    scoped = active_value("manifest_compact_ratio")
+    if scoped is not None:
+        return scoped
+    env = os.environ.get("REPRO_MANIFEST_COMPACT_RATIO")
+    if env is None or env.strip() == "":
+        return None
+    try:
+        return float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MANIFEST_COMPACT_RATIO must be a number, got {env!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Store resolution (shared by the engine and repro.api.Session)
+# ----------------------------------------------------------------------
+def resolve_store(
+    cache_dir: str | Path | bool | None = None,
+    cache_backend: str | ConfigStore | None = None,
+) -> ConfigStore | None:
+    """Resolve the ``cache_dir``/``cache_backend`` knob pair to a
+    :class:`ConfigStore` (or ``None`` for in-memory-only operation).
+
+    ``cache_dir=None`` defers to the scoped/process defaults; ``False``
+    disables the persistent store outright — whatever the backend — even
+    when a default directory is configured.  A ``ConfigStore`` instance
+    passed as the backend wins over any directory.
+    """
+    if cache_dir is False:
+        return None
+    directory = default_cache_dir() if cache_dir is None else Path(cache_dir)
+    backend = _check_backend(
+        default_cache_backend() if cache_backend is None else cache_backend
+    )
+    if isinstance(backend, ConfigStore):
+        return backend
+    if backend == "memory":
+        # The shared in-process store needs no directory.
+        return create_store(backend)
+    if directory is None:
+        return None
+    return create_store(
+        backend,
+        directory,
+        manifest_compact_ratio=default_manifest_compact_ratio(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +441,12 @@ class BackendCacheStats:
 #: end-of-run summary.
 _CACHE_STATS: dict[str, BackendCacheStats] = {}
 
+#: Counter state as of the last sidecar flush (see
+#: :func:`consume_unflushed_statistics`).  Kept beside the counters so
+#: :func:`reset_cache_statistics` clears both together.
+_FLUSHED_STATS: dict[str, BackendCacheStats] = {}
+_STATS_FLUSH_LOCK = threading.Lock()
+
 
 def cache_statistics() -> dict[str, BackendCacheStats]:
     """Per-backend recall statistics accumulated in this process
@@ -328,6 +456,50 @@ def cache_statistics() -> dict[str, BackendCacheStats]:
 
 def reset_cache_statistics() -> None:
     _CACHE_STATS.clear()
+    _FLUSHED_STATS.clear()
+
+
+def _statistics_deltas(
+    now: dict[str, BackendCacheStats],
+    base: dict[str, BackendCacheStats],
+) -> dict[str, dict[str, int]]:
+    """Per-kind counter movement ``now - base`` as plain dicts (empty
+    movements dropped; counters never go backwards between resets, and a
+    reset clears both registries together)."""
+    names = [field.name for field in dataclasses.fields(BackendCacheStats)]
+    deltas: dict[str, dict[str, int]] = {}
+    for kind, stats in now.items():
+        baseline = base.get(kind, BackendCacheStats())
+        movement = {
+            name: getattr(stats, name) - getattr(baseline, name)
+            for name in names
+        }
+        movement = {name: value for name, value in movement.items() if value}
+        if movement:
+            deltas[kind] = movement
+    return deltas
+
+
+def peek_unflushed_statistics() -> dict[str, dict[str, int]]:
+    """Counter movement since the last flush by any session (read-only)."""
+    with _STATS_FLUSH_LOCK:
+        return _statistics_deltas(cache_statistics(), _FLUSHED_STATS)
+
+
+def consume_unflushed_statistics() -> dict[str, dict[str, int]]:
+    """Claim the unflushed counter movement and advance the baseline.
+
+    Sessions call this when persisting statistics into a store's sidecar
+    (:meth:`repro.api.Session.flush_statistics`): one process-wide
+    baseline means overlapping sessions never persist the same movement
+    twice.
+    """
+    with _STATS_FLUSH_LOCK:
+        now = cache_statistics()
+        deltas = _statistics_deltas(now, _FLUSHED_STATS)
+        _FLUSHED_STATS.clear()
+        _FLUSHED_STATS.update(now)
+        return deltas
 
 
 def describe_cache_statistics() -> str:
@@ -510,10 +682,11 @@ class OptimizerEngine:
     ) -> None:
         self.arch = arch
         self.options = options or OptimizerOptions()
-        # Resolve the vectorize knob here and bake it into the options so
-        # worker processes (which do not inherit set_engine_defaults state)
-        # follow the same path.  It never affects results, signatures or
-        # cache keys — only how candidates are scored.
+        # Resolve the speed knobs (vectorize, search order) here and bake
+        # them into the options so worker processes (which inherit neither
+        # set_engine_defaults state nor the active session's contextvar)
+        # follow the same path.  Neither affects results, signatures or
+        # cache keys — only how candidates are scored and visited.
         if vectorize is None:
             vectorize = (
                 self.options.vectorize
@@ -521,7 +694,14 @@ class OptimizerEngine:
                 else default_vectorize()
             )
         self.vectorize = vectorize
-        self.options = self.options.with_(vectorize=vectorize)
+        resolved_order = (
+            self.options.search_order
+            if self.options.search_order is not None
+            else default_search_order()
+        )
+        self.options = self.options.with_(
+            vectorize=vectorize, search_order=resolved_order
+        )
         self.parallelism = (
             default_parallelism() if parallelism is None else max(1, parallelism)
         )
@@ -531,28 +711,10 @@ class OptimizerEngine:
             else parallelism_mode
         )
         self.use_cache = default_use_cache() if use_cache is None else use_cache
-        # cache_dir: None defers to set_engine_defaults()/$REPRO_CACHE_DIR;
+        # cache_dir: None defers to the session/default resolution chain;
         # False disables the persistent cache — whatever the backend —
         # even when a default is configured.
-        if cache_dir is False:
-            directory = None
-        elif cache_dir is None:
-            directory = default_cache_dir()
-        else:
-            directory = Path(cache_dir)
-        backend = _check_backend(
-            default_cache_backend() if cache_backend is None else cache_backend
-        )
-        store: ConfigStore | None
-        if cache_dir is False:
-            store = None
-        elif isinstance(backend, ConfigStore):
-            store = backend
-        elif backend == "memory":
-            # The shared in-process store needs no directory.
-            store = create_store(backend)
-        else:
-            store = create_store(backend, directory) if directory else None
+        store = resolve_store(cache_dir, cache_backend)
         self.disk = (
             DiskConfigCache(store) if (store is not None and self.use_cache)
             else None
@@ -715,8 +877,16 @@ def optimize_layer(
     cache_backend: str | ConfigStore | None = None,
     vectorize: bool | None = None,
 ) -> LayerResult:
-    """Single-layer search through the engine's shared caches."""
-    engine = OptimizerEngine(
+    """Single-layer search through the engine's shared caches.
+
+    Compatibility shim over :mod:`repro.api`: runs through the currently
+    scoped session (or the process default session), so ``with
+    repro.Session(...):`` blocks configure it.
+    """
+    from repro.api import current_session
+
+    return current_session().optimize_layer(
+        layer,
         arch,
         options,
         parallelism=parallelism,
@@ -726,4 +896,3 @@ def optimize_layer(
         use_cache=use_cache,
         vectorize=vectorize,
     )
-    return engine.optimize_layers((layer,))[0]

@@ -70,16 +70,19 @@ class OptimizerOptions:
         default=None, repr=False, compare=False
     )
     #: Visit order of the (parallelism, L2-tile) candidate blocks:
-    #: ``"best_first"`` (default) sorts blocks by ascending objective
-    #: lower bound so the early-prune incumbent tightens as fast as
-    #: possible; ``"legacy"`` keeps the historical enumeration order.
+    #: ``"best_first"`` sorts blocks by ascending objective lower bound so
+    #: the early-prune incumbent tightens as fast as possible;
+    #: ``"legacy"`` keeps the historical enumeration order.  ``None``
+    #: defers to the engine default
+    #: (:func:`repro.optimizer.engine.default_search_order` — the active
+    #: session / ``REPRO_SEARCH_ORDER`` / ``"best_first"``).
     #: **Ordering guarantee:** the chosen configuration and score are
     #: bit-identical either way — equal-score ties are broken by candidate
     #: identity (legacy enumeration rank), never by visit order — so,
     #: like ``vectorize``, this is a pure speed knob excluded from search
     #: signatures and cache keys.
-    search_order: str = dataclasses.field(
-        default="best_first", repr=False, compare=False
+    search_order: str | None = dataclasses.field(
+        default=None, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -88,7 +91,7 @@ class OptimizerOptions:
                 f"unknown objective {self.objective!r}; "
                 f"choose from {sorted(OBJECTIVES)}"
             )
-        if self.search_order not in ("best_first", "legacy"):
+        if self.search_order not in (None, "best_first", "legacy"):
             raise ValueError(
                 f"unknown search_order {self.search_order!r}; "
                 "choose 'best_first' or 'legacy'"
@@ -272,6 +275,17 @@ class LayerOptimizer:
 
             if not batch.available:
                 self.vectorize = False
+        if self.options.search_order is None:
+            from repro.optimizer.engine import default_search_order
+
+            self.search_order = default_search_order()
+        else:
+            self.search_order = self.options.search_order
+        if self.search_order not in ("best_first", "legacy"):
+            raise ValueError(
+                f"unknown search_order {self.search_order!r}; "
+                "choose 'best_first' or 'legacy'"
+            )
 
     # ------------------------------------------------------------------
     def _outer_orders(self, layer: ConvLayer, l2_tile: TileShape) -> list[LoopOrder]:
@@ -408,7 +422,7 @@ class LayerOptimizer:
                 return True
             return value == best_score and (block_idx, row_idx) < best_rank
 
-        best_first = self.options.search_order == "best_first"
+        best_first = self.search_order == "best_first"
         blocks = candidate_blocks(
             parallelisms, l2_tiles, best_first=best_first,
             block_bound=(
@@ -545,7 +559,7 @@ class LayerOptimizer:
                 return True
             return value == best_score and (block_idx, row_idx) < best_rank
 
-        best_first = self.options.search_order == "best_first"
+        best_first = self.search_order == "best_first"
         blocks = candidate_blocks(
             parallelisms, l2_tiles, best_first=best_first,
             block_bound=(
@@ -742,12 +756,20 @@ def optimize_network(
     results).  ``vectorize`` selects the columnar batch evaluator
     (``None`` defers to the engine default / ``REPRO_VECTORIZE``; results
     are identical either way).
-    """
-    from repro.optimizer.engine import OptimizerEngine
 
-    engine = OptimizerEngine(
+    This function is a compatibility shim over :mod:`repro.api`: the call
+    runs through the currently scoped session (or the process default
+    session when none is active), so ``with repro.Session(...):`` blocks
+    configure it and results are bit-identical to
+    :meth:`repro.api.Session.optimize_network`.
+    """
+    from repro.api import current_session
+
+    return current_session().optimize_network(
+        layers,
         arch,
         options,
+        network_name=network_name,
         parallelism=parallelism,
         parallelism_mode=parallelism_mode,
         cache_dir=cache_dir,
@@ -755,7 +777,6 @@ def optimize_network(
         use_cache=use_cache,
         vectorize=vectorize,
     )
-    return engine.optimize_network(layers, network_name=network_name)
 
 
 def clear_cache() -> None:

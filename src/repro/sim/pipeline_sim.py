@@ -18,7 +18,8 @@ movement with shifted-array comparisons, and reduces the double-buffered
 step recurrence with a sequential ``cumsum`` — so cycle totals, tile
 classifications and the prologue are **bit-identical** between the paths
 (pinned by ``tests/test_sim_equivalence.py``).  ``vectorize=`` /
-``set_engine_defaults`` / ``REPRO_VECTORIZE`` select the path.
+the active :class:`repro.api.Session` / ``REPRO_VECTORIZE`` select the
+path.
 
 Fidelity notes: the inner levels' traffic is folded into per-L2-tile
 aggregate transfer times (their buses run concurrently with compute the

@@ -30,7 +30,8 @@ counters are **bit-identical** (pinned by ``tests/test_sim_equivalence.py``
 and the equivalence suites).  The columnar pass is what makes validating
 full registered networks feasible; the scalar walk stays as the reference
 and escape hatch.  Select per call (``vectorize=``), process-wide
-(:func:`repro.optimizer.engine.set_engine_defaults`) or via the
+(the active :class:`repro.api.Session`'s ``vectorize``, the deprecated
+:func:`repro.optimizer.engine.set_engine_defaults`) or via the
 ``REPRO_VECTORIZE`` environment variable.
 
 This is exponentially slower than :func:`repro.core.access_model.
@@ -211,7 +212,8 @@ def _empty_boundaries(levels: int) -> list[TraceBoundary]:
 def _resolve_vectorize(vectorize: bool | None) -> bool:
     """Resolve the knob like the optimizer engine: explicit argument,
     else :func:`~repro.optimizer.engine.default_vectorize` (honouring
-    ``set_engine_defaults`` and ``REPRO_VECTORIZE``); either way the
+    the active session, ``set_engine_defaults`` and ``REPRO_VECTORIZE``);
+    either way the
     columnar path needs NumPy."""
     from repro.core import batch
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 from typing import Callable, Iterator
 
 from repro.core.layer import ConvLayer
@@ -188,17 +189,41 @@ def set_build_defaults(**defaults) -> None:
 
 
 def build_network(name: str, **kwargs) -> Network:
+    """Build a registered network.
+
+    Default factory kwargs resolve like every other knob: explicit
+    ``kwargs`` beat the active session's build defaults (e.g.
+    ``SessionConfig.frames``), which beat the process-wide
+    :func:`set_build_defaults`, which beats the ``REPRO_FRAMES``
+    environment variable; factories that do not accept a defaulted
+    parameter are unaffected.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown network {name!r}; available: {network_names()}"
         ) from None
-    if _BUILD_DEFAULTS:
+    defaults = dict(_BUILD_DEFAULTS)
+    if "frames" not in defaults:
+        env = os.environ.get("REPRO_FRAMES")
+        if env and env.strip():
+            try:
+                defaults["frames"] = max(1, int(env))
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_FRAMES must be an integer, got {env!r}"
+                ) from None
+    from repro._scope import active_value
+
+    frames = active_value("frames")
+    if frames is not None:
+        defaults["frames"] = frames
+    if defaults:
         import inspect
 
         accepted = inspect.signature(factory).parameters
-        for key, value in _BUILD_DEFAULTS.items():
+        for key, value in defaults.items():
             if key in accepted and key not in kwargs:
                 kwargs[key] = value
     return factory(**kwargs)

@@ -250,7 +250,8 @@ class TestEngineKnob:
         from repro.optimizer import engine
 
         try:
-            engine.set_engine_defaults(vectorize=False)
+            with pytest.deprecated_call():
+                engine.set_engine_defaults(vectorize=False)
             assert engine.default_vectorize() is False
             opt = LayerOptimizer(morph(), OptimizerOptions())
             assert opt.vectorize is False

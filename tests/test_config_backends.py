@@ -402,7 +402,8 @@ class TestBackendSelection:
         assert list(tmp_path.glob("[0-9a-f]*/[0-9a-f]*/*.json"))
 
     def test_engine_defaults_validate_backend(self):
-        with pytest.raises(ValueError, match="cache_backend"):
+        with pytest.raises(ValueError, match="cache_backend"), \
+                pytest.deprecated_call():
             set_engine_defaults(cache_backend="bogus")
 
     def test_sharded_and_local_recall_each_others_misses(
@@ -425,3 +426,117 @@ class TestBackendSelection:
         warm = warm_engine.optimize_layers((LAYER,))[0]
         assert warm_engine.stats.disk_hits == 1
         assert warm.best.dataflow == cold.best.dataflow
+
+
+class TestManifestAutoCompaction:
+    """ShardedStore compacts its append-only manifest automatically once
+    it exceeds ``compact_ratio`` lines per live key (PR 5 satellite)."""
+
+    def test_duplicate_writes_trigger_compaction(self, tmp_path):
+        store = ShardedStore(
+            tmp_path, compact_ratio=2.0, compact_check_interval=1
+        )
+        for index in range(12):
+            assert store.put("aabbccdd", {"round": index})
+        manifest = (tmp_path / ShardedStore.MANIFEST).read_text().splitlines()
+        # Without auto-compaction this would be 12 lines.
+        assert len(manifest) <= 2
+        # The latest payload survives and the tree is untouched.
+        assert store.get("aabbccdd") == {"round": 11}
+        assert list(store.manifest_keys()) == ["aabbccdd"]
+
+    def test_fresh_instances_share_the_append_counter(self, tmp_path):
+        """The engine builds a fresh store per optimize call; the
+        append counter is keyed by directory, so auto-compaction still
+        fires across short-lived instances."""
+        for index in range(12):
+            store = ShardedStore(
+                tmp_path, compact_ratio=2.0, compact_check_interval=4
+            )
+            store.put("aabbccdd", {"round": index})
+        manifest = (tmp_path / ShardedStore.MANIFEST).read_text().splitlines()
+        assert len(manifest) < 12
+        assert store.get("aabbccdd") == {"round": 11}
+
+    def test_distinct_keys_do_not_compact(self, tmp_path):
+        store = ShardedStore(
+            tmp_path, compact_ratio=2.0, compact_check_interval=1
+        )
+        keys = [f"{i:08x}" for i in range(8)]
+        for key in keys:
+            store.put(key, {"key": key})
+        manifest = (tmp_path / ShardedStore.MANIFEST).read_text().splitlines()
+        assert len(manifest) == len(keys)  # all live, nothing to compact
+
+    def test_ratio_zero_disables(self, tmp_path):
+        store = ShardedStore(
+            tmp_path, compact_ratio=0, compact_check_interval=1
+        )
+        for index in range(6):
+            store.put("aabbccdd", {"round": index})
+        manifest = (tmp_path / ShardedStore.MANIFEST).read_text().splitlines()
+        assert len(manifest) == 6
+
+    def test_default_ratio_from_engine_resolution(self, tmp_path, monkeypatch):
+        from repro.optimizer.engine import resolve_store
+
+        monkeypatch.setenv("REPRO_MANIFEST_COMPACT_RATIO", "7.5")
+        store = resolve_store(tmp_path, "sharded")
+        assert isinstance(store, ShardedStore)
+        assert store.compact_ratio == 7.5
+        monkeypatch.delenv("REPRO_MANIFEST_COMPACT_RATIO")
+        assert resolve_store(
+            tmp_path, "sharded"
+        ).compact_ratio == ShardedStore.DEFAULT_COMPACT_RATIO
+
+    def test_session_config_threads_ratio_through(self, tmp_path):
+        from repro.api import Session, SessionConfig
+
+        config = SessionConfig(
+            cache_dir=tmp_path,
+            cache_backend="sharded",
+            manifest_compact_ratio=3.5,
+        )
+        with Session(config) as session:
+            store = session.store()
+        assert isinstance(store, ShardedStore)
+        assert store.compact_ratio == 3.5
+
+
+class TestStatisticsSidecarStores:
+    """Store-level behaviour of the CACHE_STATS.json sidecar."""
+
+    @pytest.mark.parametrize("backend", CACHE_BACKENDS)
+    def test_merge_and_load_round_trip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        assert store.load_statistics() == {}
+        assert store.merge_statistics({"local": {"hits": 2, "writes": 1}})
+        assert store.merge_statistics({"local": {"hits": 3}})
+        stats = store.load_statistics()
+        assert stats["local"]["hits"] == 5
+        assert stats["local"]["writes"] == 1
+
+    def test_corrupt_sidecar_treated_as_empty(self, tmp_path):
+        store = LocalDirectoryStore(tmp_path)
+        (tmp_path / LocalDirectoryStore.STATS_SIDECAR).write_text("not json")
+        assert store.load_statistics() == {}
+        assert store.merge_statistics({"local": {"hits": 1}})
+        assert store.load_statistics()["local"]["hits"] == 1
+
+    def test_base_class_default_is_noop(self):
+        class Bespoke(ConfigStore):
+            def get(self, key):
+                return None
+
+            def put(self, key, payload):
+                return False
+
+            def contains(self, key):
+                return False
+
+            def keys(self):
+                return iter(())
+
+        store = Bespoke()
+        assert store.load_statistics() == {}
+        assert store.merge_statistics({"x": {"hits": 1}}) is False

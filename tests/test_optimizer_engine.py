@@ -356,7 +356,8 @@ class TestClearCacheMemos:
 
 class TestEngineDefaults:
     def test_set_and_reset(self):
-        set_engine_defaults(parallelism=7)
+        with pytest.deprecated_call():
+            set_engine_defaults(parallelism=7)
         assert default_parallelism() == 7
         reset_engine_defaults()
         assert default_parallelism() == 1

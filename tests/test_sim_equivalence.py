@@ -244,7 +244,8 @@ class TestVectorizeKnob:
         from repro.sim.trace import _resolve_vectorize
 
         try:
-            engine.set_engine_defaults(vectorize=False)
+            with pytest.deprecated_call():
+                engine.set_engine_defaults(vectorize=False)
             assert _resolve_vectorize(None) is False
         finally:
             engine.reset_engine_defaults()
