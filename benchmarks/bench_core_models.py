@@ -202,7 +202,11 @@ def test_bench_session_sweep(record_bench, tmp_path):
     warm_s = time.perf_counter() - start
     for before, after in zip(cold.results, warm.results):
         assert before.total_energy_pj == after.total_energy_pj
-    merged = warm.cache_statistics["local"]
+    from repro.optimizer.config_store import LocalDirectoryStore
+
+    merged = warm.cache_statistics[
+        LocalDirectoryStore(tmp_path / "session-cache").identity()
+    ]
     assert merged.hits >= warm.entries[0].stats.disk_hits > 0
     record_bench(
         session_sweep_cold_s=round(cold_s, 3),
@@ -225,7 +229,7 @@ def test_bench_cache_backend_stats(record_bench, tmp_path):
         reset_cache_statistics,
     )
 
-    from repro.optimizer.config_store import clear_memory_stores
+    from repro.optimizer.config_store import clear_memory_stores, create_store
 
     layer = ConvLayer(
         "cachestat", h=14, w=14, c=32, f=4, k=48, r=3, s=3, t=3,
@@ -244,7 +248,9 @@ def test_bench_cache_backend_stats(record_bench, tmp_path):
                 layer, arch, options,
                 cache_dir=cache_dir, cache_backend=backend, parallelism=1,
             )
-        stats = cache_statistics()[backend]
+        stats = cache_statistics()[
+            create_store(backend, cache_dir).identity()
+        ]
         assert stats.hits == 1 and stats.misses == 1, (backend, stats)
         assert stats.recall_reevals == 1 and stats.writes == 1, (backend, stats)
         metrics.update({

@@ -81,6 +81,9 @@ def pytest_runtest_call(item):
 
 
 def pytest_sessionfinish(session):
+    # repro-lint: disable=scoped-config  # pytest plugin hook: runs after
+    # every session closed, so there is no active Session to resolve
+    # through; reads the same variable SessionConfig.from_env maps.
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR") or ".")
     for name, record in _RECORDS.items():
         payload = {

@@ -37,6 +37,11 @@ that route through the currently scoped session.
 See ``examples/`` for runnable walkthroughs and
 ``python -m repro.experiments.runner --all`` to regenerate every paper
 figure and table.
+
+The codebase's cross-cutting contracts — kernel purity, scoped config,
+cache-signature completeness, atomic store writes, determinism — are
+catalogued in ``docs/INVARIANTS.md`` and enforced statically by
+``python -m repro.lint`` (see :mod:`repro.lint`).
 """
 
 from repro.api import (

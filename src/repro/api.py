@@ -128,6 +128,14 @@ _ENV_FIELDS: dict[str, tuple[str, Any]] = {
     "REPRO_MANIFEST_COMPACT_RATIO": ("manifest_compact_ratio", float),
 }
 
+#: SessionConfig fields deliberately *not* materialisable from the
+#: environment (checked by the signature-completeness lint rule).
+#: ``persist_statistics`` controls whether a closing session writes to
+#: shared sidecar files — a cross-process env default would let one
+#: shell's export silently disable accounting for every session in the
+#: tree, so it is settable only explicitly (argument / dict / file).
+_ENV_EXCLUDED = frozenset({"persist_statistics"})
+
 
 @dataclasses.dataclass(frozen=True)
 class SessionConfig:
@@ -406,7 +414,7 @@ class SweepResult:
     """Structured outcome of :meth:`Session.sweep`."""
 
     entries: tuple[SweepEntry, ...]
-    #: Per-backend recall statistics, *merged* across processes: the
+    #: Per-store-identity recall statistics, *merged* across processes:
     #: store's persisted sidecar plus this session's unflushed deltas.
     cache_statistics: dict[str, BackendCacheStats]
 
@@ -664,7 +672,7 @@ class Session:
     def cache_statistics(
         self, *, merged: bool = False
     ) -> dict[str, BackendCacheStats]:
-        """Per-backend recall statistics.
+        """Recall statistics keyed by store identity.
 
         ``merged=False``: this process's counter movement since the
         session was created (the counters are process-wide, so this is a
@@ -743,7 +751,7 @@ class Session:
             pass
 
     def describe_statistics(self) -> str:
-        """One line of engine counters plus one per backend kind (merged
+        """One line of engine counters plus one per store identity (merged
         with the persisted sidecar) — the runner's end-of-run summary."""
         lines = [f"engine: {self.stats.describe()}"]
         stats = self.cache_statistics(merged=True)

@@ -41,6 +41,7 @@ from repro.core.dims import (
     SLIDING_DIMS,
     DataType,
     Dim,
+    Num,
     relevant_dims,
 )
 from repro.core.layer import ConvLayer
@@ -129,18 +130,20 @@ class TrafficReport:
 # ----------------------------------------------------------------------
 # Scalar/array-agnostic formula kernels (shared with repro.core.batch)
 # ----------------------------------------------------------------------
-def clip_min0(x):
+def clip_min0(x: Num) -> Num:
     """``max(0, x)`` for ints/floats and elementwise for arrays."""
     return x * (x > 0)
 
 
-def psum_spill_bytes_kernel(fill_bytes, out_psum_bytes):
+def psum_spill_bytes_kernel(fill_bytes: Num, out_psum_bytes: Num) -> Num:
     """Psum bytes that revisit the parent level (zero-init skips the first
     visit of each tile, so only refills beyond one full output pass load)."""
     return clip_min0(fill_bytes - out_psum_bytes)
 
 
-def dram_psum_writeback_kernel(spill_bytes, output_activation_bytes):
+def dram_psum_writeback_kernel(
+    spill_bytes: Num, output_activation_bytes: Num
+) -> Num:
     """DRAM-boundary psum writeback: true spills move at psum width, the
     final outputs leave once at activation width."""
     return spill_bytes + output_activation_bytes

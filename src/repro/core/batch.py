@@ -119,7 +119,7 @@ def clear_constant_caches() -> None:
 # Constant tables (per layer / order set / parallelism set)
 # ----------------------------------------------------------------------
 @functools.lru_cache(maxsize=1024)
-def full_extents(layer: ConvLayer):
+def full_extents(layer: ConvLayer) -> "np.ndarray":
     """(5,) int64 output-space extents of the whole layer, ALL_DIMS order.
 
     Cached (and frozen) because every block of a layer's search asks for
@@ -199,7 +199,7 @@ def parallelism_tables(
 # Vectorized capacity checks
 # ----------------------------------------------------------------------
 def tile_bytes_columns(
-    layer: ConvLayer, precision: Precision, tiles
+    layer: ConvLayer, precision: Precision, tiles: "np.ndarray"
 ) -> dict[DataType, "np.ndarray"]:
     """Per-data-type byte footprints of tile columns ``tiles`` ((5, N))."""
     w, h, c, k, f = (tiles[DIM_INDEX[d]] for d in ALL_DIMS)
@@ -220,7 +220,10 @@ def tile_bytes_columns(
 
 
 def tile_fits_mask(
-    arch: AcceleratorConfig, level_index: int, layer: ConvLayer, tiles
+    arch: AcceleratorConfig,
+    level_index: int,
+    layer: ConvLayer,
+    tiles: "np.ndarray",
 ) -> "np.ndarray":
     """Vectorized :meth:`AcceleratorConfig.tile_fits` over tile columns."""
     _require_numpy()
@@ -252,7 +255,7 @@ def tile_fits_mask(
     )
 
 
-def normalize_tiles(layer: ConvLayer, tiles) -> "np.ndarray":
+def normalize_tiles(layer: ConvLayer, tiles: "np.ndarray") -> "np.ndarray":
     """Apply :class:`TileHierarchy`'s normalisation to tile columns.
 
     ``tiles`` is ``(levels, 5, N)``; each level is clipped to the layer and
@@ -265,7 +268,7 @@ def normalize_tiles(layer: ConvLayer, tiles) -> "np.ndarray":
 
 
 def hierarchy_fits_mask(
-    arch: AcceleratorConfig, layer: ConvLayer, tiles
+    arch: AcceleratorConfig, layer: ConvLayer, tiles: "np.ndarray"
 ) -> "np.ndarray":
     """Vectorized :meth:`AcceleratorConfig.hierarchy_fits` over columns."""
     mask = tile_fits_mask(arch, 0, layer, tiles[0])
@@ -387,8 +390,8 @@ def _region_bytes_columns(
 def boundary_fill_bytes_sum(
     layer: ConvLayer,
     precision: Precision,
-    parent,  #: (5,) or (5, N) parent extents
-    child,  #: (5, N) child tile extents
+    parent: "np.ndarray",  #: (5,) or (5, N) parent extents
+    child: "np.ndarray",  #: (5, N) child tile extents
     order: LoopOrder,
 ) -> "np.ndarray":
     """Summed per-execution fill bytes across the three data types.

@@ -18,7 +18,14 @@ temporal reuse (Section II-E of the paper).
 from __future__ import annotations
 
 import enum
-from typing import Iterable
+from typing import Any, Iterable
+
+#: The value type of the ``*_kernel`` formula functions: a Python scalar
+#: *or* a NumPy column — one body serves the scalar reference models and
+#: the columnar batch engine, so the alias is deliberately loose (naming
+#: ``np.ndarray`` here would couple the kernels to one backend; the
+#: kernel-purity lint rule keeps the bodies array-agnostic instead).
+Num = Any
 
 
 class Dim(enum.Enum):

@@ -22,7 +22,7 @@ from repro.arch.accelerator import AcceleratorConfig
 from repro.arch.sram import sram_leakage_mw
 from repro.core.access_model import TrafficReport, compute_alu_traffic
 from repro.core.dataflow import Dataflow, Parallelism
-from repro.core.dims import ALL_DATA_TYPES, DataType
+from repro.core.dims import ALL_DATA_TYPES, DataType, Num
 from repro.core.performance_model import PerformanceReport, split_parallelism
 
 
@@ -142,24 +142,24 @@ def static_pj_per_cycle(arch: AcceleratorConfig) -> float:
 def energy_accumulation_kernel(
     *,
     num_levels: int,
-    fill_bytes,  #: [boundary][data type] fill bytes
-    psum_load_bytes,  #: [boundary] psum re-load bytes
-    psum_writeback_bytes,  #: [boundary] psum writeback bytes
-    alu_input_read_bytes,
-    alu_weight_read_bytes,
-    alu_psum_read_bytes,
-    alu_psum_write_bytes,
-    repl,  #: [level][data type] replication factors
-    read_pj,  #: [level][data type] read pJ/byte
-    write_pj,  #: [level][data type] write pJ/byte
+    fill_bytes: Num,  #: [boundary][data type] fill bytes
+    psum_load_bytes: Num,  #: [boundary] psum re-load bytes
+    psum_writeback_bytes: Num,  #: [boundary] psum writeback bytes
+    alu_input_read_bytes: Num,
+    alu_weight_read_bytes: Num,
+    alu_psum_read_bytes: Num,
+    alu_psum_write_bytes: Num,
+    repl: Num,  #: [level][data type] replication factors
+    read_pj: Num,  #: [level][data type] read pJ/byte
+    write_pj: Num,  #: [level][data type] write pJ/byte
     noc_pj_per_byte_mm: float,
-    bus_length_mm,  #: [boundary] wire length of the bus crossed
+    bus_length_mm: Num,  #: [boundary] wire length of the bus crossed
     dram_pj_per_byte: float,
     macc_pj: float,
-    maccs,
+    maccs: Num,
     static_pj_per_cycle: float,
-    cycles,
-):
+    cycles: Num,
+) -> tuple:
     """The whole energy dot product, on scalars or candidate columns.
 
     This single implementation serves both :func:`compute_energy` (Python
@@ -241,7 +241,7 @@ def clear_memos() -> None:
 
 
 @functools.lru_cache(maxsize=64)
-def energy_cost_tables(arch: AcceleratorConfig):
+def energy_cost_tables(arch: AcceleratorConfig) -> tuple:
     """Per-``[level][data type]`` read/write pJ/byte plus per-boundary bus
     wire lengths — the constant coefficient columns of the kernel.
 

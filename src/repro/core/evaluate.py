@@ -12,6 +12,7 @@ import dataclasses
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.access_model import TrafficReport, compute_traffic
 from repro.core.dataflow import Dataflow
+from repro.core.dims import Num
 from repro.core.energy_model import EnergyBreakdown, compute_energy
 from repro.core.layer import ConvLayer
 from repro.core.performance_model import (
@@ -28,16 +29,16 @@ class CapacityError(ValueError):
 # ----------------------------------------------------------------------
 # Scalar/array-agnostic objective kernels (shared with repro.core.batch)
 # ----------------------------------------------------------------------
-def runtime_s_kernel(cycles, clock_hz):
+def runtime_s_kernel(cycles: Num, clock_hz: Num) -> Num:
     return cycles / clock_hz
 
 
-def edp_kernel(total_energy_pj, cycles, clock_hz):
+def edp_kernel(total_energy_pj: Num, cycles: Num, clock_hz: Num) -> Num:
     """Energy-delay product (J * s)."""
     return total_energy_pj * 1e-12 * runtime_s_kernel(cycles, clock_hz)
 
 
-def perf_per_watt_kernel(maccs, total_energy_pj):
+def perf_per_watt_kernel(maccs: Num, total_energy_pj: Num) -> Num:
     """Throughput per watt = MACs per joule (Figure 10's metric)."""
     return maccs / (total_energy_pj * 1e-12)
 

@@ -18,31 +18,38 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+from typing import Iterable
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.access_model import TrafficReport
 from repro.core.dataflow import Dataflow, Parallelism
-from repro.core.dims import DataType, Dim
+from repro.core.dims import DataType, Dim, Num
 from repro.core.tiling import ceil_div
 
 
 # ----------------------------------------------------------------------
 # Scalar/array-agnostic formula kernels (shared with repro.core.batch)
 # ----------------------------------------------------------------------
-def imbalance_utilisation_kernel(tiles, degree):
+def imbalance_utilisation_kernel(tiles: Num, degree: Num) -> Num:
     """Fraction of PE-rounds doing useful work when ``tiles`` units are
     dealt round-robin to ``degree`` workers.  Exactly 1.0 at degree 1, so
     callers can multiply unconditionally."""
     return tiles / (ceil_div(tiles, degree) * degree)
 
 
-def vector_lane_utilisation_kernel(k_inner, vector_width):
+def vector_lane_utilisation_kernel(k_inner: Num, vector_width: Num) -> Num:
     """Vector-lane slack when the innermost K tile is not a multiple of
     ``Vw`` (Section IV-A2)."""
     return k_inner / (vector_width * ceil_div(k_inner, vector_width))
 
 
-def utilization_kernel(degree, total_pes, vector_width, k_inner, dim_factors):
+def utilization_kernel(
+    degree: Num,
+    total_pes: Num,
+    vector_width: Num,
+    k_inner: Num,
+    dim_factors: "Iterable[tuple[Num, Num, Num, Num]]",
+) -> Num:
     """Sustained fraction of peak MACC throughput.
 
     ``dim_factors`` yields, per parallelisable dim (W, H, K, F order), the
@@ -57,12 +64,16 @@ def utilization_kernel(degree, total_pes, vector_width, k_inner, dim_factors):
     return util * vector_lane_utilisation_kernel(k_inner, vector_width)
 
 
-def compute_cycles_kernel(maccs, peak_maccs_per_cycle, utilization):
+def compute_cycles_kernel(
+    maccs: Num, peak_maccs_per_cycle: Num, utilization: Num
+) -> Num:
     """Compute-bound cycles at a sustained utilisation."""
     return maccs / (peak_maccs_per_cycle * utilization)
 
 
-def boundary_bus_bytes_kernel(input_fill, weight_fill, psum_load, psum_writeback):
+def boundary_bus_bytes_kernel(
+    input_fill: Num, weight_fill: Num, psum_load: Num, psum_writeback: Num
+) -> Num:
     """Bytes crossing one boundary's bus (both directions for psums)."""
     return input_fill + weight_fill + (psum_load + psum_writeback)
 

@@ -22,25 +22,27 @@ from __future__ import annotations
 import dataclasses
 import math
 
-from repro.core.dims import ALL_DIMS, DataType, Dim
+from repro.core.dims import ALL_DIMS, DataType, Dim, Num
 from repro.core.layer import ConvLayer
 
 
 # ----------------------------------------------------------------------
 # Scalar/array-agnostic formula kernels
 # ----------------------------------------------------------------------
-def ceil_div(a, b):
+def ceil_div(a: Num, b: Num) -> Num:
     """``ceil(a / b)`` for positive ints; works elementwise on arrays."""
     return -(-a // b)
 
 
-def input_extent_kernel(out_extent, span, stride):
+def input_extent_kernel(out_extent: Num, span: Num, stride: Num) -> Num:
     """Input positions covered by ``out_extent`` outputs of one filter of
     input-space ``span`` sliding by ``stride`` (halo included)."""
     return (out_extent - 1) * stride + span
 
 
-def sum_input_extents_kernel(total, tile, span, stride):
+def sum_input_extents_kernel(
+    total: Num, tile: Num, span: Num, stride: Num
+) -> Num:
     """Sum of per-tile input footprints along one sliding dim.
 
     Closed form of ``sum(input_extent_kernel(e) for e in tile_positions())``
@@ -50,12 +52,12 @@ def sum_input_extents_kernel(total, tile, span, stride):
     return stride * total + ceil_div(total, tile) * (span - stride)
 
 
-def minimum_kernel(a, b):
+def minimum_kernel(a: Num, b: Num) -> Num:
     """Elementwise ``min`` for Python ints and NumPy arrays alike."""
     return b + (a - b) * (a < b)
 
 
-def tile_extent_at_kernel(index, total, tile):
+def tile_extent_at_kernel(index: Num, total: Num, tile: Num) -> Num:
     """Output extent of tile ``index`` covering ``total``: ``tile`` except a
     possibly short final tile — ``min(tile, total - index * tile)``."""
     return minimum_kernel(tile, total - index * tile)
@@ -264,7 +266,7 @@ def tile_positions(total: int, tile: int) -> list[int]:
     return [tile_extent_at_kernel(index, total, tile) for index in range(count)]
 
 
-def tile_positions_array(total: int, tile: int):
+def tile_positions_array(total: int, tile: int) -> Num:
     """Vectorized :func:`tile_positions`: one int64 array instead of a list.
 
     Same closed form (:func:`tile_extent_at_kernel`) evaluated over

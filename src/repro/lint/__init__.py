@@ -1,0 +1,68 @@
+"""repro.lint — AST-based invariant checkers for the repro codebase.
+
+The optimizer/simulator stack rests on a handful of cross-cutting
+contracts that ordinary tests cannot guard (they live *between* files:
+a dataclass here, the signature function that must consume it there).
+This package checks them statically:
+
+=======================  ==============================================
+rule                     contract
+=======================  ==============================================
+kernel-purity            ``*_kernel`` functions stay scalar/array-
+                         agnostic so one body serves the scalar models,
+                         the columnar engine and future compiled
+                         backends
+scoped-config            ``$REPRO_*`` is read only by the sanctioned
+                         resolvers; no ``os.environ`` writes; module
+                         state follows the ALL_CAPS registry convention
+signature-completeness   every result-affecting dataclass field reaches
+                         its cache key / env mapping or is explicitly
+                         excluded
+atomic-write             store modules persist via temp + ``os.replace``
+determinism              no clocks, randomness or set-iteration order
+                         in result-producing paths
+=======================  ==============================================
+
+Run it with ``python -m repro.lint [paths...]``; suppress a finding
+inline with ``# repro-lint: disable=<rule>  # why``.  The contracts are
+catalogued in docs/INVARIANTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from repro.lint.engine import (
+    Linter,
+    ModuleInfo,
+    Rule,
+    load_module,
+    parse_suppressions,
+    walk_paths,
+)
+from repro.lint.rules import ALL_RULES
+
+
+def default_linter() -> Linter:
+    """A :class:`Linter` loaded with the full registered rule set."""
+    return Linter([rule() for rule in ALL_RULES])
+
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "Linter",
+    "ModuleInfo",
+    "Rule",
+    "default_linter",
+    "load_module",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "walk_paths",
+]

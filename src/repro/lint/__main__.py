@@ -1,0 +1,86 @@
+"""``python -m repro.lint`` — run the invariant checkers over the tree.
+
+Exit status 0 when the tree is clean, 1 when any finding survives the
+inline suppressions, 2 on usage errors (e.g. a path that does not
+exist).  ``--format json`` emits the machine-readable report used by
+tooling; ``--list-rules`` prints the registry with one-line contracts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint import default_linter, render_json, render_text
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checkers for the repro codebase "
+            "(kernel purity, scoped config, signature completeness, "
+            "atomic writes, determinism)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to check (default: the repo layout "
+            f"{'/'.join(DEFAULT_PATHS)} — missing ones are skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    linter = default_linter()
+    if args.list_rules:
+        for rule in linter.rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        # Default layout: lint whichever of the standard roots exist.
+        from pathlib import Path
+
+        paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print(
+                "repro-lint: none of the default paths "
+                f"({', '.join(DEFAULT_PATHS)}) exist here; pass paths "
+                "explicitly",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        diagnostics = linter.lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

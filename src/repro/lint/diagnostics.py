@@ -1,0 +1,57 @@
+"""Diagnostics and reporters for the repro lint suite.
+
+A :class:`Diagnostic` is one finding: which rule fired, where, and a
+message explaining the violated contract.  Reporters render a batch of
+findings as human-readable text (``path:line: [rule] message``, one per
+line, sorted) or as a JSON document for tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def sort_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> list[Diagnostic]:
+    return sorted(
+        diagnostics, key=lambda d: (d.path, d.line, d.rule, d.message)
+    )
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One line per finding plus a summary line."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [diag.format() for diag in ordered]
+    count = len(ordered)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(f"repro-lint: {count} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Machine-readable report (stable field order, sorted findings)."""
+    payload = {
+        "tool": "repro-lint",
+        "findings": [
+            dataclasses.asdict(diag)
+            for diag in sort_diagnostics(diagnostics)
+        ],
+        "count": len(list(diagnostics)),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

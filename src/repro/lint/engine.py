@@ -1,0 +1,272 @@
+"""The repro lint engine: file walking, parsing, suppressions, rules.
+
+The framework is deliberately small: a :class:`Rule` sees one parsed
+module at a time (:meth:`Rule.check_module`) and, after every module has
+been visited, the whole corpus at once (:meth:`Rule.finish`) — the hook
+project-wide rules such as signature-completeness use to cross-reference
+the AST of a dataclass in one file against the signature function that
+consumes it in another.
+
+Suppressions
+------------
+A finding is suppressed with an inline comment naming the rule::
+
+    records = {}  # repro-lint: disable=scoped-config  # test-only registry
+
+The marker applies to its own line; a *standalone* comment line (nothing
+but the comment) also covers the next line of code, so statements whose
+trailing comment space is taken can carry the justification above them.
+Several rules may be named, comma-separated, and ``disable=all`` silences
+every rule for the line.  There is deliberately no file-wide or baseline
+suppression: every waiver sits next to the code it excuses, with its
+reason in the same comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Directories never walked for lintable sources.
+SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hg", ".venv", "venv", "node_modules", "build"}
+)
+
+_SUPPRESS_RE = re.compile(r"repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file plus its lint metadata."""
+
+    path: Path  #: filesystem path as given/walked
+    display: str  #: normalised posix path used in diagnostics
+    source: str
+    tree: ast.Module
+    #: line number -> rule names suppressed on that line ("all" wildcard).
+    suppressions: dict[int, frozenset[str]]
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        names = self.suppressions.get(line)
+        return names is not None and (rule in names or "all" in names)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line numbers to the rule names suppressed on them.
+
+    Standalone comment lines extend their suppression through any
+    immediately following comment/blank lines to the first line of code,
+    so a multi-line justification can sit directly above the statement
+    it waives with the marker on its first line.
+    """
+    found: dict[int, set[str]] = {}
+    lines = source.splitlines()
+
+    def is_commentary(lineno: int) -> bool:
+        if not 1 <= lineno <= len(lines):
+            return False
+        stripped = lines[lineno - 1].strip()
+        return stripped == "" or stripped.startswith("#")
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            tok for tok in tokens if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    for tok in comments:
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        names = {
+            name.strip()
+            for name in match.group(1).split(",")
+            if name.strip()
+        }
+        line = tok.start[0]
+        found.setdefault(line, set()).update(names)
+        prefix = tok.line[: tok.start[1]]
+        if prefix.strip() == "":  # standalone: cover down to the code line
+            covered = line + 1
+            while is_commentary(covered):
+                found.setdefault(covered, set()).update(names)
+                covered += 1
+            if covered <= len(lines):
+                found.setdefault(covered, set()).update(names)
+    return {line: frozenset(names) for line, names in found.items()}
+
+
+def load_module(path: Path, display: str | None = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises ``SyntaxError``)."""
+    source = path.read_text()
+    return ModuleInfo(
+        path=path,
+        display=display if display is not None else path.as_posix(),
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def walk_paths(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for item in paths:
+        root = Path(item)
+        if root.is_file():
+            candidates = [root]
+        elif root.is_dir():
+            candidates = [
+                p
+                for p in sorted(root.rglob("*.py"))
+                if not any(
+                    part in SKIP_DIRS or part.startswith(".")
+                    for part in p.parts
+                )
+            ]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                out.append(path)
+    return out
+
+
+class Rule:
+    """Base class of one invariant checker.
+
+    Subclasses set :attr:`name` (the suppression/CLI identifier) and
+    :attr:`description`, and override :meth:`check_module` and/or
+    :meth:`finish`.  Rules must *yield or return* diagnostics — never
+    raise — so one finding cannot mask the rest of the run.
+    """
+
+    name: str = "rule"
+    description: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        return ()
+
+    def finish(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterable[Diagnostic]:
+        return ()
+
+
+class Linter:
+    """Run a rule set over a corpus of files and filter suppressions."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        names = [rule.name for rule in rules]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.rules = tuple(rules)
+
+    def lint_modules(
+        self, modules: Sequence[ModuleInfo]
+    ) -> list[Diagnostic]:
+        raw: list[Diagnostic] = []
+        for module in modules:
+            for rule in self.rules:
+                raw.extend(rule.check_module(module))
+        for rule in self.rules:
+            raw.extend(rule.finish(modules))
+        by_display = {module.display: module for module in modules}
+        kept = []
+        for diag in raw:
+            module = by_display.get(diag.path)
+            if module is not None and module.suppressed(diag.rule, diag.line):
+                continue
+            kept.append(diag)
+        return kept
+
+    def lint_paths(
+        self, paths: Iterable[str | Path]
+    ) -> list[Diagnostic]:
+        """Walk, parse and check ``paths``; unparseable files become
+        ``syntax`` diagnostics rather than aborting the run."""
+        modules: list[ModuleInfo] = []
+        diagnostics: list[Diagnostic] = []
+        for path in walk_paths(paths):
+            try:
+                modules.append(load_module(path))
+            except SyntaxError as exc:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="syntax",
+                        path=path.as_posix(),
+                        line=exc.lineno or 1,
+                        message=f"could not parse: {exc.msg}",
+                    )
+                )
+        diagnostics.extend(self.lint_modules(modules))
+        return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+def enclosing_functions(tree: ast.Module) -> dict[ast.AST, ast.AST | None]:
+    """Map every node to its innermost enclosing function def (or None)."""
+    parents: dict[ast.AST, ast.AST | None] = {}
+
+    def visit(node: ast.AST, owner: ast.AST | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            parents[child] = owner
+            next_owner = (
+                child
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                else owner
+            )
+            visit(child, next_owner)
+
+    visit(tree, None)
+    return parents
+
+
+def root_name(node: ast.AST) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_path(node: ast.expr) -> str:
+    """Dotted path of a call target (``os.environ.get`` etc.), best-effort."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_all_caps(name: str) -> bool:
+    """Module-constant naming convention (``_CACHE_STATS``, ``OBJECTIVES``)."""
+    stripped = name.strip("_")
+    return bool(stripped) and stripped == stripped.upper()
+
+
+def string_constants(node: ast.AST) -> set[str]:
+    """Every string literal anywhere under ``node``."""
+    return {
+        n.value
+        for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }

@@ -1,0 +1,34 @@
+"""The repro lint rule set.
+
+Each module in this package implements one contract checker; the
+``ALL_RULES`` tuple is the canonical registry consumed by the CLI and
+the tests.  Adding a rule means adding a module here, registering its
+class, and documenting the contract it guards in docs/INVARIANTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.atomic_write import AtomicWriteRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.kernel_purity import KernelPurityRule
+from repro.lint.rules.scoped_config import ScopedConfigRule
+from repro.lint.rules.signature_completeness import (
+    SignatureCompletenessRule,
+)
+
+ALL_RULES = (
+    KernelPurityRule,
+    ScopedConfigRule,
+    SignatureCompletenessRule,
+    AtomicWriteRule,
+    DeterminismRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AtomicWriteRule",
+    "DeterminismRule",
+    "KernelPurityRule",
+    "ScopedConfigRule",
+    "SignatureCompletenessRule",
+]

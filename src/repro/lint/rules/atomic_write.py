@@ -1,0 +1,155 @@
+"""atomic-write: store modules never leave a half-written file behind.
+
+The config stores are read concurrently by other processes (the sweep
+workers of PR 4 share one cache directory), so every persisted artifact
+must appear atomically: write to a sibling temp file, then ``os.replace``
+it over the destination.  A bare ``open(path, "w")`` in a store module is
+a torn-read window — a reader that races the writer sees truncated JSON,
+which is exactly the corruption the quarantine machinery exists to mop
+up after.  This rule flags, inside any module whose filename contains
+``store``:
+
+* ``open(..., "w"/"wb"/"w+"...)`` calls, and
+* ``Path.write_text`` / ``Path.write_bytes`` calls,
+
+unless the write clearly participates in the temp+replace idiom: the
+target's root name mentions ``tmp``/``temp`` *and* the enclosing function
+also calls ``os.replace``.  Append mode (``"a"``) is exempt — appends of
+complete lines (the MANIFEST journal) are the one sanctioned non-replace
+pattern, readers tolerate a torn final line there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import (
+    ModuleInfo,
+    Rule,
+    call_path,
+    enclosing_functions,
+    root_name,
+)
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call (default ``"r"``)."""
+    if call_path(call.func) not in ("open", "io.open", "pathlib.Path.open"):
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "open"
+        ):
+            return None
+    mode_expr: ast.expr | None = None
+    # open(path, "w") / path.open("w"): the first str-literal positional
+    # after the filename (or the only positional for the method form).
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            candidate = arg.value
+            if all(ch in "rwxabt+U" for ch in candidate) and candidate:
+                mode_expr = arg
+                break
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            mode_expr = kw.value
+    if mode_expr is None:
+        return "r"
+    value = mode_expr.value
+    return value if isinstance(value, str) else None
+
+
+def _write_target(call: ast.Call) -> ast.expr | None:
+    """The path expression being written, for open()/write_text forms."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "write_text",
+        "write_bytes",
+        "open",
+    ):
+        return func.value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+def _mentions_tmp(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            name = sub.value
+        if name and ("tmp" in name.lower() or "temp" in name.lower()):
+            return True
+    return False
+
+
+def _calls_replace(func: ast.AST | None) -> bool:
+    if func is None:
+        return False
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Call) and call_path(sub.func) in (
+            "os.replace",
+            "os.rename",
+        ):
+            return True
+    return False
+
+
+class AtomicWriteRule(Rule):
+    name = "atomic-write"
+    description = (
+        "writes in store modules must go through a temp file + "
+        "os.replace so concurrent readers never see a torn file"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        if "store" not in module.path.name:
+            return ()
+        out: list[Diagnostic] = []
+        parents = enclosing_functions(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(node, parents)
+            if finding is not None:
+                out.append(
+                    Diagnostic(
+                        rule=self.name,
+                        path=module.display,
+                        line=node.lineno,
+                        message=finding,
+                    )
+                )
+        return out
+
+    def _check_call(
+        self, call: ast.Call, parents: dict[ast.AST, ast.AST | None]
+    ) -> str | None:
+        func = call.func
+        verb: str | None = None
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            verb = f".{func.attr}()"
+        else:
+            mode = _open_mode(call)
+            if mode is None or not any(ch in mode for ch in "wx"):
+                return None  # read or append: not a torn-write risk
+            verb = f'open(..., "{mode}")'
+        target = _write_target(call)
+        enclosing = parents.get(call)
+        if _mentions_tmp(target) and _calls_replace(enclosing):
+            return None  # the sanctioned temp+os.replace idiom
+        return (
+            f"{verb} writes a store file in place; concurrent readers "
+            "can observe a torn file — write to a sibling *.tmp.* path "
+            "and os.replace() it over the destination"
+        )

@@ -1,0 +1,342 @@
+"""signature-completeness: every result-affecting field reaches its key.
+
+The persistent config cache is only sound while the *signature* of a
+search covers every input that can change its outcome.  The PR 2 dilation
+change demonstrated the failure mode: adding ``dilation_*`` fields to
+:class:`~repro.core.layer.ConvLayer` without threading them into
+:func:`~repro.optimizer.config_store.layer_signature` would have recalled
+stale pre-dilation records bit-for-bit wrong — it took a manual
+``FORMAT_VERSION`` bump and review care.  This rule mechanises that care
+by cross-referencing the AST of the dataclasses against the AST of the
+functions that key them:
+
+* **ConvLayer ↔ layer_signature** — every ConvLayer dataclass field must
+  be read (``layer.<field>``) inside ``layer_signature``, or listed in
+  the module-level ``LAYER_SIGNATURE_EXCLUDED`` frozenset next to it
+  (with a comment justifying why the field cannot affect results).
+* **OptimizerOptions / AcceleratorConfig ↔ repr()** — search signatures
+  capture these through their dataclass ``repr``, so a field excluded
+  from the repr is excluded from the cache key.  The only sanctioned
+  exclusions are pure speed knobs, and those must be *consistently*
+  excluded: ``repr=False`` requires ``compare=False`` (and vice versa),
+  otherwise equality and the cache key disagree about what identity means.
+* **SessionConfig ↔ _ENV_FIELDS** — every SessionConfig field must be
+  materialisable from the environment (an ``_ENV_FIELDS`` entry) or
+  explicitly listed in ``_ENV_EXCLUDED`` as deliberately env-invisible;
+  otherwise ``SessionConfig.from_env`` silently drops configuration.
+* **active_value(...) field names** — the scoped resolvers read session
+  fields by string; a typo would silently resolve to ``None`` forever,
+  so every literal must name a real SessionConfig field.
+
+Stale entries (an excluded name that is no longer a field, an
+``_ENV_FIELDS`` target that does not exist) are flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import ModuleInfo, Rule, string_constants
+
+#: Dataclasses whose ``repr`` feeds ``search_signature`` directly.
+REPR_SIGNATURE_CLASSES = ("OptimizerOptions", "AcceleratorConfig")
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[ast.AnnAssign]:
+    """The annotated field statements of a dataclass body (ClassVar and
+    underscore names skipped)."""
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append(stmt)
+    return fields
+
+
+def _field_call_kwargs(value: ast.expr | None) -> dict[str, object] | None:
+    """Keyword constants of a ``dataclasses.field(...)`` default, if any."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(
+        func, "id", ""
+    )
+    if name != "field":
+        return None
+    out: dict[str, object] = {}
+    for kw in value.keywords:
+        if kw.arg and isinstance(kw.value, ast.Constant):
+            out[kw.arg] = kw.value.value
+    return out
+
+
+def _find_class(
+    modules: Sequence[ModuleInfo], name: str
+) -> tuple[ModuleInfo, ast.ClassDef] | None:
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                if "dataclass" in _decorator_names(node):
+                    return module, node
+    return None
+
+
+def _find_function(
+    modules: Sequence[ModuleInfo], name: str
+) -> tuple[ModuleInfo, ast.FunctionDef] | None:
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return module, node
+    return None
+
+
+def _module_constant_set(
+    module: ModuleInfo, name: str
+) -> set[str] | None:
+    """String members of a module-level ``NAME = frozenset({...})``."""
+    for node in module.tree.body:
+        targets: list[ast.Name] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            targets = [node.target]
+            value = node.value
+        if value is not None and any(t.id == name for t in targets):
+            return string_constants(value)
+    return None
+
+
+class SignatureCompletenessRule(Rule):
+    name = "signature-completeness"
+    description = (
+        "dataclass fields of ConvLayer / OptimizerOptions / "
+        "AcceleratorConfig / SessionConfig must reach their signature or "
+        "cache-key function, or be explicitly excluded"
+    )
+
+    def finish(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterable[Diagnostic]:
+        out: list[Diagnostic] = []
+        out.extend(self._check_layer_signature(modules))
+        for class_name in REPR_SIGNATURE_CLASSES:
+            out.extend(self._check_repr_class(modules, class_name))
+        session_fields = self._check_session_env(modules, out)
+        out.extend(self._check_active_values(modules, session_fields))
+        return out
+
+    # -- ConvLayer <-> layer_signature ----------------------------------
+    def _check_layer_signature(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterable[Diagnostic]:
+        found_class = _find_class(modules, "ConvLayer")
+        found_func = _find_function(modules, "layer_signature")
+        if found_class is None or found_func is None:
+            return
+        _, class_node = found_class
+        func_module, func_node = found_func
+        fields = {f.target.id for f in _dataclass_fields(class_node)}
+        params = [a.arg for a in func_node.args.args] + [
+            a.arg for a in func_node.args.posonlyargs
+        ]
+        layer_param = params[0] if params else "layer"
+        consumed = {
+            node.attr
+            for node in ast.walk(func_node)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == layer_param
+        }
+        excluded = (
+            _module_constant_set(func_module, "LAYER_SIGNATURE_EXCLUDED")
+            or set()
+        )
+        for missing in sorted(fields - consumed - excluded):
+            yield Diagnostic(
+                rule=self.name,
+                path=func_module.display,
+                line=func_node.lineno,
+                message=(
+                    f"ConvLayer field {missing!r} is neither read by "
+                    "layer_signature() nor listed in "
+                    "LAYER_SIGNATURE_EXCLUDED — cached records would not "
+                    "invalidate when it changes (bump FORMAT_VERSION and "
+                    "thread it through, or exclude it with a "
+                    "justification)"
+                ),
+            )
+        for stale in sorted(excluded - fields):
+            yield Diagnostic(
+                rule=self.name,
+                path=func_module.display,
+                line=func_node.lineno,
+                message=(
+                    f"LAYER_SIGNATURE_EXCLUDED names {stale!r}, which is "
+                    "not a ConvLayer field — remove the stale exclusion"
+                ),
+            )
+
+    # -- repr-signature dataclasses -------------------------------------
+    def _check_repr_class(
+        self, modules: Sequence[ModuleInfo], class_name: str
+    ) -> Iterable[Diagnostic]:
+        found = _find_class(modules, class_name)
+        if found is None:
+            return
+        module, class_node = found
+        for field in _dataclass_fields(class_node):
+            kwargs = _field_call_kwargs(field.value)
+            if kwargs is None:
+                continue  # plain default: participates in the repr
+            in_repr = kwargs.get("repr", True)
+            in_compare = kwargs.get("compare", True)
+            if bool(in_repr) != bool(in_compare):
+                yield Diagnostic(
+                    rule=self.name,
+                    path=module.display,
+                    line=field.lineno,
+                    message=(
+                        f"{class_name}.{field.target.id}: repr={in_repr} "
+                        f"but compare={in_compare} — the search signature "
+                        "captures this class through repr(), so repr and "
+                        "equality must agree (a speed knob needs both "
+                        "repr=False and compare=False; a result-affecting "
+                        "field needs neither)"
+                    ),
+                )
+
+    # -- SessionConfig <-> _ENV_FIELDS ----------------------------------
+    def _check_session_env(
+        self, modules: Sequence[ModuleInfo], out: list[Diagnostic]
+    ) -> set[str]:
+        found = _find_class(modules, "SessionConfig")
+        if found is None:
+            return set()
+        module, class_node = found
+        fields = {f.target.id for f in _dataclass_fields(class_node)}
+        env_targets = self._env_field_targets(module)
+        if env_targets is None:
+            return fields  # no _ENV_FIELDS table in this corpus slice
+        excluded = _module_constant_set(module, "_ENV_EXCLUDED") or set()
+        for missing in sorted(fields - env_targets - excluded):
+            out.append(
+                Diagnostic(
+                    rule=self.name,
+                    path=module.display,
+                    line=class_node.lineno,
+                    message=(
+                        f"SessionConfig field {missing!r} has no "
+                        "_ENV_FIELDS entry and is not listed in "
+                        "_ENV_EXCLUDED — SessionConfig.from_env would "
+                        "silently drop it (add a $REPRO_* mapping or an "
+                        "explicit exclusion with a justification)"
+                    ),
+                )
+            )
+        for stale in sorted((env_targets | excluded) - fields):
+            out.append(
+                Diagnostic(
+                    rule=self.name,
+                    path=module.display,
+                    line=class_node.lineno,
+                    message=(
+                        f"_ENV_FIELDS/_ENV_EXCLUDED names {stale!r}, "
+                        "which is not a SessionConfig field — remove the "
+                        "stale entry"
+                    ),
+                )
+            )
+        return fields
+
+    @staticmethod
+    def _env_field_targets(module: ModuleInfo) -> set[str] | None:
+        """Field names targeted by the ``_ENV_FIELDS`` mapping literal."""
+        for node in module.tree.body:
+            targets: list[ast.Name] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t for t in node.targets if isinstance(t, ast.Name)
+                ]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                targets = [node.target]
+                value = node.value
+            if not any(t.id == "_ENV_FIELDS" for t in targets):
+                continue
+            if not isinstance(value, ast.Dict):
+                return set()
+            out: set[str] = set()
+            for entry in value.values:
+                if (
+                    isinstance(entry, ast.Tuple)
+                    and entry.elts
+                    and isinstance(entry.elts[0], ast.Constant)
+                    and isinstance(entry.elts[0].value, str)
+                ):
+                    out.add(entry.elts[0].value)
+            return out
+        return None
+
+    # -- active_value("...") literals ------------------------------------
+    def _check_active_values(
+        self, modules: Sequence[ModuleInfo], session_fields: set[str]
+    ) -> Iterable[Diagnostic]:
+        if not session_fields:
+            return
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else getattr(func, "id", "")
+                )
+                if name != "active_value" or not node.args:
+                    continue
+                arg = node.args[0]
+                if not (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                ):
+                    continue
+                if arg.value not in session_fields:
+                    yield Diagnostic(
+                        rule=self.name,
+                        path=module.display,
+                        line=node.lineno,
+                        message=(
+                            f"active_value({arg.value!r}) does not name "
+                            "a SessionConfig field — the scoped resolver "
+                            "would silently return None forever"
+                        ),
+                    )

@@ -118,6 +118,27 @@ class ConfigMismatchError(ValueError):
     """A stored configuration does not match the layer or machine."""
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` so readers only ever see no file or the whole file.
+
+    Stages into a temp file unique per process *and* thread (racing
+    writers each stage their own), then ``os.replace``s it over the
+    destination; last-writer-wins with no torn state.  Raises ``OSError``
+    on failure, with the temp file cleaned up best-effort.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+
+
 def save_network_configs(result: NetworkResult, path: str | Path) -> None:
     """Write every layer's chosen configuration to a JSON file."""
     records = []
@@ -136,7 +157,7 @@ def save_network_configs(result: NetworkResult, path: str | Path) -> None:
         "accelerator": result.arch_name,
         "layers": records,
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    _atomic_write_text(Path(path), json.dumps(payload, indent=2))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -230,10 +251,21 @@ class ConfigStore(abc.ABC):
         return type(self).__name__
 
     def kind(self) -> str:
-        """Stable backend-kind label for per-backend cache statistics
-        (``"local"`` / ``"sharded"`` / ``"memory"`` for the built-ins,
-        the class name for bespoke stores)."""
+        """Stable backend-kind label (``"local"`` / ``"sharded"`` /
+        ``"memory"`` for the built-ins, the class name for bespoke
+        stores)."""
         return type(self).__name__
+
+    def identity(self) -> str:
+        """Stable identifier of *this* store, not just its kind.
+
+        Cache statistics are keyed by identity so two same-kind stores
+        in one process (two ``local`` directories in one session window)
+        keep separate counters.  File-backed stores return
+        ``kind:resolved-directory`` — stable across processes, so
+        sidecar totals merge correctly; the base fallback is unique only
+        within the process."""
+        return f"{self.kind()}#{id(self):x}"
 
     # -- cache-statistics sidecar ---------------------------------------
     # Per-process recall counters (repro.optimizer.engine.cache_statistics)
@@ -244,7 +276,7 @@ class ConfigStore(abc.ABC):
     # update — never a correctness input.
 
     def load_statistics(self) -> dict[str, dict[str, int]]:
-        """The persisted cache-statistics sidecar (``{backend_kind:
+        """The persisted cache-statistics sidecar (``{store_identity:
         {counter: total}}``); ``{}`` for stores without one."""
         return {}
 
@@ -276,6 +308,18 @@ class _FileConfigStore(ConfigStore):
                 f"cache directory {str(self.directory)!r} exists and is "
                 "not a directory"
             )
+        self._identity: str | None = None
+
+    def identity(self) -> str:
+        """``kind:resolved-directory`` — two store objects over one
+        directory share counters; two directories never do."""
+        if self._identity is None:
+            try:
+                resolved = self.directory.resolve()
+            except OSError:  # pragma: no cover - resolve on broken mounts
+                resolved = self.directory.absolute()
+            self._identity = f"{self.kind()}:{resolved.as_posix()}"
+        return self._identity
 
     @abc.abstractmethod
     def path_for(self, key: str) -> Path:
@@ -302,20 +346,9 @@ class _FileConfigStore(ConfigStore):
 
     def put(self, key: str, payload: dict) -> bool:
         path = self.path_for(key)
-        # Unique per writer: two processes (or two threads in thread
-        # mode) racing on one key each stage their own temp file; the
-        # final os.replace is atomic, so last-writer-wins with no torn
-        # state either way.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(payload, indent=2))
-            os.replace(tmp, path)
+            _atomic_write_text(path, json.dumps(payload, indent=2))
         except OSError:
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
             return False
         self._register(key, path)
         return True
@@ -364,22 +397,16 @@ class _FileConfigStore(ConfigStore):
                 if value:
                     into[name] = int(into.get(name, 0)) + int(value)
         path = self.directory / self.STATS_SIDECAR
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(
+            _atomic_write_text(
+                path,
                 json.dumps(
                     {"format_version": 1, "statistics": merged},
                     indent=2,
                     sort_keys=True,
-                )
+                ),
             )
-            os.replace(tmp, path)
         except OSError:
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
             return False
         return True
 
@@ -596,7 +623,10 @@ class MemoryStore(ConfigStore):
     under the thread-mode engine.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str | None = None) -> None:
+        #: Registry name when created via :func:`memory_store`; anonymous
+        #: instances (test isolation) key statistics per-object instead.
+        self.name = name
         self._records: dict[str, str] = {}
         self._statistics: dict[str, dict[str, int]] = {}
 
@@ -647,6 +677,11 @@ class MemoryStore(ConfigStore):
     def kind(self) -> str:
         return "memory"
 
+    def identity(self) -> str:
+        if self.name is not None:
+            return f"memory:{self.name}"
+        return f"memory#{id(self):x}"
+
 
 #: Process-wide named :class:`MemoryStore` instances, so every engine
 #: created with ``cache_backend="memory"`` shares one store (the whole
@@ -657,7 +692,7 @@ _SHARED_MEMORY_STORES: dict[str, MemoryStore] = {}
 
 def memory_store(name: str = "default") -> MemoryStore:
     """The process-shared :class:`MemoryStore` registered under ``name``."""
-    return _SHARED_MEMORY_STORES.setdefault(name, MemoryStore())
+    return _SHARED_MEMORY_STORES.setdefault(name, MemoryStore(name=name))
 
 
 def clear_memory_stores() -> None:

@@ -410,11 +410,12 @@ def signature_key(signature: dict) -> str:
 
 
 # ----------------------------------------------------------------------
-# Per-backend cache statistics (process-wide, across engines)
+# Per-store cache statistics (process-wide, across engines)
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
 class BackendCacheStats:
-    """Cross-run recall statistics of one config-store backend kind."""
+    """Cross-run recall statistics of one config store (keyed by
+    :meth:`ConfigStore.identity`, so same-kind stores stay separate)."""
 
     hits: int = 0  #: records recalled and re-evaluated successfully
     misses: int = 0  #: lookups that fell through to a full search
@@ -449,9 +450,12 @@ _STATS_FLUSH_LOCK = threading.Lock()
 
 
 def cache_statistics() -> dict[str, BackendCacheStats]:
-    """Per-backend recall statistics accumulated in this process
-    (returned as copies; mutate-safe)."""
-    return {kind: dataclasses.replace(stats) for kind, stats in _CACHE_STATS.items()}
+    """Per-store-identity recall statistics accumulated in this
+    process (returned as copies; mutate-safe)."""
+    return {
+        identity: dataclasses.replace(stats)
+        for identity, stats in _CACHE_STATS.items()
+    }
 
 
 def reset_cache_statistics() -> None:
@@ -503,17 +507,21 @@ def consume_unflushed_statistics() -> dict[str, dict[str, int]]:
 
 
 def describe_cache_statistics() -> str:
-    """One line per backend kind, for the runner's summary output."""
+    """One line per store identity, for the runner's summary output."""
     if not _CACHE_STATS:
         return "config cache: no persistent-store activity"
     return "\n".join(
-        f"config cache [{kind}]: {stats.describe()}"
-        for kind, stats in sorted(_CACHE_STATS.items())
+        f"config cache [{identity}]: {stats.describe()}"
+        for identity, stats in sorted(_CACHE_STATS.items())
     )
 
 
 def _stats_for(backend: ConfigStore) -> BackendCacheStats:
-    return _CACHE_STATS.setdefault(backend.kind(), BackendCacheStats())
+    # Keyed by identity, not kind: two same-kind stores in one process
+    # (e.g. two local cache directories across session windows) must not
+    # pool their hit/miss counters — ROADMAP flagged the kind-keyed
+    # version as a wrong-attribution bug.
+    return _CACHE_STATS.setdefault(backend.identity(), BackendCacheStats())
 
 
 # ----------------------------------------------------------------------
@@ -551,7 +559,7 @@ class DiskConfigCache:
         Returns ``None`` on any miss: absent or corrupt record (the file
         backends quarantine those), format or signature mismatch (stale
         record), or a configuration the current models reject.  Every
-        outcome feeds the per-backend :func:`cache_statistics`.
+        outcome feeds the per-store-identity :func:`cache_statistics`.
         """
         stats = _stats_for(self.backend)
         payload = self.backend.get(signature_key(signature))

@@ -365,8 +365,9 @@ class TestSessionSurface:
         entry = sweep.entry("AlexNet")
         assert entry.result.total_energy_pj > 0
         assert entry.stats.searched > 0
-        assert "local" in sweep.cache_statistics
-        assert sweep.cache_statistics["local"].writes > 0
+        identity = LocalDirectoryStore(tmp_path).identity()
+        assert identity in sweep.cache_statistics
+        assert sweep.cache_statistics[identity].writes > 0
         assert "AlexNet" in sweep.describe()
 
     def test_trace_and_simulate(self, morph_arch):
@@ -519,7 +520,8 @@ class TestStatisticsSidecar:
         sidecar = tmp_path / LocalDirectoryStore.STATS_SIDECAR
         assert sidecar.exists()
         payload = json.loads(sidecar.read_text())
-        assert payload["statistics"]["local"]["writes"] >= 1
+        identity = LocalDirectoryStore(tmp_path).identity()
+        assert payload["statistics"][identity]["writes"] >= 1
 
     def test_sidecar_merges_across_sessions(self, morph_arch, tmp_path):
         config = SessionConfig(cache_dir=tmp_path)
@@ -530,7 +532,7 @@ class TestStatisticsSidecar:
             session.optimize_layer(LAYER_A, morph_arch, TINY)
         stats = json.loads(
             (tmp_path / LocalDirectoryStore.STATS_SIDECAR).read_text()
-        )["statistics"]["local"]
+        )["statistics"][LocalDirectoryStore(tmp_path).identity()]
         assert stats["writes"] >= 1
         assert stats["hits"] >= 1  # the second session recalled
 
@@ -541,9 +543,10 @@ class TestStatisticsSidecar:
         clear_cache()
         with Session(config) as session:
             second = session.sweep(["alexnet"], arch=morph_arch, options=TINY)
-        merged = second.cache_statistics["local"]
+        identity = LocalDirectoryStore(tmp_path).identity()
+        merged = second.cache_statistics[identity]
         # Totals fold the first session's persisted counters in.
-        assert merged.writes >= first.cache_statistics["local"].writes
+        assert merged.writes >= first.cache_statistics[identity].writes
         assert merged.hits >= 1
 
     def test_flush_is_idempotent(self, morph_arch, tmp_path):
@@ -574,9 +577,37 @@ class TestStatisticsSidecar:
         first.optimize_layer(LAYER_A, morph_arch, TINY)
         first.close()
         second.close()
-        stats = first.store().load_statistics()["local"]
+        stats = first.store().load_statistics()[
+            first.store().identity()
+        ]
         assert stats["writes"] == 1
         assert stats["misses"] == 1
+
+    def test_same_kind_stores_keep_separate_counters(
+        self, morph_arch, tmp_path
+    ):
+        """Statistics are keyed by store *identity*, not backend kind:
+        two ``local`` directories used in one process must not pool
+        their hit/miss counters (the old kind-keyed registry attributed
+        the second store's cold misses to the first's warm cache)."""
+        reset_cache_statistics()  # drop other tests' unflushed movement
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        with Session(SessionConfig(cache_dir=dir_a)) as session:
+            session.optimize_layer(LAYER_A, morph_arch, TINY)
+        clear_cache()
+        with Session(SessionConfig(cache_dir=dir_b)) as session:
+            session.optimize_layer(LAYER_A, morph_arch, TINY)
+        stats = engine_mod.cache_statistics()
+        id_a = LocalDirectoryStore(dir_a).identity()
+        id_b = LocalDirectoryStore(dir_b).identity()
+        assert id_a != id_b
+        assert stats[id_a].writes == 1 and stats[id_a].hits == 0
+        assert stats[id_b].writes == 1 and stats[id_b].hits == 0
+        # Each sidecar carries only its own store's counters.
+        side_a = LocalDirectoryStore(dir_a).load_statistics()
+        side_b = LocalDirectoryStore(dir_b).load_statistics()
+        assert set(side_a) == {id_a}
+        assert set(side_b) == {id_b}
 
     def test_sidecar_never_shadows_records_in_keys(self, morph_arch, tmp_path):
         with Session(SessionConfig(cache_dir=tmp_path)) as session:
@@ -592,7 +623,7 @@ class TestStatisticsSidecar:
         config = SessionConfig(cache_backend=store)
         with Session(config) as session:
             session.optimize_layer(LAYER_A, morph_arch, TINY)
-        assert store.load_statistics()["memory"]["writes"] >= 1
+        assert store.load_statistics()[store.identity()]["writes"] >= 1
 
     def test_bench_dir_session_summary(self, morph_arch, tmp_path):
         config = SessionConfig(
@@ -604,7 +635,8 @@ class TestStatisticsSidecar:
             (tmp_path / "bench" / "SESSION_STATS.json").read_text()
         )
         assert summary["engine_stats"]["searched"] >= 1
-        assert "local" in summary["cache_statistics"]
+        identity = LocalDirectoryStore(tmp_path / "cache").identity()
+        assert identity in summary["cache_statistics"]
 
 
 # ----------------------------------------------------------------------

@@ -306,14 +306,14 @@ class TestCacheStatistics:
         OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
             (LAYER,)
         )
-        stats = cache_statistics()[backend]
+        stats = cache_statistics()[store.identity()]
         assert (stats.misses, stats.writes, stats.hits) == (1, 1, 0)
 
         clear_cache()  # force the store path on the warm run
         OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
             (LAYER,)
         )
-        stats = cache_statistics()[backend]
+        stats = cache_statistics()[store.identity()]
         assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
         assert stats.recall_reevals == 1
         assert stats.stale == 0
@@ -334,7 +334,7 @@ class TestCacheStatistics:
         OptimizerEngine(morph_arch, TINY, cache_backend=store).optimize_layers(
             (LAYER,)
         )
-        stats = cache_statistics()["local"]
+        stats = cache_statistics()[store.identity()]
         assert stats.stale == 1
         assert stats.misses == 2  # the cold miss plus the stale one
         assert stats.hits == 0
@@ -348,7 +348,8 @@ class TestCacheStatistics:
             (LAYER,)
         )
         summary = describe_cache_statistics()
-        assert "[sharded]" in summary and "writes" in summary
+        assert f"[{store.identity()}]" in summary and "writes" in summary
+        assert "sharded:" in summary  # identity keys carry the kind
 
 
 class TestBackendSelection:

@@ -85,6 +85,8 @@ class TestMismatchDetection:
         save_network_configs(optimized, path)
         payload = json.loads(path.read_text())
         payload["format_version"] = 999
+        # repro-lint: disable=atomic-write  # deliberately clobbers the
+        # record in place: the test *wants* an invalid file on disk.
         path.write_text(json.dumps(payload))
         with pytest.raises(ConfigMismatchError, match="format"):
             load_network_configs(path, LAYERS, morph_arch)
