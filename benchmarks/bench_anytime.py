@@ -1,0 +1,78 @@
+"""Benchmark: anytime-search gap-vs-budget curve on C3D.
+
+Sweeps ``budget_ms`` over the full C3D per-layer search and records, for
+each budget, the aggregate best-so-far score, the summed ``bound_gap``
+(how far the anytime answer can sit above the true optimum), and how many
+layers exhausted their budget.  The curve should be monotone: more budget
+never worsens the score, and an unexhausted budget reproduces the
+unbudgeted optimum bit-for-bit (the anytime contract in
+docs/INVARIANTS.md).  Nightly CI uploads the resulting
+``BENCH_anytime.json`` so the gap trajectory is tracked across PRs.
+"""
+
+import pytest
+
+from repro.optimizer.engine import OptimizerEngine
+from repro.optimizer.search import OptimizerOptions, clear_cache
+from repro.workloads.networks import build_network
+
+#: Full-network sweep: deselected in the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
+
+#: None = unbudgeted reference; 0.0 = first-feasible-block floor.
+BUDGETS_MS = (0.0, 1.0, 5.0, 25.0, None)
+
+
+def _sweep(arch, layers):
+    """One optimize_network pass per budget, caches cleared between."""
+    points = []
+    for budget in BUDGETS_MS:
+        clear_cache()
+        engine = OptimizerEngine(
+            arch,
+            OptimizerOptions.fast(),
+            use_cache=False,
+            budget_ms=budget,
+        )
+        network = engine.optimize_network(layers, network_name="c3d")
+        points.append(
+            {
+                "budget_ms": budget,
+                "score": sum(r.score for r in network.layers),
+                "bound_gap": sum(r.bound_gap or 0.0 for r in network.layers),
+                "exhausted_layers": sum(
+                    r.budget_exhausted for r in network.layers
+                ),
+                "evaluated": sum(r.evaluated for r in network.layers),
+            }
+        )
+    clear_cache()
+    return points
+
+
+def test_bench_anytime_gap_curve(once, record_bench):
+    from repro.arch.accelerator import morph
+
+    layers = build_network("c3d").layers
+    points = once(_sweep, morph(), layers)
+    record_bench(
+        budgets_ms=list(BUDGETS_MS),
+        curve=points,
+        layers=len(layers),
+    )
+    reference = points[-1]
+    assert reference["budget_ms"] is None
+    assert reference["exhausted_layers"] == 0
+    # Every budgeted point's certified window contains the reference
+    # optimum (gap validity holds regardless of wall-clock jitter; the
+    # per-budget block counts themselves are timing-dependent, so the
+    # shape of the curve is recorded rather than asserted).
+    for point in points[:-1]:
+        assert point["bound_gap"] >= 0.0
+        assert (
+            point["score"] - point["bound_gap"]
+            <= reference["score"] * (1 + 1e-9)
+        )
+    # The zero budget genuinely truncates the search on this network.
+    assert points[0]["exhausted_layers"] > 0
+    assert points[0]["evaluated"] < reference["evaluated"]

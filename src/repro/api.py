@@ -104,7 +104,15 @@ __all__ = [
 
 
 def _parse_bool(text: str) -> bool:
-    return text.strip().lower() not in ("0", "false", "no", "off")
+    # Strict: unknown tokens raise (callers wrap the error with the
+    # variable name) instead of silently meaning True — ``"flase"`` is a
+    # typo, not an opt-in.
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"not a boolean: {text!r}")
 
 
 def _clamped_positive_int(text: str) -> int:
@@ -123,6 +131,7 @@ _ENV_FIELDS: dict[str, tuple[str, Any]] = {
     "REPRO_USE_CACHE": ("use_cache", _parse_bool),
     "REPRO_VECTORIZE": ("vectorize", _parse_bool),
     "REPRO_SEARCH_ORDER": ("search_order", str.lower),
+    "REPRO_BUDGET_MS": ("budget_ms", float),
     "REPRO_FRAMES": ("frames", _clamped_positive_int),
     "REPRO_BENCH_DIR": ("bench_dir", Path),
     "REPRO_MANIFEST_COMPACT_RATIO": ("manifest_compact_ratio", float),
@@ -168,6 +177,13 @@ class SessionConfig:
     #: Candidate-block visit order: ``"best_first"`` or ``"legacy"``
     #: (pure speed knob; results identical).
     search_order: str | None = None
+    #: Anytime-search budget per layer search, in milliseconds (``None``
+    #: = run to exhaustion).  Budgeted results are bit-identical to the
+    #: unbudgeted search whenever the budget is not hit; when it is, the
+    #: best-so-far configuration is returned with
+    #: :attr:`~repro.optimizer.search.LayerResult.bound_gap` telemetry
+    #: and is never cached.
+    budget_ms: float | None = None
     #: Input frames for frame-flexible network builds (C3D, I3D, ...).
     frames: int | None = None
     #: Where session/bench telemetry JSON lands (``SESSION_STATS.json``).
@@ -186,6 +202,7 @@ class SessionConfig:
             ("parallelism", int),
             ("frames", int),
             ("manifest_compact_ratio", float),
+            ("budget_ms", float),
         ):
             value = getattr(self, field)
             if value is not None:
@@ -223,6 +240,10 @@ class SessionConfig:
             raise ValueError(
                 f"unknown search_order {self.search_order!r}; "
                 "choose 'best_first' or 'legacy'"
+            )
+        if self.budget_ms is not None and self.budget_ms < 0:
+            raise ValueError(
+                f"budget_ms must be >= 0 (milliseconds), got {self.budget_ms!r}"
             )
         if self.frames is not None and self.frames < 1:
             raise ValueError("frames must be >= 1")

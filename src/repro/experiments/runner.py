@@ -51,6 +51,7 @@ def build_config(args: argparse.Namespace) -> SessionConfig:
         cache_backend=args.cache_backend,
         use_cache=False if args.no_cache else None,
         vectorize=args.vectorize,
+        budget_ms=args.budget_ms,
         frames=args.frames,
         manifest_compact_ratio=args.manifest_compact_ratio,
     )
@@ -137,6 +138,16 @@ def main(argv: list[str] | None = None) -> int:
         dest="vectorize",
         action="store_false",
         help="run the scalar reference search path (identical results)",
+    )
+    parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="anytime budget per layer search in milliseconds (default: "
+        "$REPRO_BUDGET_MS or unbudgeted); results are bit-identical to "
+        "the unbudgeted search unless the budget is hit, in which case "
+        "the best-so-far configuration is reported with its bound gap",
     )
     parser.add_argument(
         "--frames",

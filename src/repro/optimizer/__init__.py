@@ -18,22 +18,34 @@ Module map:
   possible; the ordering guarantee (equal-score ties keyed to candidate
   identity, never visit order) makes the chosen configuration and score
   bit-identical to the legacy order, available for A/B runs via
-  ``OptimizerOptions(search_order="legacy")``.
+  ``OptimizerOptions(search_order="legacy")``.  Block bounds are
+  *parallelism-aware* (utilization ceiling + weight-replication floor,
+  ``parallel_floors=False`` for the shape-only bounds), and the search
+  is *anytime*: ``OptimizerOptions(budget_ms=...)`` stops at the first
+  block boundary past the budget and returns the best-so-far
+  configuration with a certified ``LayerResult.bound_gap`` —
+  bit-identical to the unbudgeted search whenever the budget is not hit
+  (the anytime contract in ``docs/INVARIANTS.md``).
+* :mod:`~repro.optimizer.clock` — the sanctioned injectable monotonic
+  clock behind the budget (``use_clock`` fakes time in tests; the only
+  wall-clock read the determinism lint permits under ``optimizer/``).
 * :mod:`~repro.optimizer.engine` — the scaling layer every network sweep
   runs through: content-keyed deduplication of identical layer shapes,
   process-pool (or, with ``parallelism_mode="thread"``, thread-pool)
   fan-out of unique searches, and the persistent configuration cache
   (paper Section V's "saved and recalled" configuration files).  Knobs:
   ``use_cache``, ``parallelism``, ``parallelism_mode``, ``cache_dir``,
-  ``cache_backend``, ``vectorize`` on :func:`optimize_network` /
-  :func:`optimize_layer`; scoped defaults via a
+  ``cache_backend``, ``vectorize``, ``budget_ms`` on
+  :func:`optimize_network` / :func:`optimize_layer`; scoped defaults
+  via a
   :class:`repro.api.Session` (preferred — concurrent sweeps with
   different configs coexist in one process), legacy process-wide
   defaults via the deprecated :func:`set_engine_defaults`, or the
   ``REPRO_PARALLELISM`` / ``REPRO_PARALLELISM_MODE`` /
   ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE``
-  environment variables (runner flags of the same names exist for all
-  of them).
+  / ``REPRO_BUDGET_MS`` environment variables (runner flags of the
+  same names exist for all of them; a malformed value raises naming
+  the variable, it never silently falls back to a default).
 * :mod:`~repro.optimizer.config_store` — the JSON codec for whole-network
   configuration files, the engine's per-layer cache records, and the
   pluggable :class:`~repro.optimizer.config_store.ConfigStore` backends

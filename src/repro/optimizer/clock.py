@@ -1,0 +1,74 @@
+"""The sanctioned monotonic-clock resolver for budgeted anytime search.
+
+The determinism lint rule (docs/INVARIANTS.md) bans wall-clock reads in
+result-producing ``core/``/``optimizer/``/``sim/`` modules: a result that
+depends on timing is not reproducible.  The budgeted anytime search
+(:class:`repro.optimizer.search.LayerOptimizer` with
+``OptimizerOptions.budget_ms``) is the one legitimate consumer of time in
+the optimizer — the *budget* is timing-dependent by definition, while the
+*result contract* stays deterministic: the search stops only at candidate
+-block boundaries, so any result it returns is the exact prefix of the
+unbudgeted search, bit-identical to it whenever the budget is not hit.
+
+This module is therefore the single sanctioned clock source (the
+determinism rule exempts exactly this file), and the clock is
+*injectable*: tests install a fake monotonic clock with
+:func:`use_clock` and exercise budget exhaustion deterministically,
+without sleeping or flaking.
+
+The override stack is process-wide module state (an ALL_CAPS registry
+per the scoped-config convention), shared across threads — which is what
+the thread-pool engine needs, and what lets a test drive a
+``parallelism_mode="thread"`` search with a fake clock.  Worker
+*processes* never inherit an override and always run the real monotonic
+clock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator
+
+#: A monotonic clock: call it for "now" in milliseconds.  Only differences
+#: between readings are meaningful.
+Clock = Callable[[], float]
+
+#: LIFO of installed clock overrides (empty = real monotonic clock).
+_CLOCK_OVERRIDES: list[Clock] = []
+
+
+def monotonic_ms() -> float:
+    """The real monotonic clock, in milliseconds.
+
+    This is the one sanctioned wall-clock read in the optimizer package
+    (see the module docstring and the determinism rule's exemption).
+    """
+    return time.monotonic() * 1000.0
+
+
+def current_clock() -> Clock:
+    """The active clock: the innermost :func:`use_clock` override, or the
+    real :func:`monotonic_ms`."""
+    if _CLOCK_OVERRIDES:
+        return _CLOCK_OVERRIDES[-1]
+    return monotonic_ms
+
+
+@contextlib.contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Install ``clock`` as the budget clock for the dynamic extent of
+    the block (re-entrant; restores the previous clock on exit).
+
+    For tests: a counter-backed fake makes budget exhaustion exact and
+    repeatable::
+
+        ticks = iter(range(0, 10_000, 500))
+        with use_clock(lambda: float(next(ticks))):
+            result = LayerOptimizer(arch, options).optimize(layer)
+    """
+    _CLOCK_OVERRIDES.append(clock)
+    try:
+        yield clock
+    finally:
+        _CLOCK_OVERRIDES.pop()

@@ -284,6 +284,25 @@ def default_cache_backend() -> str | ConfigStore:
     return _check_backend(env.strip().lower())
 
 
+_BOOL_TOKENS = {
+    "1": True, "true": True, "yes": True, "on": True,
+    "0": False, "false": False, "no": False, "off": False,
+}
+
+
+def _env_bool(name: str, value: str) -> bool:
+    """Strict boolean env parse: an unrecognised token raises instead of
+    silently meaning "true" (a typo'd ``REPRO_VECTORIZE=flase`` must not
+    masquerade as the default)."""
+    try:
+        return _BOOL_TOKENS[value.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"{name} must be a boolean (1/true/yes/on or 0/false/no/off), "
+            f"got {value!r}"
+        ) from None
+
+
 def default_use_cache() -> bool:
     scoped = active_value("use_cache")
     if scoped is not None:
@@ -292,7 +311,7 @@ def default_use_cache() -> bool:
         return _DEFAULTS["use_cache"]
     env = os.environ.get("REPRO_USE_CACHE")
     if env is not None and env.strip() != "":
-        return env.strip().lower() not in ("0", "false", "no", "off")
+        return _env_bool("REPRO_USE_CACHE", env)
     return True
 
 
@@ -306,7 +325,7 @@ def default_vectorize() -> bool:
         return _DEFAULTS["vectorize"]
     env = os.environ.get("REPRO_VECTORIZE")
     if env is not None and env.strip() != "":
-        return env.strip().lower() not in ("0", "false", "no", "off")
+        return _env_bool("REPRO_VECTORIZE", env)
     from repro.core import batch
 
     return batch.available
@@ -321,8 +340,40 @@ def default_search_order() -> str:
         return scoped
     env = os.environ.get("REPRO_SEARCH_ORDER")
     if env:
-        return env.strip().lower()
+        order = env.strip().lower()
+        if order not in ("best_first", "legacy"):
+            raise ValueError(
+                "REPRO_SEARCH_ORDER must be 'best_first' or 'legacy', "
+                f"got {env!r}"
+            )
+        return order
     return "best_first"
+
+
+def default_budget_ms() -> float | None:
+    """Anytime-search budget in milliseconds (``None`` = run to
+    exhaustion), via the active session or ``$REPRO_BUDGET_MS``.
+
+    An empty value means unset; an invalid one raises — a typo'd budget
+    must never silently become an unbudgeted (or unbounded) run.
+    """
+    scoped = active_value("budget_ms")
+    if scoped is not None:
+        return scoped
+    env = os.environ.get("REPRO_BUDGET_MS")
+    if env is None or env.strip() == "":
+        return None
+    try:
+        budget = float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BUDGET_MS must be a number (milliseconds), got {env!r}"
+        ) from None
+    if budget < 0:
+        raise ValueError(
+            f"REPRO_BUDGET_MS must be >= 0 (milliseconds), got {env!r}"
+        )
+    return budget
 
 
 def default_manifest_compact_ratio() -> float | None:
@@ -583,12 +634,21 @@ class DiskConfigCache:
             stats.misses += 1
             return None
         stats.hits += 1
+        # Optional telemetry round-trips losslessly: ``first_block_won``
+        # is tri-state, and a record written before the field existed
+        # recalls as ``None`` — absence is preserved, never coerced to a
+        # concrete bool.
+        first_block_won = payload.get("first_block_won")
         return LayerResult(
             layer=layer,
             best=best,
             evaluated=int(payload.get("evaluated", 0)),
             objective=options.objective,
             pruned=int(payload.get("pruned", 0)),
+            first_block_won=(
+                None if first_block_won is None else bool(first_block_won)
+            ),
+            parallelism_displaced=int(payload.get("parallelism_displaced", 0)),
         )
 
     def store(self, signature: dict, result: LayerResult) -> bool:
@@ -597,7 +657,18 @@ class DiskConfigCache:
         The cache is an optimisation, never a correctness requirement: an
         I/O failure (directory vanished, permissions, disk full) returns
         ``False`` instead of killing a sweep whose search work is done.
+
+        Budget-exhausted results are refused outright: they are best-so-far
+        prefixes, and caching one would let a truncated configuration
+        impersonate the search's true optimum for every later run (the
+        anytime contract in docs/INVARIANTS.md).
         """
+        if result.budget_exhausted:
+            raise ValueError(
+                "refusing to cache a budget-exhausted (best-so-far) result "
+                f"for {result.layer.name}; only completed searches are "
+                "cacheable"
+            )
         payload = {
             "format_version": CACHE_FORMAT_VERSION,
             "signature": signature,
@@ -606,6 +677,8 @@ class DiskConfigCache:
             "pruned": result.pruned,
             "objective": result.objective,
             "expected_score": result.score,
+            "first_block_won": result.first_block_won,
+            "parallelism_displaced": result.parallelism_displaced,
         }
         stats = _stats_for(self.backend)
         if self.backend.put(signature_key(signature), payload):
@@ -654,6 +727,11 @@ class EngineStats:
     disk_misses: int = 0  #: disk lookups that fell through to a search
     searched: int = 0  #: full searches actually run
     network_hits: int = 0  #: whole networks served by the network memo
+    budget_exhausted: int = 0  #: searches cut short by the anytime budget
+    #: Ranked parallelism candidates displaced so the canonical default
+    #: kept its slot (see ``LayerOptimizer._parallelisms``) — a persistent
+    #: non-zero count means ``max_parallelism_candidates`` is too small.
+    parallelism_displaced: int = 0
 
     def describe(self) -> str:
         text = (
@@ -664,6 +742,10 @@ class EngineStats:
         )
         if self.network_hits:
             text += f", whole-network hits {self.network_hits}"
+        if self.budget_exhausted:
+            text += f", budget-exhausted {self.budget_exhausted}"
+        if self.parallelism_displaced:
+            text += f", parallelism displaced {self.parallelism_displaced}"
         return text
 
 
@@ -687,14 +769,17 @@ class OptimizerEngine:
         cache_backend: str | ConfigStore | None = None,
         use_cache: bool | None = None,
         vectorize: bool | None = None,
+        budget_ms: float | None = None,
     ) -> None:
         self.arch = arch
         self.options = options or OptimizerOptions()
-        # Resolve the speed knobs (vectorize, search order) here and bake
-        # them into the options so worker processes (which inherit neither
-        # set_engine_defaults state nor the active session's contextvar)
-        # follow the same path.  Neither affects results, signatures or
-        # cache keys — only how candidates are scored and visited.
+        # Resolve the speed knobs (vectorize, search order, anytime
+        # budget) here and bake them into the options so worker processes
+        # (which inherit neither set_engine_defaults state nor the active
+        # session's contextvar) follow the same path.  None affects
+        # results, signatures or cache keys — vectorize/search_order only
+        # change how candidates are scored and visited, and budget-
+        # exhausted results are never cached.
         if vectorize is None:
             vectorize = (
                 self.options.vectorize
@@ -707,8 +792,17 @@ class OptimizerEngine:
             if self.options.search_order is not None
             else default_search_order()
         )
+        if budget_ms is None:
+            budget_ms = (
+                self.options.budget_ms
+                if self.options.budget_ms is not None
+                else default_budget_ms()
+            )
+        self.budget_ms = budget_ms
         self.options = self.options.with_(
-            vectorize=vectorize, search_order=resolved_order
+            vectorize=vectorize,
+            search_order=resolved_order,
+            budget_ms=budget_ms,
         )
         self.parallelism = (
             default_parallelism() if parallelism is None else max(1, parallelism)
@@ -776,6 +870,13 @@ class OptimizerEngine:
         for key, result in zip(pending, self._search(pending, representatives)):
             resolved[key] = result
             self.stats.searched += 1
+            self.stats.parallelism_displaced += result.parallelism_displaced
+            if result.budget_exhausted:
+                # Best-so-far prefixes never enter a cache: a later run
+                # (or a bigger budget) must get the chance to finish the
+                # search instead of recalling a truncated optimum.
+                self.stats.budget_exhausted += 1
+                continue
             if self.use_cache:
                 _LAYER_MEMO[key] = result
             if self.disk is not None:
@@ -828,7 +929,9 @@ class OptimizerEngine:
         outcome = NetworkResult(
             network_name=network_name, arch_name=self.arch.name, layers=results
         )
-        if self.use_cache:
+        if self.use_cache and not any(r.budget_exhausted for r in results):
+            # A network containing any best-so-far prefix is itself a
+            # prefix — same never-cache rule as the layer memo.
             _NETWORK_MEMO[memo_key] = outcome
         return outcome
 
@@ -884,12 +987,16 @@ def optimize_layer(
     cache_dir: str | Path | bool | None = None,
     cache_backend: str | ConfigStore | None = None,
     vectorize: bool | None = None,
+    budget_ms: float | None = None,
 ) -> LayerResult:
     """Single-layer search through the engine's shared caches.
 
     Compatibility shim over :mod:`repro.api`: runs through the currently
     scoped session (or the process default session), so ``with
-    repro.Session(...):`` blocks configure it.
+    repro.Session(...):`` blocks configure it.  ``budget_ms`` bounds the
+    search's wall-clock (anytime mode — see
+    :attr:`repro.optimizer.search.OptimizerOptions.budget_ms`); ``None``
+    defers to the session / ``REPRO_BUDGET_MS`` default.
     """
     from repro.api import current_session
 
@@ -903,4 +1010,5 @@ def optimize_layer(
         cache_backend=cache_backend,
         use_cache=use_cache,
         vectorize=vectorize,
+        budget_ms=budget_ms,
     )

@@ -24,9 +24,10 @@ from repro.core.dims import DataType, Dim
 from repro.core.evaluate import CapacityError, Evaluation, evaluate
 from repro.core.layer import ConvLayer
 from repro.core.loopnest import LoopOrder
-from repro.core.performance_model import parallel_level_degrees
+from repro.core.performance_model import parallel_level_degrees, split_parallelism
 from repro.core.tiling import TileHierarchy, TileShape
 from repro.optimizer.allocation import allocate_hierarchy
+from repro.optimizer.clock import current_clock
 from repro.optimizer.space import (
     REPRESENTATIVE_INNER_ORDERS,
     REPRESENTATIVE_OUTER_ORDERS,
@@ -84,6 +85,29 @@ class OptimizerOptions:
     search_order: str | None = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    #: Anytime search budget in milliseconds (``None`` = run to
+    #: exhaustion; ``None`` in options also defers to the engine default
+    #: — the active session / ``REPRO_BUDGET_MS``).  The clock is polled
+    #: only at (parallelism, L2-tile) block boundaries, and the first
+    #: block always completes, so a budgeted result is an exact *prefix*
+    #: of the unbudgeted search: **bit-identical whenever the budget is
+    #: not hit**, and carrying :attr:`LayerResult.bound_gap` /
+    #: :attr:`LayerResult.budget_exhausted` when it is.  Excluded from
+    #: search signatures and cache keys — sound because budget-exhausted
+    #: results are never cached (memo or disk), and a cached unbudgeted
+    #: result recalled for a budgeted request is exactly the anytime
+    #: contract's best case (full quality within any budget).
+    budget_ms: float | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    #: Parallelism-aware lower-bound floors (utilization ceiling +
+    #: replication energy floor) that differentiate same-L2-tile blocks.
+    #: A pure speed knob: the floors are provable lower bounds, so the
+    #: chosen configuration and score are bit-identical either way —
+    #: ``False`` restores the parallelism-blind PR 4 bound for A/B runs.
+    parallel_floors: bool = dataclasses.field(
+        default=True, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.objective not in OBJECTIVES:
@@ -95,6 +119,10 @@ class OptimizerOptions:
             raise ValueError(
                 f"unknown search_order {self.search_order!r}; "
                 "choose 'best_first' or 'legacy'"
+            )
+        if self.budget_ms is not None and self.budget_ms < 0:
+            raise ValueError(
+                f"budget_ms must be >= 0 (milliseconds), got {self.budget_ms!r}"
             )
 
     @classmethod
@@ -146,9 +174,24 @@ class LayerResult:
     #: Bound-quality telemetry: did the *first-visited* (parallelism,
     #: L2-tile) block contain the eventual winner?  Under best-first
     #: ordering this measures how often the cheap objective lower bound
-    #: ranks the winning block first (the prune's best case); ``None``
-    #: for results recalled from the persistent cache (no search ran).
+    #: ranks the winning block first (the prune's best case).  Tri-state:
+    #: results recalled from the persistent cache carry the original
+    #: search's value when the record has one, and ``None`` for records
+    #: predating the telemetry (the absence is preserved, never coerced).
     first_block_won: bool | None = None
+    #: Anytime-search telemetry: upper bound on how far :attr:`score` sits
+    #: above the true optimum, computed from the unvisited blocks' lower
+    #: bounds when the budget ran out.  ``0.0`` for a budgeted search that
+    #: completed; ``None`` when no budget applied (including recalls).
+    bound_gap: float | None = None
+    #: Did the search stop early because ``options.budget_ms`` ran out?
+    #: Exhausted results are best-so-far prefixes and are never cached.
+    budget_exhausted: bool = False
+    #: Ranked parallelism candidates displaced (not merely truncated) to
+    #: keep the canonical default arrangement in the search — see
+    #: :meth:`LayerOptimizer._parallelisms`.  Accumulated into
+    #: :class:`repro.optimizer.engine.EngineStats`.
+    parallelism_displaced: int = 0
 
     @property
     def score(self) -> float:
@@ -191,33 +234,17 @@ def layer_cost_floors(
     return energy_floor, cycles_floor, static_pj_per_cycle(arch)
 
 
-def objective_lower_bound(
+def boundary_dram_bytes(
     layer: ConvLayer,
     arch: AcceleratorConfig,
     l2_tile: TileShape,
     outer_order: LoopOrder,
-    objective: str,
-    floors: tuple[float, float, float] | None = None,
-) -> float:
-    """Cheap lower bound on an objective for one (L2 tile, outer order).
-
-    Every candidate sharing the last-level tile and outer loop order moves
-    at least the DRAM traffic implied by that boundary (parallelism never
-    splits the DRAM boundary's loops — clusters and PEs divide the inner
-    levels), and additionally pays the candidate-independent floors of
-    :func:`layer_cost_floors`:
-
-    * ``energy >= dram_pj + macc_pj + alu_l0_pj + leakage * cycles_lb``,
-    * ``cycles >= max(maccs / peak, dram_bytes / dram_bandwidth)``,
-
-    with the edp / perf-per-watt bounds derived from those.  Only one
-    boundary of the traffic model runs — no sub-tile allocation,
-    performance or energy model — so the optimizer can discard whole
-    branches of the candidate space without evaluating them.
-    """
-    if floors is None:
-        floors = layer_cost_floors(layer, arch)
-    energy_floor, cycles_floor, static_pj_per_cycle = floors
+) -> tuple[float, float]:
+    """DRAM ``(read_bytes, write_bytes)`` every candidate sharing this
+    last-level tile and outer order must move (the parallelism-independent
+    part of :func:`objective_lower_bound`, split out so the search can
+    memoise the one expensive traffic-model call per (tile, order) and
+    recombine it cheaply with per-parallelism floors)."""
     precision = arch.precision
     profile = boundary_fill_profile(
         layer, TileShape.full(layer), l2_tile, outer_order, precision
@@ -231,9 +258,94 @@ def objective_lower_bound(
         + spill  # psum re-loads mirror spills
     )
     write_bytes = spill + layer.output_elements * precision.activation_bytes
+    return read_bytes, write_bytes
+
+
+def parallelism_utilization_ceiling(
+    arch: AcceleratorConfig,
+    parallelism: Parallelism,
+    l2_tile: TileShape,
+) -> float:
+    """Upper bound on the utilization any candidate in one
+    (parallelism, L2-tile) block can sustain.
+
+    The real model (:func:`repro.core.performance_model.compute_utilization`)
+    multiplies ``degree / total_pes`` by per-dim load-imbalance factors
+    ``imbalance(tiles, degree) = tiles / (ceil(tiles/degree) * degree)``
+    at the cluster and PE levels, and a vector-lane factor on the
+    innermost K tile.  Each factor is bounded above by what the L2 tile
+    extents allow:
+
+    * on 3+-level machines the cluster-level tile count is at most the L2
+      extent (mid tiles are clipped to their parent), so the cluster
+      factor is at most ``min(1, extent / cluster_degree)``; likewise the
+      PE-level count is at most the mid-tile extent <= L2 extent.  On
+      2-level machines the cluster "parent" is the whole layer, so only
+      the PE-level factor (whose parent *is* the L2 tile) is bounded.
+    * ``imbalance(t, g) <= min(1, t/g)`` for every ``t``, and the
+      vector-lane factor is at most ``min(1, K_extent / Vw)``.
+
+    Maximising each factor independently can only overestimate, so the
+    product is a true ceiling: a small tile spread across a high degree
+    provably idles PEs no matter how sub-tiles are allocated.  This is
+    what differentiates blocks that share an L2 tile but not a
+    parallelism — the PR 4 bound could not tell them apart.
+    """
+    cluster_par, pe_par = split_parallelism(
+        parallelism, arch.clusters, arch.pes_per_cluster
+    )
+    ceiling = parallelism.degree / arch.total_pes
+    bound_clusters = arch.num_levels >= 3
+    for dim in (Dim.W, Dim.H, Dim.K, Dim.F):
+        extent = l2_tile.extent(dim)
+        if bound_clusters:
+            ceiling *= min(1.0, extent / cluster_par.of(dim))
+        ceiling *= min(1.0, extent / pe_par.of(dim))
+    ceiling *= min(1.0, l2_tile.extent(Dim.K) / arch.vector_width)
+    return ceiling
+
+
+def parallelism_replication_floor_pj(
+    layer: ConvLayer, arch: AcceleratorConfig, parallelism: Parallelism
+) -> float:
+    """Replication energy every candidate under one parallelism must pay.
+
+    The energy model charges innermost-buffer *writes* at ``fill_bytes *
+    replication`` (:func:`repro.core.energy_model.energy_accumulation_kernel`:
+    ``dest_bytes = fills * repl[child]``), and every weight element is
+    installed into the innermost buffers at least once — weights have no
+    halo or stride subtleties, so the total fill can never undercut the
+    region.  Spreading parallelism across weight-irrelevant dims (W, H,
+    F) therefore multiplies a floor of ``weight_bytes *
+    replication(WEIGHTS)`` L0 writes, charged at that level's write cost.
+    No other term of the bound counts L0 writes, so the floor is purely
+    additive tightening.
+    """
+    inner = arch.num_levels - 1
+    weight_bytes = layer.weight_bytes(arch.precision.weight_bytes)
+    return (
+        weight_bytes
+        * parallelism.replication(DataType.WEIGHTS)
+        * arch.write_pj_per_byte(inner, DataType.WEIGHTS)
+    )
+
+
+def bound_from_terms(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    objective: str,
+    floors: tuple[float, float, float],
+    read_bytes: float,
+    write_bytes: float,
+    utilization_ceiling: float = 1.0,
+    replication_floor_pj: float = 0.0,
+) -> float:
+    """Combine memoised bound ingredients into one objective lower bound
+    (the cheap tail of :func:`objective_lower_bound`)."""
+    energy_floor, cycles_floor, static_pj_per_cycle = floors
     tech = arch.technology
     cycles_lb = max(
-        cycles_floor,
+        cycles_floor / utilization_ceiling,
         (read_bytes + write_bytes)
         / arch.noc.boundary_bandwidth_bytes_per_cycle(0),
     )
@@ -242,6 +354,7 @@ def objective_lower_bound(
     energy_lb = (
         tech.dram_energy_pj(read_bytes + write_bytes)
         + energy_floor
+        + replication_floor_pj
         + static_pj_per_cycle * cycles_lb
     )
     if objective == "energy":
@@ -251,6 +364,58 @@ def objective_lower_bound(
     if objective == "perf_per_watt":
         return -layer.maccs / (energy_lb * 1e-12)
     raise ValueError(f"no lower bound for objective {objective!r}")
+
+
+def objective_lower_bound(
+    layer: ConvLayer,
+    arch: AcceleratorConfig,
+    l2_tile: TileShape,
+    outer_order: LoopOrder,
+    objective: str,
+    floors: tuple[float, float, float] | None = None,
+    parallelism: Parallelism | None = None,
+) -> float:
+    """Cheap lower bound on an objective for one (L2 tile, outer order)
+    — and, when ``parallelism`` is given, one candidate block.
+
+    Every candidate sharing the last-level tile and outer loop order moves
+    at least the DRAM traffic implied by that boundary (parallelism never
+    splits the DRAM boundary's loops — clusters and PEs divide the inner
+    levels), and additionally pays the candidate-independent floors of
+    :func:`layer_cost_floors`:
+
+    * ``energy >= dram_pj + macc_pj + alu_l0_pj + repl_pj + leakage * cycles_lb``,
+    * ``cycles >= max(maccs / (peak * util_ceiling), dram_bytes / dram_bandwidth)``,
+
+    with the edp / perf-per-watt bounds derived from those.  The
+    parallelism-aware terms — ``util_ceiling`` from
+    :func:`parallelism_utilization_ceiling` and ``repl_pj`` from
+    :func:`parallelism_replication_floor_pj` — differentiate blocks that
+    share an L2 tile but split the machine differently; with
+    ``parallelism=None`` they degrade to 1 and 0 and the bound is the
+    parallelism-blind PR 4 one.  Only one boundary of the traffic model
+    runs — no sub-tile allocation, performance or energy model — so the
+    optimizer can discard whole branches of the candidate space without
+    evaluating them.
+    """
+    if floors is None:
+        floors = layer_cost_floors(layer, arch)
+    read_bytes, write_bytes = boundary_dram_bytes(
+        layer, arch, l2_tile, outer_order
+    )
+    utilization_ceiling = 1.0
+    replication_floor = 0.0
+    if parallelism is not None:
+        utilization_ceiling = parallelism_utilization_ceiling(
+            arch, parallelism, l2_tile
+        )
+        replication_floor = parallelism_replication_floor_pj(
+            layer, arch, parallelism
+        )
+    return bound_from_terms(
+        layer, arch, objective, floors, read_bytes, write_bytes,
+        utilization_ceiling, replication_floor,
+    )
 
 
 class LayerOptimizer:
@@ -286,6 +451,12 @@ class LayerOptimizer:
                 f"unknown search_order {self.search_order!r}; "
                 "choose 'best_first' or 'legacy'"
             )
+        if self.options.budget_ms is None:
+            from repro.optimizer.engine import default_budget_ms
+
+            self.budget_ms = default_budget_ms()
+        else:
+            self.budget_ms = self.options.budget_ms
 
     # ------------------------------------------------------------------
     def _outer_orders(self, layer: ConvLayer, l2_tile: TileShape) -> list[LoopOrder]:
@@ -307,10 +478,18 @@ class LayerOptimizer:
             representative=REPRESENTATIVE_INNER_ORDERS,
         )
 
-    def _parallelisms(self, layer: ConvLayer) -> list[Parallelism]:
+    def _parallelisms(self, layer: ConvLayer) -> tuple[list[Parallelism], int]:
+        """Parallelism candidates plus the displacement count.
+
+        The second element counts ranked candidates *displaced* (not merely
+        truncated) so the canonical default could take the last kept slot —
+        surfaced as :attr:`LayerResult.parallelism_displaced` and rolled up
+        into engine stats, so a too-small ``max_parallelism_candidates``
+        shows up in telemetry instead of silently shrinking the search.
+        """
         fixed = self.options.fixed_parallelism or self.arch.fixed_parallelism
         if fixed is not None:
-            return [fixed]
+            return [fixed], 0
         candidates = parallelism_candidates(self.arch, layer)
         # Always keep the canonical arrangement (K across clusters, H
         # across PEs — Morph-base's choice) in the search so a flexible
@@ -324,10 +503,15 @@ class LayerOptimizer:
             candidates = [*candidates, default]
         chosen = candidates[: self.options.max_parallelism_candidates]
         if not chosen:
-            return [default]
+            return [default], 0
+        displaced = 0
         if default not in chosen:
             chosen[-1] = default
-        return chosen
+            displaced = 1
+        assert len(set(chosen)) == len(chosen), (
+            f"duplicate parallelism candidates for {layer.name}: {chosen}"
+        )
+        return chosen, displaced
 
     def _level_degrees(
         self, parallelism: Parallelism
@@ -339,6 +523,99 @@ class LayerOptimizer:
             self.arch.pes_per_cluster,
             parallelism,
         )
+
+    def _bound_closures(
+        self,
+        layer: ConvLayer,
+        floors: tuple[float, float, float],
+        parallelisms: list[Parallelism] | tuple[Parallelism, ...],
+        l2_tiles: list[TileShape],
+    ):
+        """Memoised lower-bound closures shared by both search paths.
+
+        Returns ``(outers_for, bound_for, block_bound)``: the deduped
+        outer orders of an L2 tile, the objective lower bound of one
+        (parallelism, L2-tile, outer-order) branch, and the bound of a
+        whole (parallelism, L2-tile) block (its minimum over the tile's
+        outer orders).  The expensive traffic-model term is memoised per
+        (tile, outer order); the parallelism-aware floors per
+        (parallelism, tile) and per parallelism — so tightening the bound
+        with :attr:`OptimizerOptions.parallel_floors` costs arithmetic,
+        not extra traffic-model runs.
+        """
+        objective = self.options.objective
+        use_floors = self.options.parallel_floors
+        outer_memo: dict[TileShape, list[LoopOrder]] = {}
+        dram_memo: dict[tuple[TileShape, LoopOrder], tuple[float, float]] = {}
+        util_memo: dict[tuple[int, int], float] = {}
+        repl_memo: dict[int, float] = {}
+        bounds: dict[tuple[int, int, LoopOrder], float] = {}
+
+        def outers_for(l2_tile: TileShape) -> list[LoopOrder]:
+            orders = outer_memo.get(l2_tile)
+            if orders is None:
+                orders = self._outer_orders(layer, l2_tile)
+                outer_memo[l2_tile] = orders
+            return orders
+
+        def bound_for(p_idx: int, t_idx: int, outer: LoopOrder) -> float:
+            key = (p_idx, t_idx, outer)
+            bound = bounds.get(key)
+            if bound is not None:
+                return bound
+            l2_tile = l2_tiles[t_idx]
+            dram = dram_memo.get((l2_tile, outer))
+            if dram is None:
+                dram = boundary_dram_bytes(layer, self.arch, l2_tile, outer)
+                dram_memo[(l2_tile, outer)] = dram
+            utilization_ceiling = 1.0
+            replication_floor = 0.0
+            if use_floors:
+                ceiling = util_memo.get((p_idx, t_idx))
+                if ceiling is None:
+                    ceiling = parallelism_utilization_ceiling(
+                        self.arch, parallelisms[p_idx], l2_tile
+                    )
+                    util_memo[(p_idx, t_idx)] = ceiling
+                utilization_ceiling = ceiling
+                repl = repl_memo.get(p_idx)
+                if repl is None:
+                    repl = parallelism_replication_floor_pj(
+                        layer, self.arch, parallelisms[p_idx]
+                    )
+                    repl_memo[p_idx] = repl
+                replication_floor = repl
+            bound = bound_from_terms(
+                layer, self.arch, objective, floors, *dram,
+                utilization_ceiling, replication_floor,
+            )
+            bounds[key] = bound
+            return bound
+
+        def block_bound(p_idx: int, t_idx: int) -> float:
+            return min(
+                bound_for(p_idx, t_idx, outer)
+                for outer in outers_for(l2_tiles[t_idx])
+            )
+
+        return outers_for, bound_for, block_bound
+
+    @staticmethod
+    def _bound_gap(
+        best_score: float,
+        remaining: list[tuple[int, int, int]],
+        block_bound,
+    ) -> float:
+        """Optimality-gap certificate when the budget ran out: how far the
+        best-so-far score could sit above the true optimum, from the
+        unvisited blocks' lower bounds (0.0 when nothing was skipped or
+        every skipped block provably cannot win)."""
+        if not remaining:
+            return 0.0
+        lowest = min(
+            block_bound(p_idx, t_idx) for _, p_idx, t_idx in remaining
+        )
+        return max(0.0, best_score - lowest)
 
     # ------------------------------------------------------------------
     def optimize(self, layer: ConvLayer) -> LayerResult:
@@ -383,36 +660,17 @@ class LayerOptimizer:
         best_rank = (float("inf"), float("inf"))
         evaluated = 0
         pruned = 0
-        #: (l2 tile, outer order) -> objective lower bound, memoised across
-        #: the inner-order / allocation / parallelism loops.
-        bounds: dict[tuple[TileShape, LoopOrder], float] = {}
         floors = layer_cost_floors(layer, self.arch)
 
         l2_tiles = last_level_tile_candidates(
             layer, self.arch, max_candidates=self.options.max_l2_candidates
         )
         inner_orders = self._inner_orders()
-        parallelisms = self._parallelisms(layer)
+        parallelisms, displaced = self._parallelisms(layer)
 
-        def bound_for(l2_tile: TileShape, outer: LoopOrder) -> float:
-            bound = bounds.get((l2_tile, outer))
-            if bound is None:
-                bound = objective_lower_bound(
-                    layer, self.arch, l2_tile, outer,
-                    self.options.objective, floors,
-                )
-                bounds[(l2_tile, outer)] = bound
-            return bound
-
-        #: L2 tile -> deduped outer orders (pure function of the tile).
-        outer_memo: dict[TileShape, list[LoopOrder]] = {}
-
-        def outers_for(l2_tile: TileShape) -> list[LoopOrder]:
-            orders = outer_memo.get(l2_tile)
-            if orders is None:
-                orders = self._outer_orders(layer, l2_tile)
-                outer_memo[l2_tile] = orders
-            return orders
+        outers_for, bound_for, block_bound = self._bound_closures(
+            layer, floors, parallelisms, l2_tiles
+        )
 
         def can_beat(value: float, block_idx: int, row_idx) -> bool:
             """Could a candidate with lower bound (or score) ``value`` at
@@ -425,20 +683,35 @@ class LayerOptimizer:
         best_first = self.search_order == "best_first"
         blocks = candidate_blocks(
             parallelisms, l2_tiles, best_first=best_first,
-            block_bound=(
-                (lambda l2: min(bound_for(l2, o) for o in outers_for(l2)))
-                if best_first else None
-            ),
+            block_bound=block_bound if best_first else None,
         )
 
-        for block_idx, p_idx, t_idx in blocks:
+        budget_ms = self.budget_ms
+        clock = current_clock() if budget_ms is not None else None
+        start = clock() if clock is not None else 0.0
+        budget_exhausted = False
+        remaining: list[tuple[int, int, int]] = []
+
+        for pos, (block_idx, p_idx, t_idx) in enumerate(blocks):
+            # Budget poll — only at block boundaries, and never before a
+            # feasible block has completed, so a budgeted result is always
+            # a valid best-so-far and an exact *prefix* of the unbudgeted
+            # search (bit-identical whenever the budget is not hit).
+            if (
+                clock is not None
+                and best is not None
+                and clock() - start >= budget_ms
+            ):
+                budget_exhausted = True
+                remaining = blocks[pos:]
+                break
             par = parallelisms[p_idx]
             l2_tile = l2_tiles[t_idx]
             outer_orders = outers_for(l2_tile)
-            # Branch-level prune: if no outer order of this L2 tile can
+            # Branch-level prune: if no outer order of this block can
             # displace the incumbent, skip the whole sub-tile allocation.
             if not any(
-                can_beat(bound_for(l2_tile, o), block_idx, -1)
+                can_beat(bound_for(p_idx, t_idx, o), block_idx, -1)
                 for o in outer_orders
             ):
                 pruned += len(outer_orders)
@@ -463,7 +736,9 @@ class LayerOptimizer:
                         row += 1
                         # Per-candidate prune against the (possibly
                         # improved) incumbent.
-                        if not can_beat(bound_for(l2_tile, outer), block_idx, row):
+                        if not can_beat(
+                            bound_for(p_idx, t_idx, outer), block_idx, row
+                        ):
                             pruned += 1
                             continue
                         dataflow = Dataflow(outer, inner, hierarchy, par)
@@ -481,6 +756,9 @@ class LayerOptimizer:
             raise CapacityError(
                 f"no feasible configuration for {layer.name} on {self.arch.name}"
             )
+        bound_gap: float | None = None
+        if budget_ms is not None:
+            bound_gap = self._bound_gap(best_score, remaining, block_bound)
         return LayerResult(
             layer=layer,
             best=best,
@@ -488,6 +766,9 @@ class LayerOptimizer:
             objective=self.options.objective,
             pruned=pruned,
             first_block_won=bool(blocks) and best_rank[0] == blocks[0][0],
+            bound_gap=bound_gap,
+            budget_exhausted=budget_exhausted,
+            parallelism_displaced=displaced,
         )
 
     def _optimize_batch(self, layer: ConvLayer) -> LayerResult:
@@ -515,7 +796,6 @@ class LayerOptimizer:
         best_rank = (float("inf"), float("inf"))
         evaluated = 0
         pruned = 0
-        bounds: dict[tuple[TileShape, LoopOrder], float] = {}
         #: (level, parent, cap) -> sub-tile candidates, shared across the
         #: inner-order loop (candidate generation is order-independent).
         candidate_memo: dict = {}
@@ -528,7 +808,8 @@ class LayerOptimizer:
             vectorize=True,
         )
         inner_orders = self._inner_orders()
-        parallelisms = tuple(self._parallelisms(layer))
+        parallelism_list, displaced = self._parallelisms(layer)
+        parallelisms = tuple(parallelism_list)
 
         #: Stable order registry shared by outer and inner columns.
         order_index: dict[LoopOrder, int] = {}
@@ -536,23 +817,9 @@ class LayerOptimizer:
         def index_of(order: LoopOrder) -> int:
             return order_index.setdefault(order, len(order_index))
 
-        def bound_for(l2_tile: TileShape, outer: LoopOrder) -> float:
-            bound = bounds.get((l2_tile, outer))
-            if bound is None:
-                bound = objective_lower_bound(
-                    layer, self.arch, l2_tile, outer, objective, floors,
-                )
-                bounds[(l2_tile, outer)] = bound
-            return bound
-
-        outer_memo: dict[TileShape, list[LoopOrder]] = {}
-
-        def outers_for(l2_tile: TileShape) -> list[LoopOrder]:
-            orders = outer_memo.get(l2_tile)
-            if orders is None:
-                orders = self._outer_orders(layer, l2_tile)
-                outer_memo[l2_tile] = orders
-            return orders
+        outers_for, bound_for, block_bound = self._bound_closures(
+            layer, floors, parallelisms, l2_tiles
+        )
 
         def can_beat(value: float, block_idx: int, row_idx) -> bool:
             if value < best_score:
@@ -562,20 +829,35 @@ class LayerOptimizer:
         best_first = self.search_order == "best_first"
         blocks = candidate_blocks(
             parallelisms, l2_tiles, best_first=best_first,
-            block_bound=(
-                (lambda l2: min(bound_for(l2, o) for o in outers_for(l2)))
-                if best_first else None
-            ),
+            block_bound=block_bound if best_first else None,
         )
 
+        budget_ms = self.budget_ms
+        clock = current_clock() if budget_ms is not None else None
+        start = clock() if clock is not None else 0.0
+        budget_exhausted = False
+        remaining: list[tuple[int, int, int]] = []
+
         num_levels = self.arch.num_levels
-        for block_idx, p_idx, t_idx in blocks:
+        for pos, (block_idx, p_idx, t_idx) in enumerate(blocks):
+            # Budget poll at block boundaries — same contract as the
+            # scalar path: a budgeted result is an exact prefix of the
+            # unbudgeted search, never returned before a feasible block
+            # has completed.
+            if (
+                clock is not None
+                and best_batch is not None
+                and clock() - start >= budget_ms
+            ):
+                budget_exhausted = True
+                remaining = blocks[pos:]
+                break
             par = parallelisms[p_idx]
             l2_tile = l2_tiles[t_idx]
             outer_orders = outers_for(l2_tile)
             # Branch-level prune, as in the scalar path.
             if not any(
-                can_beat(bound_for(l2_tile, o), block_idx, -1)
+                can_beat(bound_for(p_idx, t_idx, o), block_idx, -1)
                 for o in outer_orders
             ):
                 pruned += len(outer_orders)
@@ -607,7 +889,9 @@ class LayerOptimizer:
                         row += 1
                         # Vectorized-mask analogue of the scalar
                         # per-candidate prune (block-start incumbent).
-                        if not can_beat(bound_for(l2_tile, outer), block_idx, row):
+                        if not can_beat(
+                            bound_for(p_idx, t_idx, outer), block_idx, row
+                        ):
                             pruned += 1
                             continue
                         rows_tiles.append(tiles)
@@ -666,6 +950,9 @@ class LayerOptimizer:
             # layer) — fall back to the reference search rather than
             # return a silently mis-ranked configuration.
             return self._optimize_scalar(layer)
+        bound_gap: float | None = None
+        if budget_ms is not None:
+            bound_gap = self._bound_gap(best_score, remaining, block_bound)
         return LayerResult(
             layer=layer,
             best=best,
@@ -673,6 +960,9 @@ class LayerOptimizer:
             objective=objective,
             pruned=pruned,
             first_block_won=bool(blocks) and best_rank[0] == blocks[0][0],
+            bound_gap=bound_gap,
+            budget_exhausted=budget_exhausted,
+            parallelism_displaced=displaced,
         )
 
 
@@ -729,6 +1019,7 @@ def optimize_network(
     cache_dir=None,
     cache_backend=None,
     vectorize: bool | None = None,
+    budget_ms: float | None = None,
 ) -> NetworkResult:
     """Optimize each layer of a network through the optimizer engine.
 
@@ -755,7 +1046,11 @@ def optimize_network(
     persistent cache (deduplication still applies — it never changes
     results).  ``vectorize`` selects the columnar batch evaluator
     (``None`` defers to the engine default / ``REPRO_VECTORIZE``; results
-    are identical either way).
+    are identical either way).  ``budget_ms`` bounds each layer search's
+    wall-clock (anytime mode; ``None`` defers to the session /
+    ``REPRO_BUDGET_MS`` default — see
+    :attr:`OptimizerOptions.budget_ms` for the prefix/bit-identity
+    contract).
 
     This function is a compatibility shim over :mod:`repro.api`: the call
     runs through the currently scoped session (or the process default
@@ -776,6 +1071,7 @@ def optimize_network(
         cache_backend=cache_backend,
         use_cache=use_cache,
         vectorize=vectorize,
+        budget_ms=budget_ms,
     )
 
 

@@ -250,13 +250,14 @@ def candidate_blocks(
     would regardless of how blocks are visited.
 
     With ``best_first=True``, blocks are sorted by ascending
-    ``block_bound(l2_tile)`` — the cheap objective lower bound of the
-    block's best outer order (:func:`~repro.optimizer.search.objective_lower_bound`)
-    — so the blocks most likely to contain the optimum are evaluated
-    first and the incumbent-based prune bites as early as possible.  Ties
-    (including every parallelism variant of one L2 tile, since the bound
-    does not depend on parallelism) fall back to legacy order, keeping the
-    visit sequence deterministic.
+    ``block_bound(parallelism_index, l2_tile_index)`` — the cheap
+    objective lower bound of the block's best outer order
+    (:func:`~repro.optimizer.search.objective_lower_bound`) — so the
+    blocks most likely to contain the optimum are evaluated first and the
+    incumbent-based prune bites as early as possible.  The bound's
+    parallelism-aware floors (utilization ceiling, replication energy)
+    differentiate blocks sharing an L2 tile; remaining ties fall back to
+    legacy order, keeping the visit sequence deterministic.
     """
     blocks = [
         (p_idx * len(l2_tiles) + t_idx, p_idx, t_idx)
@@ -264,8 +265,11 @@ def candidate_blocks(
         for t_idx in range(len(l2_tiles))
     ]
     if best_first:
-        bounds = [block_bound(l2_tile) for l2_tile in l2_tiles]
-        blocks.sort(key=lambda block: (bounds[block[2]], block[0]))
+        bounds = {
+            (p_idx, t_idx): block_bound(p_idx, t_idx)
+            for _, p_idx, t_idx in blocks
+        }
+        blocks.sort(key=lambda block: (bounds[block[1:]], block[0]))
     return blocks
 
 

@@ -660,6 +660,7 @@ class TestRunnerConfig:
             cache_backend=None,
             no_cache=False,
             vectorize=None,
+            budget_ms=None,
             frames=None,
             manifest_compact_ratio=None,
         )

@@ -84,7 +84,7 @@ class TestLowerBound:
         import repro.optimizer.search as search_module
 
         monkeypatch.setattr(
-            search_module, "objective_lower_bound",
+            search_module, "bound_from_terms",
             lambda *args, **kwargs: float("-inf"),
         )
         unpruned = LayerOptimizer(morph_arch, FAST).optimize(LAYER_A)
@@ -100,7 +100,9 @@ class TestParallelismCandidates:
         """The canonical default must not push the list past the budget."""
         for budget in (1, 2, 4):
             options = FAST.with_(max_parallelism_candidates=budget)
-            chosen = LayerOptimizer(morph_arch, options)._parallelisms(LAYER_A)
+            chosen, _ = LayerOptimizer(morph_arch, options)._parallelisms(
+                LAYER_A
+            )
             assert len(chosen) <= budget
             from repro.core.dataflow import Parallelism
 
@@ -113,10 +115,13 @@ class TestParallelismCandidates:
         from repro.core.dataflow import Parallelism
 
         options = FAST.with_(max_parallelism_candidates=0)
-        chosen = LayerOptimizer(morph_arch, options)._parallelisms(LAYER_A)
+        chosen, displaced = LayerOptimizer(morph_arch, options)._parallelisms(
+            LAYER_A
+        )
         assert chosen == [
             Parallelism(k=morph_arch.clusters, h=morph_arch.pes_per_cluster)
         ]
+        assert displaced == 0
 
 
 class TestDeduplication:
@@ -377,3 +382,102 @@ class TestDiskCacheUnit:
         cache = DiskConfigCache(tmp_path)
         signature = search_signature(LAYER_B, morph_arch, FAST)
         assert cache.load(signature, LAYER_B, morph_arch, FAST) is None
+
+    def test_old_format_payload_round_trips_absent_telemetry(
+        self, morph_arch, tmp_path
+    ):
+        """A record written before the telemetry fields existed recalls
+        with ``first_block_won=None`` preserved (tri-state, never coerced
+        to False) and a zero displacement count."""
+        cache = DiskConfigCache(tmp_path)
+        signature = search_signature(LAYER_B, morph_arch, FAST)
+        fresh = LayerOptimizer(morph_arch, FAST).optimize(LAYER_B)
+        assert cache.store(signature, fresh)
+        key = signature_key(signature)
+        payload = cache.backend.get(key)
+        assert payload["first_block_won"] is not None
+        # Strip the fields a v2 record from an older build would lack.
+        del payload["first_block_won"]
+        del payload["parallelism_displaced"]
+        assert cache.backend.put(key, payload)
+        recalled = cache.load(signature, LAYER_B, morph_arch, FAST)
+        assert recalled is not None
+        assert recalled.first_block_won is None
+        assert recalled.parallelism_displaced == 0
+        assert recalled.score == fresh.score
+
+    def test_modern_payload_round_trips_telemetry(self, morph_arch, tmp_path):
+        cache = DiskConfigCache(tmp_path)
+        signature = search_signature(LAYER_B, morph_arch, FAST)
+        fresh = LayerOptimizer(morph_arch, FAST).optimize(LAYER_B)
+        assert fresh.first_block_won is not None
+        assert cache.store(signature, fresh)
+        recalled = cache.load(signature, LAYER_B, morph_arch, FAST)
+        assert recalled.first_block_won is fresh.first_block_won
+        assert recalled.parallelism_displaced == fresh.parallelism_displaced
+
+
+class TestEnvResolverErrors:
+    """Every ``$REPRO_*`` knob rejects a malformed value with an error
+    naming the variable and the offending text — a typo must never
+    silently fall back to a default (the old resolvers treated any
+    non-empty ``REPRO_USE_CACHE`` as truthy, so ``=false`` meant True)."""
+
+    @pytest.mark.parametrize(
+        ("variable", "value", "resolver"),
+        [
+            ("REPRO_PARALLELISM", "many", "default_parallelism"),
+            ("REPRO_BUDGET_MS", "soon", "default_budget_ms"),
+            ("REPRO_BUDGET_MS", "-5", "default_budget_ms"),
+            (
+                "REPRO_MANIFEST_COMPACT_RATIO",
+                "tight",
+                "default_manifest_compact_ratio",
+            ),
+            ("REPRO_USE_CACHE", "flase", "default_use_cache"),
+            ("REPRO_USE_CACHE", "2", "default_use_cache"),
+            ("REPRO_VECTORIZE", "si", "default_vectorize"),
+            ("REPRO_SEARCH_ORDER", "bestest", "default_search_order"),
+        ],
+    )
+    def test_bad_value_raises_naming_the_variable(
+        self, monkeypatch, variable, value, resolver
+    ):
+        from repro.optimizer import engine as engine_module
+
+        monkeypatch.setenv(variable, value)
+        with pytest.raises(ValueError) as excinfo:
+            getattr(engine_module, resolver)()
+        assert variable in str(excinfo.value)
+        assert repr(value) in str(excinfo.value)
+
+    def test_bad_frames_raises_naming_the_variable(self, monkeypatch):
+        from repro.workloads.networks import build_network
+
+        monkeypatch.setenv("REPRO_FRAMES", "sixteen")
+        with pytest.raises(ValueError, match="REPRO_FRAMES.*'sixteen'"):
+            build_network("c3d")
+
+    @pytest.mark.parametrize(
+        ("variable", "value", "resolver", "expected"),
+        [
+            ("REPRO_PARALLELISM", "3", "default_parallelism", 3),
+            ("REPRO_BUDGET_MS", "250", "default_budget_ms", 250.0),
+            (
+                "REPRO_MANIFEST_COMPACT_RATIO",
+                "4.5",
+                "default_manifest_compact_ratio",
+                4.5,
+            ),
+            ("REPRO_USE_CACHE", "off", "default_use_cache", False),
+            ("REPRO_VECTORIZE", "Yes", "default_vectorize", True),
+            ("REPRO_SEARCH_ORDER", "legacy", "default_search_order", "legacy"),
+        ],
+    )
+    def test_good_value_parses(
+        self, monkeypatch, variable, value, resolver, expected
+    ):
+        from repro.optimizer import engine as engine_module
+
+        monkeypatch.setenv(variable, value)
+        assert getattr(engine_module, resolver)() == expected

@@ -1,6 +1,8 @@
 """End-to-end tests for the per-layer configuration search (Section V)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.evaluate import CapacityError
 from repro.core.layer import ConvLayer
@@ -163,3 +165,65 @@ class TestNetworkOptimization:
         result = optimize_network(self.LAYERS, morph(), FAST, network_name="mini")
         components = result.energy_components_pj()
         assert {"DRAM", "L2", "L1", "L0", "Compute"} <= set(components)
+
+
+class TestParallelismDisplacement:
+    """_parallelisms keeps the canonical default without silent loss:
+    the displacement is counted, and the list never contains duplicates."""
+
+    @given(
+        k=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]),
+        h=st.integers(min_value=1, max_value=56),
+        w=st.integers(min_value=1, max_value=56),
+        f=st.integers(min_value=1, max_value=16),
+        cap=st.integers(min_value=0, max_value=8),
+    )
+    def test_dup_free_and_displacement_counted(self, k, h, w, f, cap):
+        from repro.arch.accelerator import morph
+        from repro.core.dataflow import Parallelism
+        from repro.optimizer.space import parallelism_candidates
+
+        arch = morph()
+        layer = ConvLayer(
+            "prop", h=h, w=w, c=8, f=f, k=k, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        options = FAST.with_(max_parallelism_candidates=cap)
+        chosen, displaced = LayerOptimizer(arch, options)._parallelisms(layer)
+        default = Parallelism(k=arch.clusters, h=arch.pes_per_cluster)
+        # The default always survives, the cap always holds, and nothing
+        # is duplicated.
+        assert default in chosen
+        assert len(chosen) <= max(cap, 1)
+        assert len(set(chosen)) == len(chosen)
+        # Displacement is exactly "the ranked tail candidate lost its slot
+        # to the default": it happens iff the default was not already
+        # ranked into the kept prefix.
+        ranked = parallelism_candidates(arch, layer)
+        if default not in ranked:
+            ranked = [*ranked, default]
+        kept = ranked[:cap]
+        if not kept:
+            assert displaced == 0
+        else:
+            assert displaced == (0 if default in kept else 1)
+            if displaced:
+                # The displaced candidate is the one the cap would have
+                # kept last — it must be gone, everything above it intact.
+                assert kept[-1] not in chosen
+                assert chosen[:-1] == kept[:-1]
+                assert chosen[-1] == default
+
+    def test_displacement_reaches_engine_stats(self):
+        """A layer whose ranked list crowds out the default rolls its
+        displacement count up into EngineStats."""
+        from repro.arch.accelerator import morph
+        from repro.optimizer.engine import OptimizerEngine
+
+        arch = morph()
+        options = FAST.with_(max_parallelism_candidates=1)
+        chosen, displaced = LayerOptimizer(arch, options)._parallelisms(LAYER)
+        assert displaced == 1  # the top-ranked candidate lost its slot
+        engine = OptimizerEngine(arch, options, use_cache=False)
+        engine.optimize_layers((LAYER,))
+        assert engine.stats.parallelism_displaced == 1

@@ -53,16 +53,28 @@ class TestBlockOrder:
         ]
 
     def test_best_first_sorts_by_bound_then_legacy_rank(self):
-        bounds = {"t0": 5.0, "t1": 1.0, "t2": 5.0}
+        bounds = {0: 5.0, 1: 1.0, 2: 5.0}
         blocks = candidate_blocks(
             ["p0", "p1"], ["t0", "t1", "t2"],
-            best_first=True, block_bound=bounds.__getitem__,
+            best_first=True,
+            block_bound=lambda p_idx, t_idx: bounds[t_idx],
         )
         # t1's blocks first (lowest bound); bound ties keep legacy order.
         assert blocks == [
             (1, 0, 1), (4, 1, 1),
             (0, 0, 0), (2, 0, 2), (3, 1, 0), (5, 1, 2),
         ]
+
+    def test_best_first_differentiates_parallelisms(self):
+        """The bound now sees the parallelism index, so two blocks of one
+        L2 tile can rank apart (parallelism-aware floors)."""
+        bounds = {(0, 0): 5.0, (0, 1): 2.0, (1, 0): 1.0, (1, 1): 9.0}
+        blocks = candidate_blocks(
+            ["p0", "p1"], ["t0", "t1"],
+            best_first=True,
+            block_bound=lambda p_idx, t_idx: bounds[(p_idx, t_idx)],
+        )
+        assert blocks == [(2, 1, 0), (1, 0, 1), (0, 0, 0), (3, 1, 1)]
 
 
 class TestIdenticalResults:
@@ -144,8 +156,9 @@ class TestBoundQualityTelemetry:
         ).optimize(layer)
         assert scalar.first_block_won == batch.first_block_won
 
-    def test_recalled_results_carry_no_telemetry(self, morph_arch, tmp_path):
-        """A disk recall runs no search, so the field stays None."""
+    def test_recalled_results_round_trip_telemetry(self, morph_arch, tmp_path):
+        """A disk recall restores the original search's telemetry — the
+        tri-state field round-trips losslessly instead of collapsing."""
         from repro.optimizer.engine import OptimizerEngine
 
         options = FAST
@@ -156,7 +169,110 @@ class TestBoundQualityTelemetry:
         recalled = OptimizerEngine(
             morph_arch, options, cache_dir=tmp_path
         ).optimize_layers((LAYERS[0],))[0]
-        assert recalled.first_block_won is None
+        assert recalled.first_block_won is fresh.first_block_won
+        assert recalled.parallelism_displaced == fresh.parallelism_displaced
+        # Recalls run no search, so the anytime telemetry stays unset.
+        assert recalled.bound_gap is None
+        assert recalled.budget_exhausted is False
+
+
+class TestParallelismAwareFloors:
+    """parallel_floors: tighter bounds, bit-identical configurations."""
+
+    @pytest.mark.parametrize("vectorize", (False, True))
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_identical_results_per_layer(
+        self, morph_arch, vectorize, objective
+    ):
+        """The floors are provable lower bounds, so switching them off
+        (the PR 4 parallelism-blind bound) changes nothing but work."""
+        options = FAST.with_(objective=objective, vectorize=vectorize)
+        layers = LAYERS if vectorize else LAYERS[:2]
+        for layer in layers:
+            with_floors = LayerOptimizer(
+                morph_arch, options.with_(parallel_floors=True)
+            ).optimize(layer)
+            without = LayerOptimizer(
+                morph_arch, options.with_(parallel_floors=False)
+            ).optimize(layer)
+            assert with_floors.best.dataflow == without.best.dataflow, (
+                layer.name
+            )
+            assert with_floors.score == without.score, layer.name
+
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_parallelism_aware_bound_is_sound(self, morph_arch, objective):
+        """The winner's own block bound never exceeds its real score."""
+        from repro.optimizer.search import objective_lower_bound
+
+        options = FAST.with_(objective=objective)
+        for layer in LAYERS[:2]:
+            result = LayerOptimizer(morph_arch, options).optimize(layer)
+            ev = result.best
+            bound = objective_lower_bound(
+                layer, morph_arch, ev.dataflow.hierarchy.outermost,
+                ev.dataflow.outer_order, objective,
+                parallelism=ev.dataflow.parallelism,
+            )
+            assert bound <= OBJECTIVES[objective](ev) * (1 + 1e-12), (
+                layer.name
+            )
+
+    def test_floors_only_tighten(self, morph_arch):
+        """The parallelism-aware bound dominates the blind one (it adds a
+        utilization ceiling <= 1 and a replication floor >= 0)."""
+        from repro.optimizer.search import objective_lower_bound
+
+        layer = LAYERS[0]
+        result = LayerOptimizer(morph_arch, FAST).optimize(layer)
+        ev = result.best
+        for objective in sorted(OBJECTIVES):
+            blind = objective_lower_bound(
+                layer, morph_arch, ev.dataflow.hierarchy.outermost,
+                ev.dataflow.outer_order, objective,
+            )
+            aware = objective_lower_bound(
+                layer, morph_arch, ev.dataflow.hierarchy.outermost,
+                ev.dataflow.outer_order, objective,
+                parallelism=ev.dataflow.parallelism,
+            )
+            assert aware >= blind, objective
+
+
+@pytest.mark.slow
+def test_parallel_floors_identical_and_cheaper_across_networks(morph_arch):
+    """Acceptance sweep: with the parallelism-aware floors on, every
+    registered network chooses bit-identical per-layer configurations and
+    scores, and at least half the networks run strictly fewer full model
+    evaluations than the parallelism-blind bound."""
+    strict = 0
+    names = sorted(network_names())
+    for network_name in names:
+        network = build_network(network_name)
+        sweeps = {}
+        for floors in (True, False):
+            clear_cache()
+            sweeps[floors] = optimize_network(
+                network.layers, morph_arch,
+                FAST.with_(parallel_floors=floors),
+                network_name=network.name, use_cache=False, parallelism=1,
+            )
+        on, off = sweeps[True], sweeps[False]
+        for chosen, reference in zip(on.layers, off.layers):
+            assert chosen.best.dataflow == reference.best.dataflow, (
+                f"{network_name}:{chosen.layer.name}"
+            )
+            assert chosen.score == reference.score, (
+                f"{network_name}:{chosen.layer.name}"
+            )
+        assert on.total_energy_pj == off.total_energy_pj, network_name
+        evaluated_on = sum(r.evaluated for r in on.layers)
+        evaluated_off = sum(r.evaluated for r in off.layers)
+        strict += evaluated_on < evaluated_off
+    assert strict * 2 >= len(names), (
+        f"floors strictly reduced evaluations on only {strict}/{len(names)} "
+        "networks"
+    )
 
 
 @pytest.mark.slow
@@ -166,13 +282,20 @@ def test_best_first_identical_and_cheaper_on_every_network(
 ):
     """Whole-network invariance sweep: every registered network chooses
     bit-identical configurations and scores under best-first visiting,
-    while evaluating strictly fewer full candidates in total."""
+    while evaluating strictly fewer full candidates in total.
+
+    Pinned with the shape-only bounds (``parallel_floors=False``): the
+    parallelism-aware floors can prune a network (e.g. two_stream) down
+    to the same evaluation count under either visit order, which tests
+    the bound, not the ordering.  The floors' own identity-and-reduction
+    guarantee is the sweep above."""
     network = build_network(network_name)
     sweeps = {}
     for order in ("best_first", "legacy"):
         clear_cache()
         sweeps[order] = optimize_network(
-            network.layers, morph_arch, FAST.with_(search_order=order),
+            network.layers, morph_arch,
+            FAST.with_(search_order=order, parallel_floors=False),
             network_name=network.name, use_cache=False, parallelism=1,
         )
     best_first, legacy = sweeps["best_first"], sweeps["legacy"]
