@@ -15,7 +15,8 @@ This module replaces the globals with two values:
 * :class:`SessionConfig` — the *entire* engine/build configuration as one
   immutable, serializable value: parallelism and executor mode, cache
   directory/backend (or a live :class:`~repro.optimizer.config_store.ConfigStore`),
-  vectorize and search-order speed knobs, frame-flexible build defaults,
+  vectorize, search-order, kernel-backend and table-memory-cap speed
+  knobs, frame-flexible build defaults,
   the sharded store's manifest-compaction threshold, and telemetry sinks.
   Build it directly, from the environment (:meth:`SessionConfig.from_env`),
   from a dict (:meth:`SessionConfig.from_dict`), or from a TOML/JSON file
@@ -132,6 +133,8 @@ _ENV_FIELDS: dict[str, tuple[str, Any]] = {
     "REPRO_VECTORIZE": ("vectorize", _parse_bool),
     "REPRO_SEARCH_ORDER": ("search_order", str.lower),
     "REPRO_BUDGET_MS": ("budget_ms", float),
+    "REPRO_KERNEL_BACKEND": ("kernel_backend", str.lower),
+    "REPRO_MAX_TABLE_BYTES": ("max_table_bytes", int),
     "REPRO_FRAMES": ("frames", _clamped_positive_int),
     "REPRO_BENCH_DIR": ("bench_dir", Path),
     "REPRO_MANIFEST_COMPACT_RATIO": ("manifest_compact_ratio", float),
@@ -184,6 +187,15 @@ class SessionConfig:
     #: :attr:`~repro.optimizer.search.LayerResult.bound_gap` telemetry
     #: and is never cached.
     budget_ms: float | None = None
+    #: Kernel-execution backend for columnar passes — ``"numpy"`` or
+    #: ``"compiled"`` (JIT via :mod:`repro.core.backend`; silently
+    #: identical to ``"numpy"`` when no JIT is installed).  Pure speed
+    #: knob; scores, winners and simulator counters are bit-identical.
+    kernel_backend: str | None = None
+    #: Memory cap (bytes) on any one columnar candidate/schedule table;
+    #: when set, columnar passes stream row chunks with carried
+    #: reductions (bit-identical to unchunked).  ``None`` = uncapped.
+    max_table_bytes: int | None = None
     #: Input frames for frame-flexible network builds (C3D, I3D, ...).
     frames: int | None = None
     #: Where session/bench telemetry JSON lands (``SESSION_STATS.json``).
@@ -203,6 +215,7 @@ class SessionConfig:
             ("frames", int),
             ("manifest_compact_ratio", float),
             ("budget_ms", float),
+            ("max_table_bytes", int),
         ):
             value = getattr(self, field)
             if value is not None:
@@ -244,6 +257,15 @@ class SessionConfig:
         if self.budget_ms is not None and self.budget_ms < 0:
             raise ValueError(
                 f"budget_ms must be >= 0 (milliseconds), got {self.budget_ms!r}"
+            )
+        if self.kernel_backend is not None:
+            from repro.core.backend import check_backend_name
+
+            check_backend_name(self.kernel_backend)
+        if self.max_table_bytes is not None and self.max_table_bytes < 1:
+            raise ValueError(
+                "max_table_bytes must be a positive byte count, "
+                f"got {self.max_table_bytes!r}"
             )
         if self.frames is not None and self.frames < 1:
             raise ValueError("frames must be >= 1")
@@ -644,9 +666,11 @@ class Session:
         precision: Precision | None = None,
         *,
         vectorize: bool | None = None,
+        kernel_backend: str | None = None,
+        max_table_bytes: int | None = None,
     ):
         """Trace-simulate a schedule (validates the access model) under
-        this session's vectorize default."""
+        this session's vectorize / kernel-backend / table-cap defaults."""
         from repro.core.tiling import DEFAULT_PRECISION
         from repro.sim.trace import trace_dataflow
 
@@ -655,6 +679,8 @@ class Session:
                 dataflow,
                 DEFAULT_PRECISION if precision is None else precision,
                 vectorize=vectorize,
+                kernel_backend=kernel_backend,
+                max_table_bytes=max_table_bytes,
             )
 
     def simulate(
@@ -663,13 +689,21 @@ class Session:
         arch: AcceleratorConfig,
         *,
         vectorize: bool | None = None,
+        kernel_backend: str | None = None,
+        max_table_bytes: int | None = None,
     ):
         """Pipeline-simulate a schedule (validates the cycle model) under
-        this session's vectorize default."""
+        this session's vectorize / kernel-backend / table-cap defaults."""
         from repro.sim.pipeline_sim import simulate_pipeline
 
         with self.activate():
-            return simulate_pipeline(dataflow, arch, vectorize=vectorize)
+            return simulate_pipeline(
+                dataflow,
+                arch,
+                vectorize=vectorize,
+                kernel_backend=kernel_backend,
+                max_table_bytes=max_table_bytes,
+            )
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -27,4 +27,17 @@ dilations and objectives.  The optimizer uses the batch path by default;
 ``REPRO_VECTORIZE=0`` (or a missing NumPy) falls back to the scalar path
 everywhere.  Dilated 3D convolution (D2Conv3D-style ``dilation_h/w/f`` on
 :class:`~repro.core.layer.ConvLayer`) is handled by both.
+
+How the columnar path *executes* the kernels is itself pluggable:
+:mod:`repro.core.backend` registers kernel-execution backends
+(``kernel_backend="numpy"`` runs them as plain Python over columns;
+``"compiled"`` JIT-compiles them with numba when installed and silently
+falls back otherwise — bit-identical either way, the backend contract in
+``docs/INVARIANTS.md``), and ``max_table_bytes=...`` caps the peak table
+memory of the columnar passes by streaming row chunks with carried
+reductions.  Both knobs thread through
+:class:`~repro.optimizer.search.OptimizerOptions`,
+:class:`repro.api.SessionConfig`, ``$REPRO_KERNEL_BACKEND`` /
+``$REPRO_MAX_TABLE_BYTES`` and the runner flags, and — being pure speed
+knobs — stay out of search signatures and cache keys.
 """

@@ -1,0 +1,298 @@
+"""Pluggable kernel-execution backends for the columnar pipelines.
+
+The shared ``*_kernel`` formulas (``docs/INVARIANTS.md``, kernel-purity)
+are deliberately scalar/array-agnostic, which makes them a *lowering
+target*: the same ``def`` that scores one candidate with Python ints can
+be handed to a JIT compiler and run over whole candidate columns.  This
+module owns that lowering step behind a tiny registry so execution
+backends are pluggable:
+
+``numpy``
+    The identity lowering — kernels run as plain Python over NumPy
+    columns, exactly as PRs 2/4 shipped them.  Always available.
+``compiled``
+    Kernels are wrapped in ``numba.njit`` when numba is importable.
+    When it is not — or when a particular kernel cannot be typed by
+    numba (heterogeneous containers, ``*args``) — the wrapper silently
+    and permanently falls back to the original Python function.
+    Selecting ``compiled`` therefore **never** raises an import error
+    and never changes results: the lowered kernel must be bit-identical
+    to the original, which stays the single source of the math
+    (backends lower, never fork — enforced by ``repro.lint``).
+
+A GPU backend (CuPy drops in where NumPy does) can be registered later
+via :func:`register_backend` without touching any call site: callers
+resolve a backend by name and route every kernel call through
+:func:`KernelBackend.kernel_impl`.
+
+The module also owns chunk planning for the streaming columnar passes:
+:func:`plan_chunk_rows` converts a ``max_table_bytes`` memory cap into a
+row-block size (memoized), so schedule/candidate tables that outgrow the
+cap are processed in blocks with carried reductions instead of falling
+back to the scalar path.
+
+Backend/cap *defaults* resolve through the scoped-config chain
+(``repro.optimizer.engine.default_kernel_backend`` /
+``default_max_table_bytes``: session > ``$REPRO_KERNEL_BACKEND`` /
+``$REPRO_MAX_TABLE_BYTES`` > built-in) — this module never reads the
+environment itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+from typing import Any, Callable
+
+KernelFn = Callable[..., Any]
+
+#: Import-probe memo for numba: absent key = not probed yet; ``None``
+#: value = probed and unavailable.  Reset by :func:`clear_backend_caches`.
+_NUMBA_MODULE: dict[str, Any] = {}
+
+#: Lowered-kernel dispatch memo: ``module.qualname`` -> lowered callable.
+_COMPILED_MEMO: dict[str, KernelFn] = {}
+
+#: njit dispatchers for kernels/helpers referenced *by* jitted kernels.
+_JIT_SUPPORT: dict[str, Any] = {}
+
+#: Non-kernel helpers a jitted kernel may call (the sanctioned helper
+#: list of the kernel-purity rule, minus ``kernel_and_stride`` which
+#: takes a layer object and is always evaluated outside kernels).
+_SUPPORT_HELPERS = frozenset({"ceil_div", "clip_min0"})
+
+#: Chunk plans: ``(row_bytes, max_table_bytes)`` -> rows per chunk.
+_CHUNK_PLANS: dict[tuple[int, int], int] = {}
+
+
+def _load_numba() -> Any:
+    """Import numba once; memoize the module (or ``None`` if absent)."""
+    if "module" not in _NUMBA_MODULE:
+        try:
+            import numba
+        except Exception:
+            # Missing *or* broken install: the fallback must be silent.
+            _NUMBA_MODULE["module"] = None
+        else:
+            _NUMBA_MODULE["module"] = numba
+    return _NUMBA_MODULE["module"]
+
+
+def compiled_available() -> bool:
+    """Whether the ``compiled`` backend can actually JIT (numba present)."""
+    return _load_numba() is not None
+
+
+class _GuardedKernel:
+    """A JIT-wrapped kernel that falls back to the original on failure.
+
+    numba compiles lazily at first call, so wrap-time success proves
+    nothing: a kernel taking heterogeneous containers or ``*args`` only
+    fails when typed.  The guard tries the jitted callable and, on any
+    exception, permanently reverts to the pure-Python kernel — the
+    original ``def`` is the bit-exactness oracle, so the fallback is
+    always correct, just slower.
+    """
+
+    __slots__ = ("fn", "jitted", "failed", "__wrapped__")
+
+    def __init__(self, fn: KernelFn, jitted: KernelFn) -> None:
+        self.fn = fn
+        self.jitted = jitted
+        self.failed = False
+        self.__wrapped__ = fn
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        if not self.failed:
+            try:
+                return self.jitted(*args, **kwargs)
+            except Exception:
+                self.failed = True
+        return self.fn(*args, **kwargs)
+
+
+def _lower_identity(fn: KernelFn) -> KernelFn:
+    return fn
+
+
+def _njit_with_support(
+    numba: Any, fn: types.FunctionType, seen: frozenset[str]
+) -> Any:
+    """``numba.njit`` ``fn``, lowering referenced kernels/helpers too.
+
+    Jitted code can only call other jitted functions, and kernels lean
+    on the sanctioned helpers (``ceil_div``, ``clip_min0``) and on each
+    other.  The kernel is re-bound over a globals copy where every
+    referenced ``*_kernel`` / helper function is replaced by its njit
+    dispatcher, recursively — the original module globals are never
+    mutated, so the pure-Python oracle path is untouched.
+    """
+    key = f"{fn.__module__}.{fn.__qualname__}"
+    if key in _JIT_SUPPORT:
+        return _JIT_SUPPORT[key]
+    overrides: dict[str, Any] = {}
+    for name in fn.__code__.co_names:
+        if name in seen:
+            continue
+        value = fn.__globals__.get(name)
+        if not isinstance(value, types.FunctionType):
+            continue
+        if name.endswith("_kernel") or name in _SUPPORT_HELPERS:
+            overrides[name] = _njit_with_support(
+                numba, value, seen | {name}
+            )
+    if overrides:
+        fn = types.FunctionType(
+            fn.__code__,
+            {**fn.__globals__, **overrides},
+            fn.__name__,
+            fn.__defaults__,
+            fn.__closure__,
+        )
+    dispatcher = numba.njit(cache=False)(fn)
+    _JIT_SUPPORT[key] = dispatcher
+    return dispatcher
+
+
+def _lower_compiled(fn: KernelFn) -> KernelFn:
+    key = f"{fn.__module__}.{fn.__qualname__}"
+    if key not in _COMPILED_MEMO:
+        numba = _load_numba()
+        jitted: Any = None
+        if numba is not None and isinstance(fn, types.FunctionType):
+            try:
+                jitted = _njit_with_support(numba, fn, frozenset({fn.__name__}))
+            except Exception:
+                jitted = None  # wrap-time failure: silent fallback
+        if jitted is None:
+            _COMPILED_MEMO[key] = fn
+        else:
+            _COMPILED_MEMO[key] = _GuardedKernel(fn, jitted)
+    return _COMPILED_MEMO[key]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelBackend:
+    """One named way of executing ``*_kernel`` formulas.
+
+    ``lower`` maps the original kernel function to the callable this
+    backend executes; it must preserve bit-identity with the original.
+    ``available`` reports whether the backend's accelerator substrate is
+    importable — when it is not, :meth:`kernel_impl` silently serves the
+    original function, so selecting an unavailable backend degrades to
+    the ``numpy`` behaviour instead of raising.
+    """
+
+    name: str
+    available: Callable[[], bool]
+    lower: Callable[[KernelFn], KernelFn]
+
+    def kernel_impl(self, fn: KernelFn) -> KernelFn:
+        """The callable to execute in place of kernel ``fn``."""
+        if not self.available():
+            return fn
+        return self.lower(fn)
+
+
+def _always_available() -> bool:
+    return True
+
+
+#: Registry of execution backends, keyed by name.  A future ``cupy``
+#: backend registers here and every call site picks it up by name.
+KERNEL_BACKENDS: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register (or replace) a backend under ``backend.name``."""
+    KERNEL_BACKENDS[backend.name] = backend
+    return backend
+
+
+register_backend(
+    KernelBackend(
+        name="numpy", available=_always_available, lower=_lower_identity
+    )
+)
+register_backend(
+    KernelBackend(
+        name="compiled", available=compiled_available, lower=_lower_compiled
+    )
+)
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, sorted for stable messages."""
+    return tuple(sorted(KERNEL_BACKENDS))
+
+
+def check_backend_name(name: str) -> str:
+    """Validate ``name`` against the registry; return it unchanged."""
+    if name not in KERNEL_BACKENDS:
+        known = ", ".join(backend_names())
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known backends: {known}"
+        )
+    return name
+
+
+def resolve_kernel_backend(name: str | None = None) -> KernelBackend:
+    """Resolve an explicit name (or the scoped default) to a backend.
+
+    ``None`` defers to ``default_kernel_backend()`` — session config,
+    then ``$REPRO_KERNEL_BACKEND``, then the built-in ``"numpy"``.
+    """
+    if name is None:
+        from repro.optimizer.engine import default_kernel_backend
+
+        name = default_kernel_backend()
+    check_backend_name(name)
+    return KERNEL_BACKENDS[name]
+
+
+def resolve_max_table_bytes(value: int | None = None) -> int | None:
+    """Resolve an explicit memory cap (or the scoped default).
+
+    Returns ``None`` when no cap is configured anywhere — columnar
+    passes then materialize full tables exactly as before.
+    """
+    if value is None:
+        from repro.optimizer.engine import default_max_table_bytes
+
+        return default_max_table_bytes()
+    value = int(value)
+    if value < 1:
+        raise ValueError(
+            f"max_table_bytes must be a positive byte count, got {value}"
+        )
+    return value
+
+
+def plan_chunk_rows(row_bytes: int, max_table_bytes: int) -> int:
+    """Rows per chunk so one chunk's table stays under the byte cap.
+
+    Raises ``ValueError`` when the cap cannot hold even a single row —
+    a cap that small is a configuration error, not a request for an
+    empty table.
+    """
+    key = (int(row_bytes), int(max_table_bytes))
+    if key not in _CHUNK_PLANS:
+        rows, cap = key
+        if rows <= 0:
+            raise ValueError(f"row_bytes must be positive, got {rows}")
+        per_chunk = cap // rows
+        if per_chunk < 1:
+            raise ValueError(
+                f"max_table_bytes={cap} is smaller than a single table "
+                f"row ({rows} bytes); raise the cap"
+            )
+        _CHUNK_PLANS[key] = per_chunk
+    return _CHUNK_PLANS[key]
+
+
+def clear_backend_caches() -> None:
+    """Reset dispatch memos and chunk plans (``repro.clear_cache()``)."""
+    _COMPILED_MEMO.clear()
+    _JIT_SUPPORT.clear()
+    _CHUNK_PLANS.clear()
+    _NUMBA_MODULE.clear()

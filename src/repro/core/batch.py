@@ -61,6 +61,12 @@ from repro.core.access_model import (
     dram_psum_writeback_kernel,
     psum_spill_bytes_kernel,
 )
+from repro.core.backend import (
+    KernelBackend,
+    plan_chunk_rows,
+    resolve_kernel_backend,
+    resolve_max_table_bytes,
+)
 from repro.core.dataflow import Dataflow, Parallelism
 from repro.core.dims import ALL_DATA_TYPES, ALL_DIMS, DataType, Dim, relevant_dims
 from repro.core.energy_model import (
@@ -95,6 +101,10 @@ available = np is not None
 DIM_INDEX: dict[Dim, int] = {dim: i for i, dim in enumerate(ALL_DIMS)}
 _SLIDING = (Dim.W, Dim.H, Dim.F)
 _PAR_DIMS = (Dim.W, Dim.H, Dim.K, Dim.F)
+
+#: Working-set estimate for chunk planning: intermediate columns the
+#: score pipeline holds live per candidate besides its tile slice.
+_WORKSPACE_COLUMNS = 16
 
 
 def _require_numpy() -> None:
@@ -298,6 +308,7 @@ def _boundary_fill_columns(
     seq_trips,  #: (5, N) sequential rounds (trips / parallel degree)
     dim_at,  #: (N, 5) dim code at each loop position, outermost first
     pos_of,  #: (N, 5) loop position of each dim code
+    backend: KernelBackend | None = None,  #: kernel-execution backend
 ) -> dict[DataType, tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:
     """Per data type: ``(has_relevant_loop, run_fetches, run_bytes)``.
 
@@ -307,6 +318,12 @@ def _boundary_fill_columns(
     suffix masks described in the module docstring.
     """
     n = parent.shape[-1]
+    if backend is None:
+        input_extent = input_extent_kernel
+        sum_input_extents = sum_input_extents_kernel
+    else:
+        input_extent = backend.kernel_impl(input_extent_kernel)
+        sum_input_extents = backend.kernel_impl(sum_input_extents_kernel)
     cand = np.arange(n)
     trips_at = trips[dim_at.T, cand]  # (5 positions, N)
     seq_at = seq_trips[dim_at.T, cand]
@@ -345,12 +362,12 @@ def _boundary_fill_columns(
                     run_bytes *= total
                     continue
                 span, stride = kernel_and_stride(layer, dim)
-                halo_sum = sum_input_extents_kernel(total, child[d], span, stride)
+                halo_sum = sum_input_extents(total, child[d], span, stride)
                 # Slide reuse: this dim occupies the innermost relevant
                 # non-degenerate loop, so halos telescope to the union.
                 is_slide = (trips[d] > 1) & ~suffix_strict[pos_of[:, d], cand]
                 run_bytes *= np.where(
-                    is_slide, input_extent_kernel(total, span, stride), halo_sum
+                    is_slide, input_extent(total, span, stride), halo_sum
                 )
             irrelevant = (Dim.K,)
         elif data_type is DataType.WEIGHTS:
@@ -472,23 +489,101 @@ class CandidateBatch:
         return evaluate(self.dataflow(index), self.arch)
 
     # ------------------------------------------------------------------
-    def scores(self, objective: str) -> "np.ndarray":
+    def _row_bytes(self) -> int:
+        """Estimated peak working bytes per candidate column.
+
+        One candidate carries its ``(levels, 5)`` int64 tile slice plus
+        roughly :data:`_WORKSPACE_COLUMNS` equally sized intermediate
+        columns (trips, masks, fills, spills, energies) through the
+        score pipeline; the chunk planner divides ``max_table_bytes``
+        by this estimate.
+        """
+        levels = self.tiles.shape[0]
+        return 8 * (levels * 5 + _WORKSPACE_COLUMNS)
+
+    def scores(
+        self,
+        objective: str,
+        *,
+        kernel_backend: str | None = None,
+        max_table_bytes: int | None = None,
+    ) -> "np.ndarray":
         """Objective column (lower is better); +inf marks infeasible rows.
 
         Bit-identical to scoring each row's scalar :class:`Evaluation`
-        under :data:`repro.optimizer.search.OBJECTIVES`.
+        under :data:`repro.optimizer.search.OBJECTIVES`, for every
+        backend and for any ``max_table_bytes`` chunking: every column
+        op in the pipeline is elementwise per candidate, so evaluating
+        a slice of columns is the same arithmetic on a smaller array.
+        ``None`` knobs defer to the scoped defaults
+        (:func:`repro.core.backend.resolve_kernel_backend` /
+        :func:`repro.core.backend.resolve_max_table_bytes`).
         """
         n = len(self)
         if n == 0:
             return np.empty(0, dtype=np.float64)
+        backend = resolve_kernel_backend(kernel_backend)
+        cap = resolve_max_table_bytes(max_table_bytes)
+        if cap is None:
+            return self._scores_slice(objective, slice(0, n), backend)
+        rows = plan_chunk_rows(self._row_bytes(), cap)
+        out = np.empty(n, dtype=np.float64)
+        for start in range(0, n, rows):
+            sl = slice(start, min(start + rows, n))
+            out[sl] = self._scores_slice(objective, sl, backend)
+        return out
+
+    def best(
+        self,
+        objective: str,
+        *,
+        kernel_backend: str | None = None,
+        max_table_bytes: int | None = None,
+    ) -> tuple[int, float, int]:
+        """First-min winner: ``(index, score, finite_count)``.
+
+        Equivalent to ``np.argmin`` over :meth:`scores` (ties break to
+        the lowest row index, i.e. the lowest legacy candidate rank)
+        but streams the table in chunks under ``max_table_bytes`` with
+        a carried reduction, so the full score column is never
+        materialised.  ``index`` is ``-1`` only for an empty batch.
+        """
+        n = len(self)
+        if n == 0:
+            return -1, float("inf"), 0
+        backend = resolve_kernel_backend(kernel_backend)
+        cap = resolve_max_table_bytes(max_table_bytes)
+        rows = n if cap is None else plan_chunk_rows(self._row_bytes(), cap)
+        best_index, best_score, finite = -1, float("inf"), 0
+        for start in range(0, n, rows):
+            sl = slice(start, min(start + rows, n))
+            chunk = self._scores_slice(objective, sl, backend)
+            finite += int(np.isfinite(chunk).sum())
+            local = int(np.argmin(chunk))
+            score = float(chunk[local])
+            # Strict < keeps the earliest chunk's row on equal scores,
+            # so the global first-min tie-break survives chunking.
+            if best_index < 0 or score < best_score:
+                best_index, best_score = start + local, score
+        return best_index, best_score, finite
+
+    def _scores_slice(
+        self, objective: str, sl: slice, backend: KernelBackend
+    ) -> "np.ndarray":
+        """The score pipeline over one contiguous slice of columns."""
+        tiles = self.tiles[:, :, sl]
+        outer = self.outer[sl]
+        inner = self.inner[sl]
+        par = self.par[sl]
+        n = tiles.shape[-1]
         layer, arch = self.layer, self.arch
         precision = arch.precision
         levels = arch.num_levels
-        if self.tiles.shape[0] != levels:
+        if tiles.shape[0] != levels:
             raise ValueError(
-                f"{arch.name} has {levels} levels, got {self.tiles.shape[0]}"
+                f"{arch.name} has {levels} levels, got {tiles.shape[0]}"
             )
-        cand = np.arange(n)
+        impl = backend.kernel_impl
         dim_tbl, pos_tbl = _order_tables(self.orders)
         par_tbl = parallelism_tables(self.parallelisms, arch)
         full = np.broadcast_to(full_extents(layer)[:, None], (5, n))
@@ -502,15 +597,15 @@ class CandidateBatch:
         psum_writeback: list["np.ndarray"] = []
 
         for level_index in range(levels):
-            parent = full if level_index == 0 else self.tiles[level_index - 1]
-            child = self.tiles[level_index]
-            order_idx = self.outer if level_index == 0 else self.inner
+            parent = full if level_index == 0 else tiles[level_index - 1]
+            child = tiles[level_index]
+            order_idx = outer if level_index == 0 else inner
             trips = ceil_div(parent, child)
-            degrees = par_tbl.degrees[self.par, level_index].T  # (5, N)
+            degrees = par_tbl.degrees[par, level_index].T  # (5, N)
             seq_trips = ceil_div(trips, degrees)
             profile = _boundary_fill_columns(
                 layer, precision, parent, child, trips, seq_trips,
-                dim_tbl[order_idx], pos_tbl[order_idx],
+                dim_tbl[order_idx], pos_tbl[order_idx], backend,
             )
             region = _region_bytes_columns(layer, precision, parent)
 
@@ -528,13 +623,13 @@ class CandidateBatch:
                 parent_fills[data_type] = fills
             fill_bytes.append(level_fill)
 
-            spill = psum_spill_bytes_kernel(
+            spill = impl(psum_spill_bytes_kernel)(
                 level_fill[DataType.PSUMS], out_psum_bytes
             )
             psum_load.append(spill)
             if level_index == 0:
                 psum_writeback.append(
-                    dram_psum_writeback_kernel(
+                    impl(dram_psum_writeback_kernel)(
                         spill,
                         layer.output_elements * precision.activation_bytes,
                     )
@@ -545,12 +640,12 @@ class CandidateBatch:
 
         # --- performance ----------------------------------------------
         mid_index = max(levels - 2, 0)
-        mid_tile = self.tiles[mid_index]
-        inner_tile = self.tiles[-1]
-        cluster_parent = full if mid_index == 0 else self.tiles[mid_index - 1]
-        pe_parent = full if levels == 1 else self.tiles[levels - 2]
-        c_deg = par_tbl.cluster_deg[self.par].T  # (5, N)
-        p_deg = par_tbl.pe_deg[self.par].T
+        mid_tile = tiles[mid_index]
+        inner_tile = tiles[-1]
+        cluster_parent = full if mid_index == 0 else tiles[mid_index - 1]
+        pe_parent = full if levels == 1 else tiles[levels - 2]
+        c_deg = par_tbl.cluster_deg[par].T  # (5, N)
+        p_deg = par_tbl.pe_deg[par].T
         dim_factors = [
             (
                 c_deg[DIM_INDEX[dim]],
@@ -560,17 +655,19 @@ class CandidateBatch:
             )
             for dim in _PAR_DIMS
         ]
-        util = utilization_kernel(
-            par_tbl.total_degree[self.par],
+        util = impl(utilization_kernel)(
+            par_tbl.total_degree[par],
             arch.total_pes,
             arch.vector_width,
             inner_tile[DIM_INDEX[Dim.K]],
             dim_factors,
         )
         maccs = layer.maccs
-        cycles = compute_cycles_kernel(maccs, arch.peak_maccs_per_cycle, util)
+        cycles = impl(compute_cycles_kernel)(
+            maccs, arch.peak_maccs_per_cycle, util
+        )
         for index in range(levels):
-            crossing = boundary_bus_bytes_kernel(
+            crossing = impl(boundary_bus_bytes_kernel)(
                 fill_bytes[index][DataType.INPUTS],
                 fill_bytes[index][DataType.WEIGHTS],
                 psum_load[index],
@@ -583,7 +680,7 @@ class CandidateBatch:
         read_pj, write_pj, bus_length_mm = energy_cost_tables(arch)
         repl_cols = [
             {
-                dt: par_tbl.replication[self.par, lvl, t]
+                dt: par_tbl.replication[par, lvl, t]
                 for t, dt in enumerate(ALL_DATA_TYPES)
             }
             for lvl in range(levels)
@@ -595,7 +692,7 @@ class CandidateBatch:
         (
             dram_pj, _reads, _writes, level_energy, noc_pj, compute_pj,
             static_pj,
-        ) = energy_accumulation_kernel(
+        ) = impl(energy_accumulation_kernel)(
             num_levels=levels,
             fill_bytes=fill_bytes,
             psum_load_bytes=psum_load,
@@ -624,11 +721,11 @@ class CandidateBatch:
         elif objective == "latency":
             scores = cycles + 0.0
         elif objective == "edp":
-            scores = edp_kernel(total_pj, cycles, tech.clock_hz)
+            scores = impl(edp_kernel)(total_pj, cycles, tech.clock_hz)
         elif objective == "perf_per_watt":
-            scores = -perf_per_watt_kernel(maccs, total_pj)
+            scores = -impl(perf_per_watt_kernel)(maccs, total_pj)
         else:
             raise ValueError(f"unknown objective {objective!r}")
 
-        feasible = hierarchy_fits_mask(arch, layer, self.tiles)
+        feasible = hierarchy_fits_mask(arch, layer, tiles)
         return np.where(feasible, scores, np.inf)

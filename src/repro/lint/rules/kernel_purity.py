@@ -24,13 +24,22 @@ is pure arithmetic over its arguments:
   (anything else is hidden state a compiled backend cannot capture);
 * **no array-hostile builtins** — ``min``/``max``/``any``/``all``/
   ``bool``/``sorted`` have scalar-only or truthiness semantics.
+
+Two backend-contract extensions (docs/INVARIANTS.md, "Kernel backends"):
+the kernel-execution backend module (:mod:`repro.core.backend`) is
+sanctioned *by path* — its wrappers (jitted dispatchers, guarded
+fallbacks) are generated **from** the kernels, so the per-def purity
+checks do not apply there — and a cross-module check flags any public
+``*_kernel`` definition outside ``repro/core/`` that re-uses a core
+kernel's name: backends and simulators must *lower* the shared formulas,
+never fork their math under the same name.
 """
 
 from __future__ import annotations
 
 import ast
 import builtins
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.engine import ModuleInfo, Rule, root_name
@@ -40,6 +49,17 @@ from repro.lint.engine import ModuleInfo, Rule, root_name
 SANCTIONED_HELPERS = frozenset(
     {"ceil_div", "clip_min0", "kernel_and_stride"}
 )
+
+#: Module-path suffixes exempt from the per-def purity checks: the
+#: kernel-execution backend generates compiled wrappers *from* the
+#: kernels (rebinding their globals, guarding JIT failures), which is
+#: exactly the module machinery kernels themselves must not contain.
+#: The :meth:`KernelPurityRule.finish` redefinition check still applies
+#: to it — sanctioned to lower, not to fork.
+SANCTIONED_BACKEND_MODULES = ("repro/core/backend.py",)
+
+#: Path fragment marking the home of the shared formula kernels.
+_CORE_FRAGMENT = "repro/core/"
 
 #: Builtins whose semantics are structural, not value-dependent.
 SAFE_BUILTINS = frozenset(
@@ -126,11 +146,67 @@ class KernelPurityRule(Rule):
     )
 
     def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        if any(
+            module.display.endswith(suffix)
+            for suffix in SANCTIONED_BACKEND_MODULES
+        ):
+            # The backend lowers kernels (globals rebinding, JIT guards);
+            # its wrappers are generated from them, not kernels
+            # themselves.  finish() still polices redefinitions.
+            return []
         out: list[Diagnostic] = []
         for node in ast.walk(module.tree):
             if self._is_kernel_def(node):
                 out.extend(self._check_kernel_def(module, node))
         return out
+
+    def finish(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterable[Diagnostic]:
+        """Cross-module check: no ``*_kernel`` name forked outside core.
+
+        The ``repro/core/`` kernels are the single source of the model
+        math; every backend and simulator lowers *those* functions.  A
+        same-named public ``*_kernel`` def in any other ``repro`` module
+        is a fork waiting to drift — the compiled backend would silently
+        lower different math than the scalar oracle checks.
+        """
+        def is_backend(module: ModuleInfo) -> bool:
+            return any(
+                module.display.endswith(suffix)
+                for suffix in SANCTIONED_BACKEND_MODULES
+            )
+
+        core_defs: dict[str, str] = {}
+        for module in modules:
+            if _CORE_FRAGMENT not in module.display or is_backend(module):
+                continue
+            for node in ast.walk(module.tree):
+                if self._is_kernel_def(node):
+                    core_defs.setdefault(node.name, module.display)
+        if not core_defs:
+            return
+        for module in modules:
+            if "repro/" not in module.display:
+                continue  # tests/benchmarks may stub kernels freely
+            # The backend module sits under core/ but is a *consumer* of
+            # the kernels (exempt from the per-def checks above), so the
+            # redefinition check applies to it like any other module.
+            if _CORE_FRAGMENT in module.display and not is_backend(module):
+                continue
+            for node in ast.walk(module.tree):
+                if self._is_kernel_def(node) and node.name in core_defs:
+                    yield Diagnostic(
+                        rule=self.name,
+                        path=module.display,
+                        line=node.lineno,
+                        message=(
+                            f"{node.name}: redefines the core kernel "
+                            f"from {core_defs[node.name]}; backends must "
+                            "lower the shared kernel, never fork its "
+                            "math — import it instead"
+                        ),
+                    )
 
     @staticmethod
     def _is_kernel_def(node: ast.AST) -> bool:

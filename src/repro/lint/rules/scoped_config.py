@@ -10,7 +10,10 @@ process defaults > environment > built-ins), which means:
 * ``os.environ``/``os.getenv`` reads of ``REPRO_*`` variables are allowed
   only in the sanctioned resolvers: :mod:`repro.api` (the
   ``SessionConfig.from_env`` materialiser), the ``default_*`` resolvers
-  of :mod:`repro.optimizer.engine`, and
+  of :mod:`repro.optimizer.engine` — including the kernel-backend pair
+  ``default_kernel_backend`` / ``default_max_table_bytes``, the *only*
+  sanctioned readers of ``$REPRO_KERNEL_BACKEND`` /
+  ``$REPRO_MAX_TABLE_BYTES`` — and
   :func:`repro.workloads.networks.build_network` (the build-default
   resolver).  Anywhere else, read the active session instead.
 * Writes to ``os.environ`` (any variable) are flagged everywhere —

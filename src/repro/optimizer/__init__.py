@@ -35,7 +35,12 @@ Module map:
   fan-out of unique searches, and the persistent configuration cache
   (paper Section V's "saved and recalled" configuration files).  Knobs:
   ``use_cache``, ``parallelism``, ``parallelism_mode``, ``cache_dir``,
-  ``cache_backend``, ``vectorize``, ``budget_ms`` on
+  ``cache_backend``, ``vectorize``, ``budget_ms``, ``kernel_backend``
+  (``"numpy"`` | ``"compiled"`` — the :mod:`repro.core.backend`
+  registry; ``"compiled"`` JIT-compiles the shared kernels when numba
+  is installed and silently matches numpy otherwise) and
+  ``max_table_bytes`` (stream columnar tables in row chunks under a
+  byte cap — bit-identical results, like every speed knob here) on
   :func:`optimize_network` / :func:`optimize_layer`; scoped defaults
   via a
   :class:`repro.api.Session` (preferred — concurrent sweeps with
@@ -43,7 +48,8 @@ Module map:
   defaults via the deprecated :func:`set_engine_defaults`, or the
   ``REPRO_PARALLELISM`` / ``REPRO_PARALLELISM_MODE`` /
   ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_BACKEND`` / ``REPRO_VECTORIZE``
-  / ``REPRO_BUDGET_MS`` environment variables (runner flags of the
+  / ``REPRO_BUDGET_MS`` / ``REPRO_KERNEL_BACKEND`` /
+  ``REPRO_MAX_TABLE_BYTES`` environment variables (runner flags of the
   same names exist for all of them; a malformed value raises naming
   the variable, it never silently falls back to a default).
 * :mod:`~repro.optimizer.config_store` — the JSON codec for whole-network

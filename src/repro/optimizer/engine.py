@@ -376,6 +376,63 @@ def default_budget_ms() -> float | None:
     return budget
 
 
+def default_kernel_backend() -> str:
+    """Kernel-execution backend for the columnar passes (``"numpy"``
+    unless overridden by the active session or
+    ``$REPRO_KERNEL_BACKEND``).  A pure speed knob: every backend is
+    bit-identical to the scalar oracle (``docs/INVARIANTS.md``, backend
+    contract), so like ``vectorize`` it never enters search signatures.
+
+    A name outside the registry raises — a typo'd backend must never
+    silently run the default one.
+    """
+    scoped = active_value("kernel_backend")
+    if scoped is not None:
+        return scoped
+    env = os.environ.get("REPRO_KERNEL_BACKEND")
+    if env is None or env.strip() == "":
+        return "numpy"
+    from repro.core import backend as _backend
+
+    name = env.strip().lower()
+    if name not in _backend.KERNEL_BACKENDS:
+        known = ", ".join(_backend.backend_names())
+        raise ValueError(
+            f"REPRO_KERNEL_BACKEND must be one of {known}, got {env!r}"
+        )
+    return name
+
+
+def default_max_table_bytes() -> int | None:
+    """Memory cap (bytes) for columnar schedule/candidate tables
+    (``None`` = materialise full tables), via the active session or
+    ``$REPRO_MAX_TABLE_BYTES``.  Capped passes stream row chunks with
+    carried reductions — bit-identical to unchunked, so this too stays
+    out of search signatures.
+
+    An empty value means unset; an invalid or non-positive one raises —
+    a typo'd cap must never silently mean "unlimited".
+    """
+    scoped = active_value("max_table_bytes")
+    if scoped is not None:
+        return scoped
+    env = os.environ.get("REPRO_MAX_TABLE_BYTES")
+    if env is None or env.strip() == "":
+        return None
+    try:
+        cap = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MAX_TABLE_BYTES must be an integer byte count, "
+            f"got {env!r}"
+        ) from None
+    if cap < 1:
+        raise ValueError(
+            f"REPRO_MAX_TABLE_BYTES must be >= 1 (bytes), got {env!r}"
+        )
+    return cap
+
+
 def default_manifest_compact_ratio() -> float | None:
     """Auto-compaction threshold for :class:`ShardedStore` manifests (the
     manifest is rewritten once its line count exceeds this multiple of
@@ -770,6 +827,8 @@ class OptimizerEngine:
         use_cache: bool | None = None,
         vectorize: bool | None = None,
         budget_ms: float | None = None,
+        kernel_backend: str | None = None,
+        max_table_bytes: int | None = None,
     ) -> None:
         self.arch = arch
         self.options = options or OptimizerOptions()
@@ -799,10 +858,26 @@ class OptimizerEngine:
                 else default_budget_ms()
             )
         self.budget_ms = budget_ms
+        if kernel_backend is None:
+            kernel_backend = (
+                self.options.kernel_backend
+                if self.options.kernel_backend is not None
+                else default_kernel_backend()
+            )
+        self.kernel_backend = kernel_backend
+        if max_table_bytes is None:
+            max_table_bytes = (
+                self.options.max_table_bytes
+                if self.options.max_table_bytes is not None
+                else default_max_table_bytes()
+            )
+        self.max_table_bytes = max_table_bytes
         self.options = self.options.with_(
             vectorize=vectorize,
             search_order=resolved_order,
             budget_ms=budget_ms,
+            kernel_backend=kernel_backend,
+            max_table_bytes=max_table_bytes,
         )
         self.parallelism = (
             default_parallelism() if parallelism is None else max(1, parallelism)
@@ -988,6 +1063,8 @@ def optimize_layer(
     cache_backend: str | ConfigStore | None = None,
     vectorize: bool | None = None,
     budget_ms: float | None = None,
+    kernel_backend: str | None = None,
+    max_table_bytes: int | None = None,
 ) -> LayerResult:
     """Single-layer search through the engine's shared caches.
 
@@ -997,6 +1074,10 @@ def optimize_layer(
     search's wall-clock (anytime mode — see
     :attr:`repro.optimizer.search.OptimizerOptions.budget_ms`); ``None``
     defers to the session / ``REPRO_BUDGET_MS`` default.
+    ``kernel_backend`` / ``max_table_bytes`` select the kernel-execution
+    backend and the columnar-table memory cap (pure speed knobs,
+    bit-identical results; ``None`` defers to the session /
+    ``REPRO_KERNEL_BACKEND`` / ``REPRO_MAX_TABLE_BYTES``).
     """
     from repro.api import current_session
 
@@ -1011,4 +1092,6 @@ def optimize_layer(
         use_cache=use_cache,
         vectorize=vectorize,
         budget_ms=budget_ms,
+        kernel_backend=kernel_backend,
+        max_table_bytes=max_table_bytes,
     )

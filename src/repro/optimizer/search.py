@@ -108,6 +108,30 @@ class OptimizerOptions:
     parallel_floors: bool = dataclasses.field(
         default=True, repr=False, compare=False
     )
+    #: Kernel-execution backend for the columnar batch evaluator —
+    #: ``"numpy"`` (plain vectorized kernels) or ``"compiled"`` (the same
+    #: kernels JIT-compiled via :mod:`repro.core.backend`; silently
+    #: identical to ``"numpy"`` when no JIT is installed).  Backends lower
+    #: the shared ``*_kernel`` formulas, never fork them, so scores and
+    #: winners are bit-identical across backends — a pure speed knob,
+    #: excluded from search signatures and cache keys.  ``None`` defers to
+    #: the engine default
+    #: (:func:`repro.optimizer.engine.default_kernel_backend` — the active
+    #: session / ``REPRO_KERNEL_BACKEND`` / ``"numpy"``).
+    kernel_backend: str | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    #: Memory cap (bytes) on any one columnar candidate/schedule table.
+    #: When set, batch scoring streams candidates in row chunks with
+    #: carried first-min reductions — bit-identical to the unchunked
+    #: sweep, so huge search spaces never fall back to the scalar path.
+    #: ``None`` defers to the engine default
+    #: (:func:`repro.optimizer.engine.default_max_table_bytes` — the
+    #: active session / ``REPRO_MAX_TABLE_BYTES`` / uncapped).  A pure
+    #: speed/memory knob, excluded from search signatures and cache keys.
+    max_table_bytes: int | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.objective not in OBJECTIVES:
@@ -123,6 +147,15 @@ class OptimizerOptions:
         if self.budget_ms is not None and self.budget_ms < 0:
             raise ValueError(
                 f"budget_ms must be >= 0 (milliseconds), got {self.budget_ms!r}"
+            )
+        if self.kernel_backend is not None:
+            from repro.core.backend import check_backend_name
+
+            check_backend_name(self.kernel_backend)
+        if self.max_table_bytes is not None and self.max_table_bytes < 1:
+            raise ValueError(
+                "max_table_bytes must be a positive byte count, "
+                f"got {self.max_table_bytes!r}"
             )
 
     @classmethod
@@ -457,6 +490,18 @@ class LayerOptimizer:
             self.budget_ms = default_budget_ms()
         else:
             self.budget_ms = self.options.budget_ms
+        if self.options.kernel_backend is None:
+            from repro.optimizer.engine import default_kernel_backend
+
+            self.kernel_backend = default_kernel_backend()
+        else:
+            self.kernel_backend = self.options.kernel_backend
+        if self.options.max_table_bytes is None:
+            from repro.optimizer.engine import default_max_table_bytes
+
+            self.max_table_bytes = default_max_table_bytes()
+        else:
+            self.max_table_bytes = self.options.max_table_bytes
 
     # ------------------------------------------------------------------
     def _outer_orders(self, layer: ConvLayer, l2_tile: TileShape) -> list[LoopOrder]:
@@ -921,13 +966,18 @@ class LayerOptimizer:
                 np.array(rows_inner, dtype=np.int64),
                 np.full(n, p_idx, dtype=np.int64),
             )
-            scores = batch.scores(objective)
-            evaluated += int(np.isfinite(scores).sum())
-            # First minimum wins: among equal scores argmin picks the
-            # lowest table position, which (ranks increase with position)
-            # is the lowest legacy rank in this block.
-            winner = int(np.argmin(scores))
-            winner_score = float(scores[winner])
+            # First minimum wins: among equal scores the lowest table
+            # position is kept (ranks increase with position, so that is
+            # the lowest legacy rank in this block); ``best`` preserves
+            # this across chunk boundaries when ``max_table_bytes`` caps
+            # the score table, so chunked and unchunked runs are
+            # bit-identical.
+            winner, winner_score, finite = batch.best(
+                objective,
+                kernel_backend=self.kernel_backend,
+                max_table_bytes=self.max_table_bytes,
+            )
+            evaluated += finite
             # The finiteness guard keeps an all-infeasible block (score
             # inf) from tying the initial incumbent via the rank rule.
             if np.isfinite(winner_score) and can_beat(
@@ -1020,6 +1070,8 @@ def optimize_network(
     cache_backend=None,
     vectorize: bool | None = None,
     budget_ms: float | None = None,
+    kernel_backend: str | None = None,
+    max_table_bytes: int | None = None,
 ) -> NetworkResult:
     """Optimize each layer of a network through the optimizer engine.
 
@@ -1050,7 +1102,13 @@ def optimize_network(
     wall-clock (anytime mode; ``None`` defers to the session /
     ``REPRO_BUDGET_MS`` default — see
     :attr:`OptimizerOptions.budget_ms` for the prefix/bit-identity
-    contract).
+    contract).  ``kernel_backend`` picks the kernel-execution backend
+    (``"numpy"`` / ``"compiled"``) and ``max_table_bytes`` caps columnar
+    table memory via chunked streaming — both pure speed knobs with
+    bit-identical results, deferring to ``REPRO_KERNEL_BACKEND`` /
+    ``REPRO_MAX_TABLE_BYTES`` when ``None`` (see
+    :attr:`OptimizerOptions.kernel_backend` /
+    :attr:`OptimizerOptions.max_table_bytes`).
 
     This function is a compatibility shim over :mod:`repro.api`: the call
     runs through the currently scoped session (or the process default
@@ -1072,6 +1130,8 @@ def optimize_network(
         use_cache=use_cache,
         vectorize=vectorize,
         budget_ms=budget_ms,
+        kernel_backend=kernel_backend,
+        max_table_bytes=max_table_bytes,
     )
 
 
@@ -1082,10 +1142,13 @@ def clear_cache() -> None:
     cache, this also resets the model-constant memos added for the
     columnar pipeline — the :func:`split_parallelism` divisor search, the
     per-machine energy cost tables and the batch pipeline's constant
-    columns — so tests (or notebooks) that mutate an accelerator or
-    technology description in place can never observe stale constants.
+    columns — and the kernel-backend state added for the compiled
+    backend: the compiled-kernel dispatch memos and chunk-plan caches of
+    :mod:`repro.core.backend`, so a cleared process re-JITs (or re-probes
+    for a JIT) from scratch.
     """
     from repro.baselines import eyeriss
+    from repro.core import backend as kernel_backend
     from repro.core import batch, energy_model, performance_model
     from repro.optimizer import engine
 
@@ -1094,3 +1157,4 @@ def clear_cache() -> None:
     performance_model.clear_memos()
     energy_model.clear_memos()
     batch.clear_constant_caches()
+    kernel_backend.clear_backend_caches()

@@ -36,6 +36,12 @@ import dataclasses
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.access_model import compute_traffic
+from repro.core.backend import (
+    KernelBackend,
+    plan_chunk_rows,
+    resolve_kernel_backend,
+    resolve_max_table_bytes,
+)
 from repro.core.dataflow import Dataflow
 from repro.core.dims import DataType, Dim
 from repro.core.performance_model import (
@@ -160,12 +166,18 @@ def simulate_pipeline(
     arch: AcceleratorConfig,
     *,
     vectorize: bool | None = None,
+    kernel_backend: str | None = None,
+    max_table_bytes: int | None = None,
 ) -> PipelineReport:
     """Walk the outer tile schedule with double-buffered overlap.
 
     ``vectorize`` selects the columnar pass over the scalar reference
-    walk (default: the engine knob / ``REPRO_VECTORIZE``); reports are
-    bit-identical either way.
+    walk (default: the engine knob / ``REPRO_VECTORIZE``);
+    ``kernel_backend`` picks the kernel-execution backend and
+    ``max_table_bytes`` streams the outer schedule in bounded chunks
+    with a carried pipeline state (``None`` knobs defer to the scoped
+    defaults).  Reports are bit-identical across every path, backend
+    and chunking.
     """
     from repro.sim.trace import _resolve_vectorize
 
@@ -182,8 +194,15 @@ def simulate_pipeline(
     dram_bw = arch.noc.boundary_bandwidth_bytes_per_cycle(0)
 
     if _resolve_vectorize(vectorize):
+        backend = resolve_kernel_backend(kernel_backend)
+        cap = resolve_max_table_bytes(max_table_bytes)
+        if cap is not None:
+            return _simulate_columnar_chunked(
+                dataflow, arch, peak, inner_bus_cycles_total, dram_bw,
+                backend, cap,
+            )
         return _simulate_columnar(
-            dataflow, arch, peak, inner_bus_cycles_total, dram_bw
+            dataflow, arch, peak, inner_bus_cycles_total, dram_bw, backend
         )
     return _simulate_scalar(
         dataflow, arch, peak, inner_bus_cycles_total, dram_bw
@@ -283,6 +302,7 @@ def _simulate_columnar(
     peak: float,
     inner_bus_cycles_total: float,
     dram_bw: float,
+    backend: KernelBackend | None = None,
 ) -> PipelineReport:
     """One-table re-expression of the scalar walk over the outer schedule.
 
@@ -317,9 +337,17 @@ def _simulate_columnar(
         ).any(axis=0)
         return flags
 
-    in_bytes = input_tile_elements_kernel(layer, w, h, c, f) * precision.activation_bytes
-    wt_bytes = weight_tile_elements_kernel(layer, c, k) * precision.weight_bytes
-    ps_bytes = psum_tile_elements_kernel(w, h, k, f) * precision.activation_bytes
+    if backend is None:
+        in_elems = input_tile_elements_kernel
+        wt_elems = weight_tile_elements_kernel
+        ps_elems = psum_tile_elements_kernel
+    else:
+        in_elems = backend.kernel_impl(input_tile_elements_kernel)
+        wt_elems = backend.kernel_impl(weight_tile_elements_kernel)
+        ps_elems = backend.kernel_impl(psum_tile_elements_kernel)
+    in_bytes = in_elems(layer, w, h, c, f) * precision.activation_bytes
+    wt_bytes = wt_elems(layer, c, k) * precision.weight_bytes
+    ps_bytes = ps_elems(w, h, k, f) * precision.activation_bytes
 
     load_bytes = (
         moved((Dim.W, Dim.H, Dim.C, Dim.F)) * in_bytes
@@ -352,4 +380,136 @@ def _simulate_columnar(
         load_bound_tiles=load_bound,
         compute_bound_tiles=n - load_bound,
         prologue_cycles=float(load_cycles[0]),
+    )
+
+
+#: Working bytes per outer-schedule row in the chunked pipeline pass:
+#: stacked origin/extent columns plus byte, mask and cycle columns.
+_PIPE_ROW_WORKSPACE = 256
+
+
+def _simulate_columnar_chunked(
+    dataflow: Dataflow,
+    arch: AcceleratorConfig,
+    peak: float,
+    inner_bus_cycles_total: float,
+    dram_bw: float,
+    backend: KernelBackend,
+    max_table_bytes: int,
+) -> PipelineReport:
+    """The columnar pass streamed in row chunks under a memory cap.
+
+    The double-buffered step of a tile needs the *next* tile's load
+    time, so the last row of each chunk is held pending until the next
+    chunk (or the end of the schedule) supplies its successor.  Cycle
+    totals accumulate with a carried ``cumsum`` — the running total is
+    prepended to each chunk's step column — which reproduces the scalar
+    loop's left-to-right float association exactly, so the report is
+    bit-identical to the unchunked pass.
+    """
+    import numpy as np
+
+    from repro.core.batch import DIM_INDEX, full_extents
+    from repro.sim.tiled_executor import (
+        TABLE_ROW_BYTES,
+        child_counts,
+        iter_boundary_chunks,
+    )
+
+    layer = dataflow.layer
+    precision = arch.precision
+    in_elems = backend.kernel_impl(input_tile_elements_kernel)
+    wt_elems = backend.kernel_impl(weight_tile_elements_kernel)
+    ps_elems = backend.kernel_impl(psum_tile_elements_kernel)
+
+    n = int(
+        child_counts(
+            full_extents(layer)[:, None],
+            dataflow.hierarchy.outermost,
+            dataflow.outer_order,
+        ).sum()
+    )
+    inner_share = inner_bus_cycles_total / n
+    max_rows = plan_chunk_rows(
+        TABLE_ROW_BYTES + _PIPE_ROW_WORKSPACE, max_table_bytes
+    )
+
+    in_rows = [DIM_INDEX[d] for d in (Dim.W, Dim.H, Dim.C, Dim.F)]
+    wt_rows = [DIM_INDEX[d] for d in (Dim.C, Dim.K)]
+    ps_rows = [DIM_INDEX[d] for d in (Dim.W, Dim.H, Dim.K, Dim.F)]
+
+    cycles = 0.0
+    prologue = 0.0
+    load_bound = 0
+    total_maccs = 0
+    prev_col = None  #: (10, 1) carried origin+extent of the previous row
+    pending = None  #: (compute, drain, prev_drain) of the previous row
+    for chunk in iter_boundary_chunks(dataflow, 0, max_rows):
+        rows_n = len(chunk)
+        ext = chunk.extent
+        w, h, c, k, f = (
+            ext[DIM_INDEX[d]] for d in (Dim.W, Dim.H, Dim.C, Dim.K, Dim.F)
+        )
+        maccs = (w * h * f * k * c) * (layer.r * layer.s * layer.t)
+        total_maccs += int(maccs.sum())
+        coords = np.concatenate([chunk.origin, ext])  # (10, rows_n)
+        if prev_col is None:
+            prev_col = coords[:, :1] - 1  # synthetic: every tensor moves
+        shifted = np.concatenate([prev_col, coords[:, :-1]], axis=1)
+
+        def moved(dim_rows, coords=coords, shifted=shifted):
+            both = dim_rows + [r + 5 for r in dim_rows]
+            return (coords[both] != shifted[both]).any(axis=0)
+
+        in_bytes = in_elems(layer, w, h, c, f) * precision.activation_bytes
+        wt_bytes = wt_elems(layer, c, k) * precision.weight_bytes
+        ps_bytes = ps_elems(w, h, k, f) * precision.activation_bytes
+        load_cycles = (
+            moved(in_rows) * in_bytes + moved(wt_rows) * wt_bytes
+        ).astype(np.float64) / dram_bw
+        drain_cycles = (moved(ps_rows) * ps_bytes).astype(np.float64) / dram_bw
+        compute_cycles = np.maximum(maccs / peak, inner_share)
+
+        if pending is None:
+            # Prologue: the global first fill cannot overlap anything.
+            cycles = prologue = float(load_cycles[0])
+            head = np.empty(0, dtype=np.float64)
+            prev_drain0 = 0.0
+        else:
+            p_compute, p_drain, p_prev_drain = pending
+            head_load = float(load_cycles[0])
+            head = np.array(
+                [max(p_compute, head_load, p_prev_drain)], dtype=np.float64
+            )
+            load_bound += head_load > p_compute
+            prev_drain0 = p_drain
+        # Steps of chunk rows 0..rows_n-2; the last row goes pending.
+        next_load = load_cycles[1:]
+        prev_drain = np.concatenate([[prev_drain0], drain_cycles[: rows_n - 2]])
+        steps = np.maximum(
+            np.maximum(compute_cycles[: rows_n - 1], next_load),
+            prev_drain[: rows_n - 1],
+        )
+        load_bound += int((next_load > compute_cycles[: rows_n - 1]).sum())
+        cycles = float(np.cumsum(np.concatenate([[cycles], head, steps]))[-1])
+        pending = (
+            float(compute_cycles[-1]),
+            float(drain_cycles[-1]),
+            float(drain_cycles[-2]) if rows_n >= 2 else prev_drain0,
+        )
+        prev_col = coords[:, -1:].copy()
+
+    assert total_maccs == layer.maccs, "schedule must cover the layer"
+    assert pending is not None
+    # The global last tile: no successor load, then the epilogue drain.
+    p_compute, p_drain, p_prev_drain = pending
+    last_step = max(p_compute, p_prev_drain)
+    cycles = float(np.cumsum(np.array([cycles, last_step, p_drain]))[-1])
+
+    return PipelineReport(
+        tiles=n,
+        cycles=cycles,
+        load_bound_tiles=load_bound,
+        compute_bound_tiles=n - load_bound,
+        prologue_cycles=prologue,
     )

@@ -19,6 +19,20 @@ dataflow's complete multi-level schedule into one coordinate table per
 boundary.  The columnar simulators (:mod:`repro.sim.trace`,
 :mod:`repro.sim.pipeline_sim`) run array passes over these tables instead
 of walking tiles one by one.
+
+Streaming lowering
+------------------
+A full boundary table holds every tile visit of the layer — tiny L0
+tiles on a huge layer can make that table alone outgrow memory.
+:func:`tile_table_rows` decodes any contiguous row range ``[lo, hi)`` of
+:func:`tile_table`'s result directly (the mixed-radix decode is a pure
+function of the global row index, so a slice costs only its own rows),
+and :func:`iter_boundary_chunks` streams a boundary's table in visit
+order as bounded-size chunks, regenerating ancestor levels chunk by
+chunk instead of materialising them.  Concatenating the chunks
+reproduces the full table bit for bit (``parent`` columns excepted —
+they index into the chunk-local parent set and are not meaningful
+across chunks).
 """
 
 from __future__ import annotations
@@ -159,6 +173,107 @@ def tile_table(
         parent=parent_index,
         first_child=local == 0,
     )
+
+
+#: Bytes one :class:`TileTable` row occupies: two (5,) int64 coordinate
+#: columns plus an int64 parent index and a bool first_child flag.
+TABLE_ROW_BYTES = 8 * 5 * 2 + 8 + 1
+
+
+def child_counts(
+    parent_extent: np.ndarray, tile: TileShape, order: LoopOrder
+) -> np.ndarray:
+    """(P,) child-tile counts of each parent region under ``tile``."""
+    parent_extent = np.asarray(parent_extent, dtype=np.int64).reshape(5, -1)
+    dim_rows = np.array([DIM_INDEX[d] for d in order.dims], dtype=np.intp)
+    tile_ext = np.array(
+        [tile.extent(d) for d in order.dims], dtype=np.int64
+    )[:, None]
+    return ceil_div(parent_extent[dim_rows], tile_ext).prod(axis=0)
+
+
+def tile_table_rows(
+    parent_origin: np.ndarray,
+    parent_extent: np.ndarray,
+    tile: TileShape,
+    order: LoopOrder,
+    lo: int,
+    hi: int,
+) -> TileTable:
+    """Rows ``[lo, hi)`` of :func:`tile_table`, decoded directly.
+
+    The mixed-radix decode maps a *global* row index to its coordinates
+    without touching any other row, so a slice allocates only
+    ``hi - lo`` columns — bit-identical to slicing the full table
+    (``parent`` excepted: it still indexes the parent *columns passed
+    in*, exactly as :func:`tile_table`'s does).
+    """
+    parent_origin = np.asarray(parent_origin, dtype=np.int64).reshape(5, -1)
+    parent_extent = np.asarray(parent_extent, dtype=np.int64).reshape(5, -1)
+    dim_rows = np.array([DIM_INDEX[d] for d in order.dims], dtype=np.intp)
+    tile_ext = np.array(
+        [tile.extent(d) for d in order.dims], dtype=np.int64
+    )[:, None]
+    counts = ceil_div(parent_extent[dim_rows], tile_ext)  # (5, P)
+    per_parent = counts.prod(axis=0)
+    ends = np.cumsum(per_parent)
+    rows = np.arange(lo, hi, dtype=np.int64)
+    parent_index = np.searchsorted(ends, rows, side="right").astype(np.int64)
+    local = rows - (ends - per_parent)[parent_index]
+    strides = np.ones_like(counts)
+    for row in range(len(order.dims) - 2, -1, -1):
+        strides[row] = strides[row + 1] * counts[row + 1]
+    steps = (local[None, :] // strides[:, parent_index]) % counts[:, parent_index]
+    origin_ordered = parent_origin[dim_rows][:, parent_index] + steps * tile_ext
+    extent_ordered = tile_extent_at_kernel(
+        steps, parent_extent[dim_rows][:, parent_index], tile_ext
+    )
+    origin = np.empty((5, rows.size), dtype=np.int64)
+    extent = np.empty((5, rows.size), dtype=np.int64)
+    origin[dim_rows] = origin_ordered
+    extent[dim_rows] = extent_ordered
+    return TileTable(
+        origin=origin,
+        extent=extent,
+        parent=parent_index,
+        first_child=local == 0,
+    )
+
+
+def iter_boundary_chunks(
+    dataflow: Dataflow, boundary: int, max_rows: int
+) -> Iterator[TileTable]:
+    """Stream one boundary's schedule table as chunks of ``<= max_rows``.
+
+    Yields :class:`TileTable` chunks whose rows, concatenated, equal
+    ``schedule_tables(dataflow)[boundary]`` bit for bit (including
+    ``first_child``; ``parent`` is chunk-local).  Ancestor levels are
+    themselves regenerated in bounded chunks, so peak table memory is
+    about ``(boundary + 1) * max_rows * TABLE_ROW_BYTES`` no matter how
+    many tile visits the layer has — size ``max_rows`` accordingly.
+    """
+    if max_rows < 1:
+        raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+    root_origin = np.zeros((5, 1), dtype=np.int64)
+    root_extent = full_extents(dataflow.layer)[:, None]
+
+    def chunks(level: int) -> Iterator[TileTable]:
+        tile = dataflow.hierarchy.tiles[level]
+        order = dataflow.order_for_boundary(level)
+        if level == 0:
+            parents: Iterator[tuple[np.ndarray, np.ndarray]] = iter(
+                ((root_origin, root_extent),)
+            )
+        else:
+            parents = ((t.origin, t.extent) for t in chunks(level - 1))
+        for origin, extent in parents:
+            total = int(child_counts(extent, tile, order).sum())
+            for lo in range(0, total, max_rows):
+                yield tile_table_rows(
+                    origin, extent, tile, order, lo, min(lo + max_rows, total)
+                )
+
+    return chunks(boundary)
 
 
 def schedule_tables(

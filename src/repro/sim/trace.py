@@ -44,6 +44,12 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.core.backend import (
+    KernelBackend,
+    plan_chunk_rows,
+    resolve_kernel_backend,
+    resolve_max_table_bytes,
+)
 from repro.core.dataflow import Dataflow
 from repro.core.dims import ALL_DATA_TYPES, DataType, Dim
 from repro.core.layer import ConvLayer
@@ -229,16 +235,26 @@ def trace_dataflow(
     precision: Precision = DEFAULT_PRECISION,
     *,
     vectorize: bool | None = None,
+    kernel_backend: str | None = None,
+    max_table_bytes: int | None = None,
 ) -> TraceReport:
     """Simulate the full schedule and return observed per-boundary traffic.
 
     ``vectorize`` selects the columnar pass (default: on when NumPy is
     available, following the engine's knob and ``REPRO_VECTORIZE``); the
-    scalar walk is the reference path.  Counters are bit-identical either
-    way.
+    scalar walk is the reference path.  ``kernel_backend`` picks the
+    kernel-execution backend for the columnar pass and
+    ``max_table_bytes`` caps its peak table memory by streaming the
+    schedule in chunks with carried residency state (``None`` knobs
+    defer to the scoped defaults).  Counters are bit-identical across
+    every path, backend and chunking.
     """
     if _resolve_vectorize(vectorize):
-        return _trace_columnar(dataflow, precision)
+        backend = resolve_kernel_backend(kernel_backend)
+        cap = resolve_max_table_bytes(max_table_bytes)
+        if cap is not None:
+            return _trace_columnar_chunked(dataflow, precision, backend, cap)
+        return _trace_columnar(dataflow, precision, backend)
     return _trace_scalar(dataflow, precision)
 
 
@@ -323,7 +339,11 @@ def _trace_scalar(dataflow: Dataflow, precision: Precision) -> TraceReport:
 # ----------------------------------------------------------------------
 # Columnar pass
 # ----------------------------------------------------------------------
-def _trace_columnar(dataflow: Dataflow, precision: Precision) -> TraceReport:
+def _trace_columnar(
+    dataflow: Dataflow,
+    precision: Precision,
+    backend: KernelBackend | None = None,
+) -> TraceReport:
     """Array-pass re-expression of the scalar walk, level by level.
 
     Per boundary, the full visit sequence is one coordinate table; the
@@ -340,14 +360,19 @@ def _trace_columnar(dataflow: Dataflow, precision: Precision) -> TraceReport:
     boundaries = _empty_boundaries(levels)
     weight_taps = layer.r * layer.s * layer.t
     psum_elem = precision.bytes_of(DataType.PSUMS)
+    region_bytes = (
+        region_bytes_kernel
+        if backend is None
+        else backend.kernel_impl(region_bytes_kernel)
+    )
 
     for boundary, table in zip(boundaries, schedule_tables(dataflow)):
         for data_type in ALL_DATA_TYPES:
             elem = precision.bytes_of(data_type)
             per_point = weight_taps if data_type is DataType.WEIGHTS else 1
-            lo, hi = _interval_columns(layer, data_type, table)
+            lo, hi = _interval_columns(layer, data_type, table, backend)
             lengths = hi - lo
-            sizes = region_bytes_kernel(elem, per_point, *lengths)
+            sizes = region_bytes(elem, per_point, *lengths)
             # resident(row i) == region(row i - 1): a fill happens exactly
             # where some axis differs from the previous row.
             axis_differs = (lo[:, 1:] != lo[:, :-1]) | (hi[:, 1:] != hi[:, :-1])
@@ -361,7 +386,7 @@ def _trace_columnar(dataflow: Dataflow, precision: Precision) -> TraceReport:
                     sizes[changed].sum()
                     - _slide_credits(
                         lo, hi, lengths, axis_differs, changed,
-                        table.first_child, elem,
+                        table.first_child, elem, backend,
                     )
                 )
             elif data_type is DataType.WEIGHTS:
@@ -381,16 +406,150 @@ def _trace_columnar(dataflow: Dataflow, precision: Precision) -> TraceReport:
     return TraceReport(layer=layer, boundaries=boundaries, precision=precision)
 
 
-def _interval_columns(layer: ConvLayer, data_type: DataType, table):
+#: Working bytes per schedule row in the chunked trace pass: the widest
+#: region (4 axes) carries int64 lo/hi interval columns plus size and
+#: mask columns alongside the row's coordinates.
+_TRACE_ROW_WORKSPACE = 96
+
+
+class _ChunkTraceState:
+    """Carried residency state of one (boundary, data type) row stream."""
+
+    def __init__(self) -> None:
+        self.prev_lo = None  #: (axes,) previous row's interval lows
+        self.prev_hi = None  #: (axes,) previous row's interval highs
+        self.prev_size = 0  #: previous row's region bytes
+        self.fills = 0
+        self.fill_bytes = 0
+        self.writeback = 0
+        self.load = 0
+        self.seen: set[bytes] = set()  #: packed psum region identities
+
+
+def _trace_columnar_chunked(
+    dataflow: Dataflow,
+    precision: Precision,
+    backend: KernelBackend,
+    max_table_bytes: int,
+) -> TraceReport:
+    """The columnar pass streamed in row chunks under a memory cap.
+
+    Schedule tables are regenerated chunk by chunk
+    (:func:`~repro.sim.tiled_executor.iter_boundary_chunks`) and every
+    reduction carries across chunk boundaries: the residency diff of a
+    chunk's first row compares against the carried previous row, so
+    fills, slide credits, psum writebacks and revisit loads are
+    bit-identical to the unchunked pass.  The very first row of each
+    stream compares against a synthetic region that differs on every
+    axis with zero resident bytes — it fills (like the unchunked
+    ``changed[0] = True``), earns no slide credit (multi-axis diff) and
+    writes nothing back, with no first-row special case downstream.
+    """
+    import numpy as np
+
+    from repro.sim.tiled_executor import TABLE_ROW_BYTES, iter_boundary_chunks
+
+    layer = dataflow.layer
+    levels = dataflow.hierarchy.levels
+    boundaries = _empty_boundaries(levels)
+    weight_taps = layer.r * layer.s * layer.t
+    region_bytes = backend.kernel_impl(region_bytes_kernel)
+    slide_reuse = backend.kernel_impl(slide_reuse_kernel)
+
+    for index in range(levels):
+        # Streaming boundary ``index`` keeps one bounded chunk alive per
+        # ancestor level, plus this pass's per-row interval workspace.
+        max_rows = plan_chunk_rows(
+            (index + 1) * TABLE_ROW_BYTES + _TRACE_ROW_WORKSPACE,
+            max_table_bytes,
+        )
+        states = {dt: _ChunkTraceState() for dt in ALL_DATA_TYPES}
+        for chunk in iter_boundary_chunks(dataflow, index, max_rows):
+            for data_type in ALL_DATA_TYPES:
+                state = states[data_type]
+                elem = precision.bytes_of(data_type)
+                per_point = weight_taps if data_type is DataType.WEIGHTS else 1
+                lo, hi = _interval_columns(layer, data_type, chunk, backend)
+                lengths = hi - lo
+                sizes = region_bytes(elem, per_point, *lengths)
+                if state.prev_lo is None:
+                    state.prev_lo = lo[:, 0] - 1
+                    state.prev_hi = hi[:, 0].copy()
+                lo_ext = np.concatenate([state.prev_lo[:, None], lo], axis=1)
+                hi_ext = np.concatenate([state.prev_hi[:, None], hi], axis=1)
+                # axis_differs[:, r] compares chunk row r to its
+                # predecessor (the carry for r == 0).
+                axis_differs = (lo_ext[:, 1:] != lo_ext[:, :-1]) | (
+                    hi_ext[:, 1:] != hi_ext[:, :-1]
+                )
+                changed = np.any(axis_differs, axis=0)
+                state.fills += int(changed.sum())
+                filled = int(sizes[changed].sum())
+                if data_type is DataType.INPUTS:
+                    eligible = (
+                        changed
+                        & ~chunk.first_child
+                        & (axis_differs.sum(axis=0) == 1)
+                    )
+                    rows = np.flatnonzero(eligible)
+                    if rows.size:
+                        axis = np.argmax(axis_differs[:, rows], axis=0)
+                        overlap = slide_reuse(
+                            lo[axis, rows], hi[axis, rows],
+                            lo_ext[axis, rows], hi_ext[axis, rows],
+                        )
+                        cross = region_bytes(elem, 1, *lengths[:, rows])
+                        cross //= lengths[axis, rows]
+                        filled -= int((overlap * cross).sum())
+                state.fill_bytes += filled
+                if data_type is DataType.PSUMS:
+                    # Evicting a changed row writes back its predecessor's
+                    # region; the synthetic first carry is zero bytes.
+                    prev_sizes = np.concatenate(
+                        [[state.prev_size], sizes[:-1]]
+                    )
+                    state.writeback += int(prev_sizes[changed].sum())
+                    for row in np.flatnonzero(changed):
+                        key = lo[:, row].tobytes() + hi[:, row].tobytes()
+                        if key in state.seen:
+                            state.load += int(sizes[row])
+                        else:
+                            state.seen.add(key)
+                state.prev_lo = lo[:, -1].copy()
+                state.prev_hi = hi[:, -1].copy()
+                state.prev_size = int(sizes[-1])
+        boundary = boundaries[index]
+        for data_type in ALL_DATA_TYPES:
+            boundary.fills[data_type] = states[data_type].fills
+            boundary.fill_bytes[data_type] = states[data_type].fill_bytes
+        # End-of-layer flush: the final resident psum region drains.
+        psums = states[DataType.PSUMS]
+        boundary.psum_writeback_bytes = psums.writeback + psums.prev_size
+        boundary.psum_load_bytes = psums.load
+
+    return TraceReport(layer=layer, boundaries=boundaries, precision=precision)
+
+
+def _interval_columns(
+    layer: ConvLayer,
+    data_type: DataType,
+    table,
+    backend: KernelBackend | None = None,
+):
     """``(lo, hi)`` ``(axes, N)`` interval columns of every visit's region."""
     import numpy as np
 
     from repro.core.batch import DIM_INDEX
 
+    interval = (
+        interval_kernel
+        if backend is None
+        else backend.kernel_impl(interval_kernel)
+    )
     los, his = [], []
     for dim in _REGION_DIMS[data_type]:
         span, stride = _span_stride(layer, data_type, dim)
-        lo, hi = interval_kernel(
+        lo, hi = interval(
             table.origin[DIM_INDEX[dim]], table.extent[DIM_INDEX[dim]],
             span, stride,
         )
@@ -400,7 +559,8 @@ def _interval_columns(layer: ConvLayer, data_type: DataType, table):
 
 
 def _slide_credits(
-    lo, hi, lengths, axis_differs, changed, first_child, elem: int
+    lo, hi, lengths, axis_differs, changed, first_child, elem: int,
+    backend: KernelBackend | None = None,
 ) -> int:
     """Total bytes saved by forward single-axis slides, summed over fills.
 
@@ -413,17 +573,27 @@ def _slide_credits(
     """
     import numpy as np
 
+    slide_reuse = (
+        slide_reuse_kernel
+        if backend is None
+        else backend.kernel_impl(slide_reuse_kernel)
+    )
+    region_bytes = (
+        region_bytes_kernel
+        if backend is None
+        else backend.kernel_impl(region_bytes_kernel)
+    )
     eligible = changed[1:] & ~first_child[1:] & (axis_differs.sum(axis=0) == 1)
     rows = np.flatnonzero(eligible) + 1  # row index into the full table
     if rows.size == 0:
         return 0
     axis = np.argmax(axis_differs[:, rows - 1], axis=0)
-    overlap = slide_reuse_kernel(
+    overlap = slide_reuse(
         lo[axis, rows], hi[axis, rows], lo[axis, rows - 1], hi[axis, rows - 1]
     )
     # sizes = elem * prod(lengths); dividing out the slide axis leaves the
     # cross-section the overlap is multiplied by (exact: lengths >= 1).
-    cross_section = region_bytes_kernel(elem, 1, *lengths[:, rows])
+    cross_section = region_bytes(elem, 1, *lengths[:, rows])
     cross_section //= lengths[axis, rows]
     return int((overlap * cross_section).sum())
 

@@ -661,6 +661,8 @@ class TestRunnerConfig:
             no_cache=False,
             vectorize=None,
             budget_ms=None,
+            kernel_backend=None,
+            max_table_bytes=None,
             frames=None,
             manifest_compact_ratio=None,
         )

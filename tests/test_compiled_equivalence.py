@@ -1,0 +1,653 @@
+"""Backend and chunking equivalence harness for the compiled kernel layer.
+
+The ``repro.core.backend`` contract (``docs/INVARIANTS.md``): backends
+*lower* the shared ``*_kernel`` functions, they never fork the math, so
+every backend — and every ``max_table_bytes`` chunking of a columnar
+pass — must be **bit-identical** to the scalar oracle.  These tests pin
+that contract:
+
+* hypothesis properties compare scalar vs ``"numpy"`` vs ``"compiled"``
+  backends on random strided/dilated layers: candidate scores, chosen
+  winners, and the trace/pipeline simulator counters;
+* chunked-vs-unchunked identity, including a forced multi-chunk
+  tie-break (the first-min rule must survive chunk boundaries) and a
+  ``max_table_bytes`` smaller than one table row (clean ``ValueError``);
+* an allocation-tracking test that the streamed slices actually respect
+  the cap on a batch whose full table exceeds it;
+* ``repro.clear_cache()`` resets the backend dispatch memos and chunk
+  plans;
+* strict ``$REPRO_KERNEL_BACKEND`` / ``$REPRO_MAX_TABLE_BYTES`` parsing
+  (errors name the variable and the offending value) and the session >
+  environment > built-in resolution chain.
+
+When numba is absent the ``compiled`` backend silently resolves to the
+pure-Python kernels — by design — so this whole suite passes either way;
+the identity assertions are exactly as strong in fallback mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.arch.accelerator import eyeriss_like, morph, morph_base
+from repro.core import backend as kb
+from repro.core.batch import CandidateBatch
+from repro.core.dataflow import Dataflow, Parallelism
+from repro.core.dims import ALL_DIMS
+from repro.core.evaluate import CapacityError, evaluate
+from repro.core.layer import ConvLayer
+from repro.core.loopnest import LoopOrder, all_loop_orders
+from repro.core.tiling import TileHierarchy, TileShape
+from repro.optimizer.search import (
+    OBJECTIVES,
+    LayerOptimizer,
+    OptimizerOptions,
+)
+from repro.sim.pipeline_sim import simulate_pipeline
+from repro.sim.trace import trace_dataflow
+
+ARCHES = {"morph": morph, "morph_base": morph_base, "eyeriss": eyeriss_like}
+
+SMALL_OPTIONS = OptimizerOptions(
+    max_l2_candidates=4,
+    keep_allocations=2,
+    keep_per_level=2,
+    max_parallelism_candidates=2,
+)
+
+ORDERS = [LoopOrder.parse(s) for s in
+          ("WHCKF", "KWHCF", "WFKHC", "FWHCK", "CKWHF", "KCFWH")]
+
+
+@st.composite
+def layers(draw) -> ConvLayer:
+    """Random (possibly strided/dilated) 3D conv layers."""
+    r = draw(st.integers(1, 3))
+    s = draw(st.integers(1, 3))
+    t = draw(st.integers(1, 2))
+    dil_h = draw(st.integers(1, 3))
+    dil_w = draw(st.integers(1, 2))
+    span_h = (r - 1) * dil_h + 1
+    span_w = (s - 1) * dil_w + 1
+    return ConvLayer(
+        "prop",
+        h=draw(st.integers(span_h, 20)),
+        w=draw(st.integers(span_w, 20)),
+        c=draw(st.integers(1, 32)),
+        f=draw(st.integers(t, 8)),
+        k=draw(st.integers(1, 48)),
+        r=r, s=s, t=t,
+        stride_h=draw(st.integers(1, 2)),
+        stride_w=draw(st.integers(1, 2)),
+        stride_f=draw(st.integers(1, 2)),
+        pad_h=draw(st.integers(0, 2)),
+        pad_w=draw(st.integers(0, 1)),
+        pad_f=draw(st.integers(0, 1)),
+        dilation_h=dil_h,
+        dilation_w=dil_w,
+    )
+
+
+def _random_tile(draw, full: TileShape) -> TileShape:
+    return TileShape(
+        w=draw(st.integers(1, full.w)),
+        h=draw(st.integers(1, full.h)),
+        c=draw(st.integers(1, full.c)),
+        k=draw(st.integers(1, full.k)),
+        f=draw(st.integers(1, full.f)),
+    )
+
+
+@st.composite
+def batch_cases(draw):
+    """A populated :class:`CandidateBatch` (plus its row meanings)."""
+    layer = draw(layers())
+    arch = ARCHES[draw(st.sampled_from(sorted(ARCHES)))]()
+    full = TileShape.full(layer)
+    hierarchies = [
+        tuple(_random_tile(draw, full) for _ in range(arch.num_levels))
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    order_pool = list(all_loop_orders())
+    orders = tuple(
+        draw(st.sampled_from(order_pool)) for _ in range(draw(st.integers(1, 2)))
+    )
+    parallelisms = (Parallelism(), Parallelism(k=arch.clusters))[
+        : draw(st.integers(1, 2))
+    ]
+    rows = [
+        (hi, oi, ii, pi)
+        for hi in range(len(hierarchies))
+        for oi in range(len(orders))
+        for ii in range(len(orders))
+        for pi in range(len(parallelisms))
+    ]
+    n = len(rows)
+    tiles = np.empty((arch.num_levels, 5, n), dtype=np.int64)
+    outer = np.empty(n, dtype=np.int64)
+    inner = np.empty(n, dtype=np.int64)
+    par = np.empty(n, dtype=np.int64)
+    for i, (hi, oi, ii, pi) in enumerate(rows):
+        for lvl, tile in enumerate(hierarchies[hi]):
+            tiles[lvl, :, i] = (tile.w, tile.h, tile.c, tile.k, tile.f)
+        outer[i], inner[i], par[i] = oi, ii, pi
+    batch = CandidateBatch(
+        layer, arch, orders, parallelisms, tiles, outer, inner, par
+    )
+    return batch, rows, hierarchies
+
+
+@st.composite
+def sim_dataflows(draw) -> Dataflow:
+    """Small random dataflows for the simulator counter checks."""
+    r = draw(st.sampled_from([1, 3]))
+    s = draw(st.sampled_from([1, 3]))
+    t = draw(st.sampled_from([1, 2]))
+    dil_h = draw(st.integers(1, 2))
+    span_h = (r - 1) * dil_h + 1
+    layer = ConvLayer(
+        "sim",
+        h=draw(st.integers(max(4, span_h), 12)),
+        w=draw(st.integers(max(4, s), 12)),
+        c=draw(st.integers(1, 6)),
+        f=draw(st.integers(t, 6)),
+        k=draw(st.integers(1, 8)),
+        r=r, s=s, t=t,
+        stride_h=draw(st.integers(1, 2)),
+        stride_w=draw(st.integers(1, 2)),
+        pad_h=draw(st.integers(0, 1)),
+        pad_w=draw(st.integers(0, 1)),
+        dilation_h=dil_h,
+    )
+    parent = TileShape.full(layer)
+    tiles = []
+    for _ in range(draw(st.integers(1, 3))):
+        tile = TileShape.from_mapping(
+            {d: draw(st.integers(1, parent.extent(d))) for d in ALL_DIMS}
+        ).clipped(parent)
+        tiles.append(tile)
+        parent = tile
+    return Dataflow(
+        draw(st.sampled_from(ORDERS)),
+        draw(st.sampled_from(ORDERS)),
+        TileHierarchy(layer, tuple(tiles)),
+        draw(st.sampled_from([Parallelism(), Parallelism(k=6, h=4, w=4)])),
+    )
+
+
+def assert_trace_reports_identical(a, b) -> None:
+    from repro.core.dims import ALL_DATA_TYPES
+
+    assert len(a.boundaries) == len(b.boundaries)
+    for i, (ba, bb) in enumerate(zip(a.boundaries, b.boundaries)):
+        for dt in ALL_DATA_TYPES:
+            assert ba.fills[dt] == bb.fills[dt], (i, dt)
+            assert ba.fill_bytes[dt] == bb.fill_bytes[dt], (i, dt)
+        assert ba.psum_load_bytes == bb.psum_load_bytes, i
+        assert ba.psum_writeback_bytes == bb.psum_writeback_bytes, i
+    assert a.dram_psum_writeback_bytes() == b.dram_psum_writeback_bytes()
+
+
+# ----------------------------------------------------------------------
+# Backend bit-identity: scalar vs numpy vs compiled
+# ----------------------------------------------------------------------
+class TestBackendScoreIdentity:
+    """Same scores and winners through every registered backend."""
+
+    @given(case=batch_cases(), objective=st.sampled_from(sorted(OBJECTIVES)))
+    @settings(max_examples=25, deadline=None)
+    def test_scores_bitwise_equal_across_backends(self, case, objective):
+        batch, rows, hierarchies = case
+        via_numpy = batch.scores(objective, kernel_backend="numpy")
+        via_compiled = batch.scores(objective, kernel_backend="compiled")
+        # Bit-identity between backends (inf compares equal to inf).
+        assert np.array_equal(via_numpy, via_compiled)
+        # And both match the scalar oracle row by row.
+        for i in range(len(batch)):
+            try:
+                expected = OBJECTIVES[objective](
+                    evaluate(batch.dataflow(i), batch.arch)
+                )
+            except CapacityError:
+                assert math.isinf(via_compiled[i]), (i, rows[i])
+                continue
+            assert via_compiled[i] == expected, (i, rows[i])
+
+    @given(case=batch_cases(), objective=st.sampled_from(sorted(OBJECTIVES)))
+    @settings(max_examples=25, deadline=None)
+    def test_best_identical_across_backends(self, case, objective):
+        batch, _, _ = case
+        base = batch.best(objective, kernel_backend="numpy")
+        compiled = batch.best(objective, kernel_backend="compiled")
+        assert base == compiled
+        scores = batch.scores(objective)
+        assert base[0] == int(np.argmin(scores))
+        assert base[1] == float(scores[base[0]])
+        assert base[2] == int(np.isfinite(scores).sum())
+
+    @given(
+        layer=layers(),
+        objective=st.sampled_from(sorted(OBJECTIVES)),
+        arch_name=st.sampled_from(sorted(ARCHES)),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_search_winner_identical(self, layer, objective, arch_name):
+        """Full LayerOptimizer run: compiled backend changes nothing."""
+        arch = ARCHES[arch_name]()
+        options = SMALL_OPTIONS.with_(objective=objective, vectorize=True)
+        try:
+            base = LayerOptimizer(arch, options).optimize(layer)
+        except CapacityError:
+            with pytest.raises(CapacityError):
+                LayerOptimizer(
+                    arch, options.with_(kernel_backend="compiled")
+                ).optimize(layer)
+            return
+        compiled = LayerOptimizer(
+            arch, options.with_(kernel_backend="compiled")
+        ).optimize(layer)
+        assert compiled.best.dataflow == base.best.dataflow
+        assert compiled.score == base.score
+        assert compiled.evaluated == base.evaluated
+
+
+class TestSimulatorBackendIdentity:
+    """Trace/pipeline counters identical through every backend + chunking."""
+
+    @given(dataflow=sim_dataflows())
+    @settings(max_examples=20, deadline=None)
+    def test_trace_counters_identical(self, dataflow):
+        scalar = trace_dataflow(dataflow, vectorize=False)
+        for kwargs in (
+            {"kernel_backend": "numpy"},
+            {"kernel_backend": "compiled"},
+            {"kernel_backend": "compiled", "max_table_bytes": 40_000},
+        ):
+            columnar = trace_dataflow(dataflow, vectorize=True, **kwargs)
+            assert_trace_reports_identical(scalar, columnar)
+
+    @given(dataflow=sim_dataflows())
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_report_identical(self, dataflow):
+        arch = morph()
+        scalar = simulate_pipeline(dataflow, arch, vectorize=False)
+        for kwargs in (
+            {"kernel_backend": "numpy"},
+            {"kernel_backend": "compiled"},
+            {"kernel_backend": "compiled", "max_table_bytes": 60_000},
+        ):
+            columnar = simulate_pipeline(
+                dataflow, arch, vectorize=True, **kwargs
+            )
+            # Frozen dataclass ==: every field, float cycles included.
+            assert scalar == columnar
+
+    def test_dilated_case_tiny_chunks(self):
+        """Deterministic dilated/strided case streamed in many chunks."""
+        layer = ConvLayer(
+            "dil", h=13, w=11, c=5, f=6, k=7, r=3, s=3, t=2,
+            stride_h=2, stride_w=2, pad_h=2, pad_w=2,
+            dilation_h=2, dilation_w=2,
+        )
+        dataflow = Dataflow(
+            LoopOrder.parse("WHCKF"), LoopOrder.parse("CFWHK"),
+            TileHierarchy(
+                layer,
+                (TileShape(w=3, h=4, c=3, k=4, f=3),
+                 TileShape(w=3, h=2, c=2, k=2, f=2)),
+            ),
+        )
+        arch = morph()
+        assert_trace_reports_identical(
+            trace_dataflow(dataflow, vectorize=False),
+            trace_dataflow(dataflow, vectorize=True, max_table_bytes=2_000),
+        )
+        assert simulate_pipeline(dataflow, arch, vectorize=False) == (
+            simulate_pipeline(
+                dataflow, arch, vectorize=True, max_table_bytes=2_000
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Chunked streaming: identity, tie-breaks, caps
+# ----------------------------------------------------------------------
+class TestChunkedEvaluation:
+    @given(case=batch_cases(), objective=st.sampled_from(sorted(OBJECTIVES)))
+    @settings(max_examples=20, deadline=None)
+    def test_chunked_scores_and_best_identical(self, case, objective):
+        batch, _, _ = case
+        full_scores = batch.scores(objective)
+        full_best = batch.best(objective)
+        # A cap of two rows' worth forces ceil(n/2) chunks.
+        cap = 2 * batch._row_bytes()
+        assert np.array_equal(
+            full_scores, batch.scores(objective, max_table_bytes=cap)
+        )
+        assert full_best == batch.best(objective, max_table_bytes=cap)
+
+    def _uniform_batch(self, copies: int) -> CandidateBatch:
+        """``copies`` identical candidate rows — every score ties."""
+        layer = ConvLayer("tie", h=8, w=8, c=4, f=2, k=8, r=3, s=3, t=1,
+                          pad_h=1, pad_w=1)
+        arch = morph()
+        tile = TileShape(w=4, h=4, c=4, k=4, f=1)
+        tiles = np.empty((arch.num_levels, 5, copies), dtype=np.int64)
+        for lvl in range(arch.num_levels):
+            tiles[lvl, :, :] = np.array(
+                [tile.w, tile.h, tile.c, tile.k, tile.f]
+            )[:, None]
+        zeros = np.zeros(copies, dtype=np.int64)
+        return CandidateBatch(
+            layer, arch, (LoopOrder.parse("WHCKF"),), (Parallelism(),),
+            tiles, zeros, zeros.copy(), zeros.copy(),
+        )
+
+    def test_multi_chunk_tie_break_keeps_first_min(self):
+        """Equal scores across a chunk boundary: the lowest row index
+        (the lowest legacy candidate rank) must win, exactly as a global
+        ``np.argmin`` would pick it."""
+        batch = self._uniform_batch(7)
+        cap = 2 * batch._row_bytes()  # rows land in chunks of 2
+        scores = batch.scores("energy")
+        assert np.all(scores == scores[0]) and np.isfinite(scores[0])
+        for max_table_bytes in (None, cap):
+            index, score, finite = batch.best(
+                "energy", max_table_bytes=max_table_bytes
+            )
+            assert index == 0
+            assert score == float(scores[0])
+            assert finite == len(batch)
+
+    def test_cap_smaller_than_one_row_raises(self):
+        batch = self._uniform_batch(3)
+        with pytest.raises(ValueError, match="smaller than a single table row"):
+            batch.scores("energy", max_table_bytes=1)
+        with pytest.raises(ValueError, match="smaller than a single table row"):
+            kb.plan_chunk_rows(row_bytes=64, max_table_bytes=63)
+        with pytest.raises(ValueError, match="row_bytes must be positive"):
+            kb.plan_chunk_rows(row_bytes=0, max_table_bytes=1024)
+
+    def test_chunks_respect_the_byte_cap(self, monkeypatch):
+        """Allocation tracking: every streamed slice stays under the cap
+        while the full table would blow past it."""
+        batch = self._uniform_batch(64)
+        row_bytes = batch._row_bytes()
+        cap = 8 * row_bytes
+        assert len(batch) * row_bytes > cap  # the full table exceeds the cap
+
+        slices: list[int] = []
+        original = CandidateBatch._scores_slice
+
+        def tracking(self, objective, sl, backend):
+            slices.append(sl.stop - sl.start)
+            return original(self, objective, sl, backend)
+
+        monkeypatch.setattr(CandidateBatch, "_scores_slice", tracking)
+        chunked = batch.scores("energy", max_table_bytes=cap)
+        assert sum(slices) == len(batch)
+        assert all(rows * row_bytes <= cap for rows in slices)
+        assert len(slices) == math.ceil(len(batch) / 8)
+
+        slices.clear()
+        full = batch.scores("energy")
+        assert slices == [len(batch)]
+        assert np.array_equal(full, chunked)
+
+    def test_plan_chunk_rows_memoized(self):
+        rows = kb.plan_chunk_rows(100, 1000)
+        assert rows == 10
+        assert kb._CHUNK_PLANS[(100, 1000)] == 10
+        assert kb.plan_chunk_rows(100, 1000) == 10
+
+
+# ----------------------------------------------------------------------
+# Backend registry and fallback mechanics
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_registry_names(self):
+        assert kb.backend_names() == ("compiled", "numpy")
+        assert kb.check_backend_name("numpy") == "numpy"
+        with pytest.raises(ValueError, match="unknown kernel backend 'cuda'"):
+            kb.check_backend_name("cuda")
+
+    def test_numpy_backend_is_identity(self):
+        def toy_kernel(x):
+            return x + 1
+
+        backend = kb.KERNEL_BACKENDS["numpy"]
+        assert backend.kernel_impl(toy_kernel) is toy_kernel
+
+    def test_unavailable_backend_serves_the_original(self):
+        """An unavailable substrate silently degrades to the pure kernel
+        — the contract that makes ``compiled`` safe without numba."""
+
+        def toy_kernel(x):
+            return x * 2
+
+        backend = kb.KernelBackend(
+            name="phantom",
+            available=lambda: False,
+            lower=lambda fn: pytest.fail("lower must not run"),
+        )
+        assert backend.kernel_impl(toy_kernel) is toy_kernel
+
+    def test_compiled_backend_never_raises_without_numba(self):
+        if kb.compiled_available():
+            pytest.skip("numba installed: fallback path not reachable")
+
+        def toy_kernel(x):
+            return x + 3
+
+        backend = kb.KERNEL_BACKENDS["compiled"]
+        impl = backend.kernel_impl(toy_kernel)
+        assert impl is toy_kernel  # identity fallback, no wrapper overhead
+
+    def test_guarded_kernel_falls_back_on_failure(self):
+        calls = {"jitted": 0}
+
+        def kernel(x):
+            return x + 10
+
+        def exploding(x):
+            calls["jitted"] += 1
+            raise RuntimeError("typing failed at first call")
+
+        guarded = kb._GuardedKernel(kernel, exploding)
+        assert guarded(1) == 11  # falls back, result from the oracle
+        assert guarded.failed
+        assert guarded(2) == 12
+        assert calls["jitted"] == 1  # never retried after the failure
+
+    def test_resolve_defaults_to_numpy(self):
+        assert kb.resolve_kernel_backend(None).name == "numpy"
+        assert kb.resolve_kernel_backend("compiled").name == "compiled"
+        assert kb.resolve_max_table_bytes(None) is None
+        assert kb.resolve_max_table_bytes(4096) == 4096
+        with pytest.raises(ValueError, match="positive byte count"):
+            kb.resolve_max_table_bytes(0)
+
+
+class TestClearCache:
+    def test_clear_cache_resets_backend_memos(self):
+        """``repro.clear_cache()`` empties the dispatch memos and chunk
+        plans, so a reconfigured process re-lowers from scratch."""
+
+        def probe_kernel(x):
+            return x - 1
+
+        kb.compiled_available()          # populates the import memo
+        kb._lower_compiled(probe_kernel)  # populates the dispatch memo
+        kb.plan_chunk_rows(128, 4096)     # populates the chunk plans
+        assert kb._NUMBA_MODULE
+        assert kb._COMPILED_MEMO
+        assert kb._CHUNK_PLANS
+
+        repro.clear_cache()
+        assert not kb._NUMBA_MODULE
+        assert not kb._COMPILED_MEMO
+        assert not kb._JIT_SUPPORT
+        assert not kb._CHUNK_PLANS
+
+    def test_lowering_is_memoized_per_kernel(self):
+        def probe_kernel(x):
+            return x * 3
+
+        kb.clear_backend_caches()
+        first = kb._lower_compiled(probe_kernel)
+        second = kb._lower_compiled(probe_kernel)
+        assert first is second
+        assert len(kb._COMPILED_MEMO) == 1
+
+
+# ----------------------------------------------------------------------
+# Knob plumbing: options, signatures, env, session scoping
+# ----------------------------------------------------------------------
+class TestKnobPlumbing:
+    def test_options_validate(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            OptimizerOptions(kernel_backend="cuda")
+        with pytest.raises(ValueError, match="max_table_bytes"):
+            OptimizerOptions(max_table_bytes=0)
+        options = OptimizerOptions(
+            kernel_backend="compiled", max_table_bytes=1 << 20
+        )
+        assert options.kernel_backend == "compiled"
+        assert options.max_table_bytes == 1 << 20
+
+    def test_signature_excludes_speed_knobs(self):
+        """Backend and cap are pure speed knobs: bit-identical results,
+        so cached configurations stay valid across them."""
+        from repro.optimizer.engine import search_signature
+
+        layer = ConvLayer("sig", h=8, w=8, c=4, f=2, k=8, r=3, s=3, t=1,
+                          pad_h=1, pad_w=1)
+        arch = morph()
+        plain = search_signature(layer, arch, OptimizerOptions())
+        knobbed = search_signature(
+            layer, arch,
+            OptimizerOptions(kernel_backend="compiled", max_table_bytes=1 << 16),
+        )
+        assert plain == knobbed
+
+    def test_session_config_validates(self):
+        from repro.api import SessionConfig
+
+        assert SessionConfig(max_table_bytes="65536").max_table_bytes == 65536
+        assert SessionConfig(kernel_backend="compiled").kernel_backend == (
+            "compiled"
+        )
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            SessionConfig(kernel_backend="cuda")
+        with pytest.raises(ValueError, match="max_table_bytes"):
+            SessionConfig(max_table_bytes=0)
+
+    @pytest.mark.parametrize(
+        ("variable", "value", "match"),
+        [
+            ("REPRO_KERNEL_BACKEND", "cuda",
+             r"REPRO_KERNEL_BACKEND must be one of compiled, numpy, got 'cuda'"),
+            ("REPRO_MAX_TABLE_BYTES", "lots",
+             r"REPRO_MAX_TABLE_BYTES must be an integer byte count, got 'lots'"),
+            ("REPRO_MAX_TABLE_BYTES", "0",
+             r"REPRO_MAX_TABLE_BYTES must be >= 1 \(bytes\), got '0'"),
+            ("REPRO_MAX_TABLE_BYTES", "-2048",
+             r"REPRO_MAX_TABLE_BYTES must be >= 1 \(bytes\), got '-2048'"),
+        ],
+    )
+    def test_env_bad_value_raises_naming_it(
+        self, monkeypatch, variable, value, match
+    ):
+        from repro.optimizer.engine import (
+            default_kernel_backend,
+            default_max_table_bytes,
+        )
+
+        resolver = (
+            default_kernel_backend
+            if variable == "REPRO_KERNEL_BACKEND"
+            else default_max_table_bytes
+        )
+        monkeypatch.setenv(variable, value)
+        with pytest.raises(ValueError, match=match):
+            resolver()
+
+    def test_env_bad_value_fails_session_materialisation(self, monkeypatch):
+        from repro.api import SessionConfig
+
+        monkeypatch.setenv("REPRO_MAX_TABLE_BYTES", "lots")
+        with pytest.raises(
+            ValueError, match=r"REPRO_MAX_TABLE_BYTES could not be parsed"
+        ):
+            SessionConfig.from_env()
+        monkeypatch.delenv("REPRO_MAX_TABLE_BYTES")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend 'cuda'"):
+            SessionConfig.from_env()
+
+    def test_env_good_values_parse(self, monkeypatch):
+        from repro.api import SessionConfig
+        from repro.optimizer.engine import (
+            default_kernel_backend,
+            default_max_table_bytes,
+        )
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "Compiled")
+        monkeypatch.setenv("REPRO_MAX_TABLE_BYTES", "65536")
+        assert default_kernel_backend() == "compiled"
+        assert default_max_table_bytes() == 65536
+        config = SessionConfig.from_env()
+        assert config.kernel_backend == "compiled"
+        assert config.max_table_bytes == 65536
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "")
+        monkeypatch.setenv("REPRO_MAX_TABLE_BYTES", " ")
+        assert default_kernel_backend() == "numpy"  # empty means unset
+        assert default_max_table_bytes() is None
+        config = SessionConfig.from_env()
+        assert config.kernel_backend is None
+        assert config.max_table_bytes is None
+
+    def test_session_scopes_the_knobs(self):
+        """An active session's knobs reach the resolvers — and
+        evaporate when the session closes."""
+        from repro.api import Session, SessionConfig
+        from repro.optimizer.engine import (
+            default_kernel_backend,
+            default_max_table_bytes,
+        )
+
+        config = SessionConfig(kernel_backend="compiled", max_table_bytes=8192)
+        with Session(config):
+            assert default_kernel_backend() == "compiled"
+            assert default_max_table_bytes() == 8192
+            assert kb.resolve_kernel_backend(None).name == "compiled"
+            assert kb.resolve_max_table_bytes(None) == 8192
+        assert default_kernel_backend() == "numpy"
+        assert default_max_table_bytes() is None
+
+    def test_engine_end_to_end_identical(self):
+        """optimize_layer with both knobs == the plain run, bit for bit."""
+        from repro.optimizer.engine import optimize_layer
+
+        layer = ConvLayer(
+            "net", h=12, w=12, c=16, f=4, k=24, r=3, s=3, t=3,
+            pad_h=1, pad_w=1, pad_f=1,
+        )
+        arch = morph()
+        base = optimize_layer(
+            layer, arch, SMALL_OPTIONS, use_cache=False, vectorize=True
+        )
+        knobbed = optimize_layer(
+            layer, arch, SMALL_OPTIONS, use_cache=False, vectorize=True,
+            kernel_backend="compiled", max_table_bytes=100_000,
+        )
+        assert knobbed.best.dataflow == base.best.dataflow
+        assert knobbed.score == base.score
+        assert knobbed.evaluated == base.evaluated

@@ -166,6 +166,81 @@ class TestKernelPurity:
         )
         assert findings == []
 
+    def test_backend_module_sanctioned_by_path(self, tmp_path):
+        # The kernel-execution backend lowers kernels (JIT guards,
+        # globals rebinding) — module machinery the purity checks would
+        # flag anywhere else.  It is sanctioned by path.
+        findings = self.check(
+            """
+            import types
+
+            def guarded_kernel(fn, jitted):
+                if jitted is None:
+                    return fn
+                return jitted
+            """,
+            tmp_path,
+            relpath="src/repro/core/backend.py",
+        )
+        assert findings == []
+
+    def test_core_kernel_redefinition_outside_core_flagged(self, tmp_path):
+        findings = lint_source(
+            KernelPurityRule(),
+            """
+            def input_extent_kernel(w, k, s):
+                return w * s + k + 1
+            """,
+            "src/repro/sim/fork.py",
+            tmp_path,
+            extra={
+                "src/repro/core/tiling.py": """
+                def input_extent_kernel(w, k, s):
+                    return w * s + k
+                """
+            },
+        )
+        assert any("never fork" in f.message for f in findings)
+        assert all(f.path == "src/repro/sim/fork.py" for f in findings)
+
+    def test_backend_module_may_not_fork_core_kernels(self, tmp_path):
+        # Sanctioned to lower, not to fork: the finish() check still
+        # applies to the backend module itself.
+        findings = lint_source(
+            KernelPurityRule(),
+            """
+            def edp_kernel(energy, cycles):
+                return energy * cycles * 2
+            """,
+            "src/repro/core/backend.py",
+            tmp_path,
+            extra={
+                "src/repro/core/evaluate.py": """
+                def edp_kernel(energy, cycles):
+                    return energy * cycles
+                """
+            },
+        )
+        assert any("never fork" in f.message for f in findings)
+
+    def test_distinct_sim_kernel_names_pass(self, tmp_path):
+        findings = lint_source(
+            KernelPurityRule(),
+            """
+            def interval_span_kernel(a, b):
+                return a + b
+            """,
+            "src/repro/sim/trace.py",
+            tmp_path,
+            extra={
+                "src/repro/core/tiling.py": """
+                def input_extent_kernel(w, k, s):
+                    return w * s + k
+                """
+            },
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # scoped-config
