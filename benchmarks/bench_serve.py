@@ -1,0 +1,113 @@
+"""Benchmark: serving throughput and coalesce rate on a mixed traffic.
+
+Eight concurrent clients (half requesting two_stream, half c3d — the
+paper-adjacent speed/accuracy traffic mix) drive one
+:class:`~repro.serve.ServeEngine` twice: once with in-flight request
+coalescing enabled and once with it disabled.  Caching is off in both
+arms, so the only sharing mechanism under test is the signature-keyed
+in-flight table — the measured ratio is coalescing's contribution
+alone, not the memo's.
+
+Gate: coalescing performs **at least 1.5x fewer engine searches** than
+the uncoalesced run at concurrency 8.  Results are asserted identical
+between the arms (coalescing is pure concurrent dedup).  Nightly CI
+uploads the resulting ``BENCH_serve.json`` so the coalesce-rate and
+throughput trajectory is tracked across PRs.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.arch.accelerator import morph
+from repro.optimizer.search import OptimizerOptions, clear_cache
+from repro.serve import ServeRequest
+from repro.workloads.networks import build_network
+
+#: Full-network concurrent sweeps: deselected in the fast CI tier.
+pytestmark = pytest.mark.slow
+
+CONCURRENCY = 8
+NETWORKS = ("two_stream", "c3d")
+
+
+def _drive(coalesce: bool) -> dict:
+    """One serving run of the mixed traffic; returns results + counters."""
+    clear_cache()
+    session = Session(use_cache=False)
+    arch = morph()
+    networks = [build_network(name) for name in NETWORKS]
+    options = OptimizerOptions.fast()
+
+    async def run():
+        serve = session.serve(max_workers=CONCURRENCY, coalesce=coalesce)
+        requests = [
+            ServeRequest(
+                network=networks[i % len(networks)],
+                tenant=f"tenant-{i}",
+                arch=arch,
+                options=options,
+            )
+            for i in range(CONCURRENCY)
+        ]
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *[serve.submit(request) for request in requests]
+        )
+        wall_s = time.perf_counter() - start
+        metrics = serve.metrics()
+        await serve.aclose()
+        return results, metrics, wall_s
+
+    results, metrics, wall_s = asyncio.run(run())
+    session.close()
+    clear_cache()
+    return {
+        "results": [served.result for served in results],
+        "searched": metrics.engine.searched,
+        "coalesced": metrics.engine.coalesced,
+        "coalesce_rate": metrics.coalesce_rate,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(CONCURRENCY / wall_s, 4),
+        "latency_p95_ms": metrics.latency_p95_ms,
+    }
+
+
+def test_bench_serve_coalescing_gate(once, record_bench):
+    def both_arms():
+        return _drive(coalesce=True), _drive(coalesce=False)
+
+    coalesced, uncoalesced = once(both_arms)
+    record_bench(
+        concurrency=CONCURRENCY,
+        networks=list(NETWORKS),
+        searched_coalesced=coalesced["searched"],
+        searched_uncoalesced=uncoalesced["searched"],
+        search_ratio=round(
+            uncoalesced["searched"] / max(1, coalesced["searched"]), 4
+        ),
+        coalesce_rate=round(coalesced["coalesce_rate"], 4),
+        coalesced_events=coalesced["coalesced"],
+        wall_s_coalesced=coalesced["wall_s"],
+        wall_s_uncoalesced=uncoalesced["wall_s"],
+        throughput_rps_coalesced=coalesced["throughput_rps"],
+        throughput_rps_uncoalesced=uncoalesced["throughput_rps"],
+        latency_p95_ms_coalesced=coalesced["latency_p95_ms"],
+        latency_p95_ms_uncoalesced=uncoalesced["latency_p95_ms"],
+    )
+    # Coalescing never changes an answer — only how often it is computed.
+    assert coalesced["results"] == uncoalesced["results"]
+    # Uncoalesced: every client searches every layer itself.
+    layer_total = sum(
+        len(build_network(name).layers) for name in NETWORKS
+    ) * (CONCURRENCY // len(NETWORKS))
+    assert uncoalesced["searched"] == layer_total
+    assert uncoalesced["coalesced"] == 0
+    # The gate: >= 1.5x fewer engine searches with coalescing on.
+    assert uncoalesced["searched"] >= 1.5 * coalesced["searched"], (
+        f"coalescing saved too little: {coalesced['searched']} vs "
+        f"{uncoalesced['searched']} searches"
+    )
+    assert coalesced["coalesced"] > 0

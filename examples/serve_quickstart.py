@@ -1,0 +1,83 @@
+"""Serving quickstart: optimization-as-a-service over one Session.
+
+Starts a :class:`repro.ServeEngine` via :meth:`repro.Session.serve` and
+drives it the way a scheduling service would: several tenants submit
+overlapping networks concurrently, one client streams per-layer results
+as they land, and one client attaches a deadline so it gets the best
+configuration found within its latency SLO (marked ``budget_exhausted``
+and **never cached**, so a later unbounded request re-searches).
+
+Concurrent requests for the same layer signature coalesce onto a single
+engine search — watch ``coalesce_rate`` in the final metrics — and every
+served result is bit-identical to calling
+:meth:`repro.Session.optimize_network` directly.
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import asyncio
+
+from repro import OptimizerOptions, ServeRequest, Session, morph
+
+
+async def main() -> None:
+    session = Session(use_cache=True)
+    arch = morph()
+    options = OptimizerOptions.fast()
+
+    async with session.serve(max_workers=4, tenant_rate=50.0) as serve:
+        # --- Three tenants, overlapping traffic -----------------------
+        # c3d twice (identical signatures: the second request coalesces
+        # onto the first's in-flight searches) plus two_stream.
+        requests = [
+            ServeRequest(network="c3d", tenant="video-team",
+                         arch=arch, options=options),
+            ServeRequest(network="c3d", tenant="batch-jobs",
+                         arch=arch, options=options),
+            ServeRequest(network="two_stream", tenant="research",
+                         arch=arch, options=options),
+        ]
+        served = await asyncio.gather(
+            *[serve.submit(request) for request in requests]
+        )
+        for result in served:
+            print(
+                f"{result.tenant:>11}  {result.network_name:<11}"
+                f"  {result.result.total_energy_pj / 1e6:8.2f} uJ"
+                f"  in {result.latency_ms:7.1f} ms"
+            )
+
+        # --- Streaming: per-layer results as the search lands ---------
+        print("\nstreaming two_stream layer by layer:")
+        async for event in serve.stream(
+            ServeRequest(network="two_stream", tenant="research",
+                         arch=arch, options=options)
+        ):
+            if event.kind == "layer":
+                layer = event.layer_result
+                print(
+                    f"  [{event.index + 1}/{event.total}] "
+                    f"{layer.layer.name:<12} "
+                    f"{layer.best.total_energy_pj / 1e6:8.3f} uJ"
+                )
+
+        # --- A latency SLO: best answer within the deadline -----------
+        # The budget maps onto the engine's anytime search; a result cut
+        # short is flagged and carries a bound_gap, and is never cached.
+        slo = await serve.submit(
+            ServeRequest(network="c3d", tenant="interactive",
+                         arch=arch, options=options, deadline_ms=150.0)
+        )
+        print(
+            f"\ndeadline 150 ms: {slo.result.total_energy_pj / 1e6:.2f} uJ"
+            f"  (budget_exhausted={slo.budget_exhausted})"
+        )
+
+        metrics = serve.metrics()
+        print(f"\n{metrics.describe()}")
+
+    session.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -29,6 +29,11 @@ legacy entry point resolves through the session, so two sessions with
 different backends or vectorize settings run concurrently in one process
 with bit-identical results to the global-default paths.
 
+For long-lived multi-tenant serving, :meth:`Session.serve` opens an
+asyncio :class:`ServeEngine` (request coalescing, per-tenant quotas,
+backpressure, deadline-to-``budget_ms`` SLOs) — see :mod:`repro.serve`
+and ``examples/serve_quickstart.py``.
+
 Deprecated: :func:`set_engine_defaults` (process-wide mutable state);
 scope a :class:`Session` instead.  The module-level
 :func:`optimize_network` / :func:`optimize_layer` remain supported shims
@@ -84,6 +89,14 @@ from repro.optimizer.search import (
     clear_cache,
     optimize_network,
 )
+from repro.serve import (
+    ServeConfig,
+    ServeEngine,
+    ServeMetrics,
+    ServeRejected,
+    ServeRequest,
+    ServeResult,
+)
 from repro.workloads import (
     alexnet,
     build_network,
@@ -118,6 +131,12 @@ __all__ = [
     "OptimizerOptions",
     "Parallelism",
     "Precision",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeMetrics",
+    "ServeRejected",
+    "ServeRequest",
+    "ServeResult",
     "Session",
     "SessionConfig",
     "ShardedStore",

@@ -520,6 +520,9 @@ class Session:
         # Per-thread LIFO of contextvar tokens: ``with session:`` nests
         # on one session object and co-exists across threads.
         self._local = threading.local()
+        # Serve engines opened through serve(); close() shuts them down
+        # (drains in-flight requests) before flushing telemetry.
+        self._serve_engines: list[Any] = []
 
     # ------------------------------------------------------------------
     # Scoping
@@ -550,8 +553,26 @@ class Session:
         self.flush_statistics()
 
     def close(self) -> None:
-        """Flush telemetry (idempotent).  The session stays usable — a
-        later call simply flushes again."""
+        """Shut the session down: the documented, idempotent shutdown
+        contract.
+
+        In order: (1) every serve engine opened through :meth:`serve`
+        stops admitting — new requests are rejected with reason
+        ``"closed"`` — and in-flight serve requests are *drained* (run
+        to completion), so their engine counters land before telemetry
+        is persisted; (2) :meth:`flush_statistics` folds the process's
+        unflushed cache-statistics deltas into the store sidecar.
+
+        Safe to call twice (and safe concurrently with ``with session:``
+        exit): draining an already-shut engine is a no-op, and flushes
+        consume from one process-wide baseline so nothing is persisted
+        twice.  The session's direct optimize surface stays usable after
+        ``close()`` — only its serving side is terminal.
+        """
+        with self._lock:
+            engines = list(self._serve_engines)
+        for engine in engines:
+            engine.shutdown(wait=True)
         self.flush_statistics()
 
     # ------------------------------------------------------------------
@@ -648,6 +669,31 @@ class Session:
             entries=tuple(entries),
             cache_statistics=self.cache_statistics(merged=True),
         )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, config: Any = None, **overrides: Any):
+        """Open a :class:`repro.serve.ServeEngine` on this session.
+
+        The engine serves optimize requests (each optionally carrying its
+        own :class:`SessionConfig` overlay on this session's config) with
+        request coalescing, per-tenant quotas, backpressure and
+        deadline-to-``budget_ms`` SLO mapping — see :mod:`repro.serve`.
+        ``config`` is a :class:`repro.serve.ServeConfig`; ``overrides``
+        are its field names (``max_workers``, ``max_queue_depth``,
+        ``tenant_rate``, ``tenant_burst``, ``coalesce``,
+        ``default_deadline_ms``), resolved over ``$REPRO_SERVE_*``.
+
+        The engine is tracked by the session: :meth:`close` shuts it
+        down (drains in-flight requests) before flushing telemetry.
+        """
+        from repro.serve import ServeEngine
+
+        engine = ServeEngine(session=self, config=config, **overrides)
+        with self._lock:
+            self._serve_engines.append(engine)
+        return engine
 
     # ------------------------------------------------------------------
     # Workloads and simulators

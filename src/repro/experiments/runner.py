@@ -66,7 +66,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help=f"which to run: {', '.join(EXPERIMENTS)} or 'all'",
+        help=f"which to run: {', '.join(EXPERIMENTS)}, 'all', or 'serve' "
+        "(long-lived line-JSON serving loop on stdin/stdout)",
     )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(
@@ -177,6 +178,30 @@ def main(argv: list[str] | None = None) -> int:
         help="input frames for frame-flexible networks (C3D, I3D, ...): "
         "sweeps like C3D at 8/16/32 frames need no code edits",
     )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve mode: worker threads / max concurrent searches "
+        "(default: $REPRO_SERVE_WORKERS or 4)",
+    )
+    parser.add_argument(
+        "--serve-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve mode: admitted-request cap before backpressure "
+        "rejections (default: $REPRO_SERVE_QUEUE_DEPTH or 64)",
+    )
+    parser.add_argument(
+        "--serve-tenant-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="serve mode: per-tenant admission quota in requests/second "
+        "(default: $REPRO_SERVE_TENANT_RATE or unlimited)",
+    )
     args = parser.parse_args(argv)
     if args.frames is not None and args.frames < 1:
         parser.error("--frames must be >= 1")
@@ -186,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(error))
 
     chosen = list(args.experiments or [])
+    if chosen == ["serve"]:
+        return _serve(args, config)
     unknown = [name for name in chosen if name not in EXPERIMENTS and name != "all"]
     if unknown:
         parser.error(
@@ -205,6 +232,31 @@ def main(argv: list[str] | None = None) -> int:
         # Engine counters plus per-backend recall statistics, merged with
         # the persisted cross-process sidecar of the session's store.
         print(f"\n{session.describe_statistics()}")
+    return 0
+
+
+def _serve(args: argparse.Namespace, config: SessionConfig) -> int:
+    """The ``serve`` subcommand: a line-JSON loop over stdin/stdout.
+
+    Each input line is one request (see :mod:`repro.serve.protocol`);
+    responses print in completion order.  Exits on EOF or a
+    ``{"op": "shutdown"}`` line, draining in-flight requests and
+    flushing the session's cache statistics on the way out.
+    """
+    import asyncio
+
+    from repro.serve import serve_stdio
+
+    session = Session(config)
+    engine = session.serve(
+        max_workers=args.serve_workers,
+        max_queue_depth=args.serve_queue_depth,
+        tenant_rate=args.serve_tenant_rate,
+    )
+    try:
+        asyncio.run(serve_stdio(engine))
+    finally:
+        session.close()
     return 0
 
 

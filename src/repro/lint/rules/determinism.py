@@ -14,18 +14,23 @@ tables and CI comparisons are stable.  Three things quietly break that:
   varies with hash seeding (tie-breaking by iteration order is the
   classic symptom: two runs pick different equal-cost schedules).
 
-Scope: modules under ``core/``, ``optimizer/`` and ``sim/`` — the paths
-whose return values land in results.  Reporting/benchmark code may
+Scope: modules under ``core/``, ``optimizer/``, ``sim/`` and ``serve/``
+— the paths whose return values land in results (the serving layer's
+contract is that a served result is bit-identical to the direct call,
+so it is result-producing too).  Reporting/benchmark code may
 legitimately read clocks; it lives outside this scope.
 
-One module is exempt from the *clock* check (and only that check):
+Two modules are exempt from the *clock* check (and only that check):
 ``repro/optimizer/clock.py``, the sanctioned injectable monotonic-clock
-resolver behind the budgeted anytime search.  The budget is
-timing-dependent by definition, but the result contract stays
-deterministic (the search stops only at candidate-block boundaries, so
-a budgeted result is an exact prefix of the unbudgeted search) — and
-funnelling every clock read through one injectable resolver is what
-keeps it testable.  Clock reads anywhere else in scope stay banned.
+resolver behind the budgeted anytime search, and
+``repro/serve/clock.py``, its twin for the serving layer (token-bucket
+refill, deadline-to-budget mapping, latency percentiles).  Both
+subsystems are timing-dependent by definition, but their result
+contracts stay deterministic (a budgeted result is an exact prefix of
+the unbudgeted search; serving only adds admission control) — and
+funnelling every clock read through one injectable resolver per
+subsystem is what keeps them testable.  Clock reads anywhere else in
+scope stay banned.
 """
 
 from __future__ import annotations
@@ -52,13 +57,16 @@ _CLOCK_CALLS = frozenset(
     }
 )
 
-_SCOPED_PARTS = ("core", "optimizer", "sim")
+_SCOPED_PARTS = ("core", "optimizer", "sim", "serve")
 
-#: The one sanctioned clock module: the injectable monotonic-clock
-#: resolver of the budgeted anytime search (see the module docstring).
-#: Matched as the trailing ``(package, filename)`` pair so the exemption
-#: cannot leak to an unrelated ``clock.py`` elsewhere.
-_SANCTIONED_CLOCK_MODULE = ("optimizer", "clock.py")
+#: The sanctioned clock modules: the injectable monotonic-clock
+#: resolvers of the budgeted anytime search and of the serving layer
+#: (see the module docstring).  Matched as the trailing
+#: ``(package, filename)`` pair so the exemption cannot leak to an
+#: unrelated ``clock.py`` elsewhere.
+_SANCTIONED_CLOCK_MODULES = frozenset(
+    {("optimizer", "clock.py"), ("serve", "clock.py")}
+)
 
 
 def _in_scope(module: ModuleInfo) -> bool:
@@ -68,7 +76,7 @@ def _in_scope(module: ModuleInfo) -> bool:
 
 def _clock_sanctioned(module: ModuleInfo) -> bool:
     parts = module.path.parts
-    return len(parts) >= 2 and parts[-2:] == _SANCTIONED_CLOCK_MODULE
+    return len(parts) >= 2 and parts[-2:] in _SANCTIONED_CLOCK_MODULES
 
 
 def _is_set_expr(node: ast.expr) -> bool:

@@ -16,6 +16,12 @@ process defaults > environment > built-ins), which means:
   ``$REPRO_MAX_TABLE_BYTES`` — and
   :func:`repro.workloads.networks.build_network` (the build-default
   resolver).  Anywhere else, read the active session instead.
+* The serving namespace is scoped *by key*: ``$REPRO_SERVE_*`` reads
+  live only in :mod:`repro.serve.config` (the ``ServeConfig.from_env``
+  materialiser) — the general resolvers above are **not** allowed to
+  read serving variables, and the serve resolver is not allowed to read
+  any other ``$REPRO_*`` variable (it takes session configuration as a
+  :class:`~repro.api.SessionConfig` value, never from the environment).
 * Writes to ``os.environ`` (any variable) are flagged everywhere —
   mutating the process environment cannot be scoped or undone; tests use
   ``monkeypatch.setenv``.
@@ -51,6 +57,13 @@ _ENV_READ_ALLOWED: tuple[tuple[str, object], ...] = (
     ("repro/optimizer/engine.py", lambda fn: fn.startswith("default_")),
     ("repro/workloads/networks.py", lambda fn: fn == "build_network"),
 )
+
+#: The one module allowed to read the serving namespace — and *only*
+#: that namespace: ``$REPRO_SERVE_*`` is scoped by key, not just by
+#: path, so the general resolvers above cannot quietly grow serving
+#: knobs and the serve resolver cannot quietly read session knobs.
+_SERVE_ENV_PREFIX = "REPRO_SERVE_"
+_SERVE_ENV_MODULE = "repro/serve/config.py"
 
 _MUTABLE_FACTORIES = frozenset(
     {"dict", "list", "set", "defaultdict", "OrderedDict", "deque"}
@@ -100,7 +113,9 @@ class ScopedConfigRule(Rule):
                 and isinstance(node.slice, ast.Constant)
                 and isinstance(node.slice.value, str)
                 and node.slice.value.startswith("REPRO_")
-                and not self._read_allowed(module, enclosing_name(node))
+                and not self._read_allowed(
+                    module, enclosing_name(node), node.slice.value
+                )
             ):
                 diag(
                     node,
@@ -123,7 +138,16 @@ class ScopedConfigRule(Rule):
                     return value
         return None
 
-    def _read_allowed(self, module: ModuleInfo, function: str) -> bool:
+    def _read_allowed(
+        self, module: ModuleInfo, function: str, key: str
+    ) -> bool:
+        if key.startswith(_SERVE_ENV_PREFIX):
+            # Serving variables: only the serve resolver, regardless of
+            # what the path-based allowances below would say.
+            return module.display.endswith(_SERVE_ENV_MODULE)
+        if module.display.endswith(_SERVE_ENV_MODULE):
+            # The serve resolver reads only its own namespace.
+            return False
         for suffix, predicate in _ENV_READ_ALLOWED:
             if module.display.endswith(suffix):
                 if predicate is None or (function and predicate(function)):
@@ -140,7 +164,15 @@ class ScopedConfigRule(Rule):
         key = self._env_key(call)
         if key is None or not key.startswith("REPRO_"):
             return
-        if self._read_allowed(module, enclosing_name(call)):
+        if self._read_allowed(module, enclosing_name(call), key):
+            return
+        if key.startswith(_SERVE_ENV_PREFIX):
+            diag(
+                call,
+                f"reads ${key} outside the sanctioned serve resolver "
+                f"({_SERVE_ENV_MODULE}); serving configuration resolves "
+                "through ServeConfig only",
+            )
             return
         diag(
             call,

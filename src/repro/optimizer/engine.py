@@ -746,6 +746,81 @@ class DiskConfigCache:
 
 
 # ----------------------------------------------------------------------
+# In-flight search coalescing (shared across engines and threads)
+# ----------------------------------------------------------------------
+class _InflightSearch:
+    """One signature's in-flight search: the owner publishes, waiters wait.
+
+    The entry lives in :data:`_INFLIGHT` from the moment an engine claims
+    the signature until the owning search publishes (result or error), so
+    every concurrent engine asking for the same signature in that window
+    subscribes instead of searching again.  Publication removes the entry;
+    later requests fall through to the memo/disk caches as before.
+    """
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: LayerResult | None = None
+        self.error: BaseException | None = None
+
+    def wait(self, timeout: float) -> LayerResult | None:
+        """The published result, or ``None`` when the owner failed or the
+        wait timed out (callers fall back to searching themselves)."""
+        if not self.event.wait(timeout):
+            return None
+        return self.result
+
+
+#: Signature key -> in-flight search entry.  A sanctioned process-wide
+#: registry (scoped-config convention): the table is what lets N
+#: concurrent engines — the serve layer's worker pool above all — run
+#: exactly one underlying search per unique signature.
+_INFLIGHT: dict[str, _InflightSearch] = {}
+_INFLIGHT_LOCK = threading.Lock()
+
+#: Upper bound on how long a subscriber waits for another engine's search
+#: before falling back to its own (a search takes seconds, not minutes;
+#: the bound only matters if an owning thread is killed mid-search).
+_INFLIGHT_WAIT_S = 600.0
+
+
+def _inflight_claim(key: str) -> tuple[_InflightSearch, bool]:
+    """Claim ``key`` (returns ``(entry, True)``: caller owns the search)
+    or join the existing owner's entry (``(entry, False)``)."""
+    with _INFLIGHT_LOCK:
+        entry = _INFLIGHT.get(key)
+        if entry is not None:
+            return entry, False
+        entry = _InflightSearch()
+        _INFLIGHT[key] = entry
+        return entry, True
+
+
+def _inflight_publish(
+    key: str,
+    entry: _InflightSearch,
+    result: LayerResult | None,
+    error: BaseException | None = None,
+) -> None:
+    """Resolve an owned entry and retire it from the table."""
+    with _INFLIGHT_LOCK:
+        if _INFLIGHT.get(key) is entry:
+            del _INFLIGHT[key]
+    entry.result = result
+    entry.error = error
+    entry.event.set()
+
+
+def inflight_searches() -> int:
+    """Number of searches currently in flight process-wide (telemetry for
+    the serve layer's metrics snapshot)."""
+    with _INFLIGHT_LOCK:
+        return len(_INFLIGHT)
+
+
+# ----------------------------------------------------------------------
 # In-process memoisation (shared across engines)
 # ----------------------------------------------------------------------
 _LAYER_MEMO: dict[str, LayerResult] = {}
@@ -783,6 +858,10 @@ class EngineStats:
     disk_hits: int = 0  #: unique signatures recalled from the disk cache
     disk_misses: int = 0  #: disk lookups that fell through to a search
     searched: int = 0  #: full searches actually run
+    #: Unique signatures served by subscribing to another engine's
+    #: in-flight search (the serve layer's request coalescing): the work
+    #: ran exactly once process-wide, in someone else's engine.
+    coalesced: int = 0
     network_hits: int = 0  #: whole networks served by the network memo
     budget_exhausted: int = 0  #: searches cut short by the anytime budget
     #: Ranked parallelism candidates displaced so the canonical default
@@ -797,6 +876,8 @@ class EngineStats:
             f"disk {self.disk_hits}/{self.disk_hits + self.disk_misses}, "
             f"searched {self.searched}"
         )
+        if self.coalesced:
+            text += f", coalesced {self.coalesced}"
         if self.network_hits:
             text += f", whole-network hits {self.network_hits}"
         if self.budget_exhausted:
@@ -829,6 +910,7 @@ class OptimizerEngine:
         budget_ms: float | None = None,
         kernel_backend: str | None = None,
         max_table_bytes: int | None = None,
+        coalesce_inflight: bool | None = None,
     ) -> None:
         self.arch = arch
         self.options = options or OptimizerOptions()
@@ -888,6 +970,15 @@ class OptimizerEngine:
             else parallelism_mode
         )
         self.use_cache = default_use_cache() if use_cache is None else use_cache
+        # Coalescing is pure dedup of *concurrent* identical searches
+        # (claim-or-subscribe on the signature-keyed in-flight table) —
+        # searches are deterministic, so a subscribed result is
+        # bit-identical to searching again.  On by default; budgeted
+        # engines opt out automatically (their results are request-
+        # specific prefixes, see optimize_layers).
+        self.coalesce_inflight = (
+            True if coalesce_inflight is None else bool(coalesce_inflight)
+        )
         # cache_dir: None defers to the session/default resolution chain;
         # False disables the persistent cache — whatever the backend —
         # even when a default is configured.
@@ -919,8 +1010,16 @@ class OptimizerEngine:
         self.stats.requested += len(layers)
         self.stats.unique += len(signatures)
 
+        # Budgeted engines never claim or join the in-flight table: a
+        # deadline-bounded result is a request-specific best-so-far prefix
+        # (how far it got depends on *this* request's budget), so sharing
+        # one across requests would violate the anytime contract the same
+        # way caching one would.
+        coalesce = self.coalesce_inflight and self.budget_ms is None
         resolved: dict[str, LayerResult] = {}
         pending: list[str] = []
+        claimed: dict[str, _InflightSearch] = {}
+        joined: dict[str, _InflightSearch] = {}
         for key, signature in signatures.items():
             if self.use_cache and key in _LAYER_MEMO:
                 resolved[key] = _LAYER_MEMO[key]
@@ -940,22 +1039,80 @@ class OptimizerEngine:
                     self.stats.disk_hits += 1
                     continue
                 self.stats.disk_misses += 1
-            pending.append(key)
+            if coalesce:
+                entry, owned = _inflight_claim(key)
+                if owned:
+                    claimed[key] = entry
+                    pending.append(key)
+                else:
+                    joined[key] = entry
+            else:
+                pending.append(key)
 
-        for key, result in zip(pending, self._search(pending, representatives)):
+        try:
+            outcomes = self._search(pending, representatives)
+        except BaseException as error:
+            # Never strand a subscriber: failed claims publish the error
+            # so waiters fall back to their own search instead of hanging.
+            for key in pending:
+                entry = claimed.pop(key, None)
+                if entry is not None:
+                    _inflight_publish(key, entry, None, error)
+            raise
+        for key, result in zip(pending, outcomes):
             resolved[key] = result
             self.stats.searched += 1
             self.stats.parallelism_displaced += result.parallelism_displaced
+            entry = claimed.pop(key, None)
             if result.budget_exhausted:
                 # Best-so-far prefixes never enter a cache: a later run
                 # (or a bigger budget) must get the chance to finish the
-                # search instead of recalling a truncated optimum.
+                # search instead of recalling a truncated optimum.  (A
+                # budgeted engine never claims, so ``entry`` is None here
+                # unless budget resolution and claiming ever disagree —
+                # publish defensively either way.)
                 self.stats.budget_exhausted += 1
+                if entry is not None:
+                    _inflight_publish(key, entry, None)
                 continue
+            if entry is not None:
+                _inflight_publish(key, entry, result)
             if self.use_cache:
                 _LAYER_MEMO[key] = result
             if self.disk is not None:
                 self.disk.store(signatures[key], result)
+
+        # Own searches are published *before* waiting on anyone else's, so
+        # two engines claiming disjoint halves of each other's layer sets
+        # can never deadlock.
+        for key, entry in joined.items():
+            shared = entry.wait(_INFLIGHT_WAIT_S)
+            if shared is None:
+                # Owner died or timed out: search it ourselves.
+                shared = _search_one(
+                    (representatives[key], self.arch, self.options)
+                )
+                self.stats.searched += 1
+                self.stats.parallelism_displaced += shared.parallelism_displaced
+                if not shared.budget_exhausted:
+                    if self.use_cache:
+                        _LAYER_MEMO[key] = shared
+                    if self.disk is not None:
+                        self.disk.store(signatures[key], shared)
+            else:
+                self.stats.coalesced += 1
+                if self.use_cache:
+                    _LAYER_MEMO[key] = shared
+                if self.disk is not None and not self.disk.contains(
+                    signatures[key]
+                ):
+                    # Write-through: the owner persisted into *its* store;
+                    # this engine's (possibly different) store must end up
+                    # with the record too, exactly as if it had searched.
+                    # (Published results are never budget-exhausted — the
+                    # owner publishes None for those.)
+                    self.disk.store(signatures[key], shared)
+            resolved[key] = shared
 
         return tuple(
             _rebind(resolved[key], layer, self.arch) for layer, key in keyed
@@ -1065,6 +1222,7 @@ def optimize_layer(
     budget_ms: float | None = None,
     kernel_backend: str | None = None,
     max_table_bytes: int | None = None,
+    coalesce_inflight: bool | None = None,
 ) -> LayerResult:
     """Single-layer search through the engine's shared caches.
 
@@ -1078,6 +1236,10 @@ def optimize_layer(
     backend and the columnar-table memory cap (pure speed knobs,
     bit-identical results; ``None`` defers to the session /
     ``REPRO_KERNEL_BACKEND`` / ``REPRO_MAX_TABLE_BYTES``).
+    ``coalesce_inflight`` (default on) subscribes concurrent identical
+    searches to one another through the process-wide in-flight table
+    instead of running them twice — pure concurrent dedup, identical
+    results; budgeted searches never coalesce.
     """
     from repro.api import current_session
 
@@ -1094,4 +1256,5 @@ def optimize_layer(
         budget_ms=budget_ms,
         kernel_backend=kernel_backend,
         max_table_bytes=max_table_bytes,
+        coalesce_inflight=coalesce_inflight,
     )

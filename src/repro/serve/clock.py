@@ -1,0 +1,79 @@
+"""The sanctioned monotonic-clock resolver for the serving layer.
+
+The determinism lint rule (docs/INVARIANTS.md) extends to ``serve/``: a
+served result must be as reproducible as a direct
+:meth:`repro.api.Session.optimize_network` call, so serve modules may
+not read wall clocks ad hoc.  But a serving engine is *about* time —
+per-tenant token buckets refill with it, request deadlines are measured
+against it, and latency percentiles are computed from it — so, exactly
+like the anytime budget clock (:mod:`repro.optimizer.clock`), all of it
+funnels through this one sanctioned module, and the clock is
+*injectable*: tests install a fake monotonic clock with
+:func:`use_clock` and exercise quota refill, deadline mapping and
+latency accounting deterministically, without sleeping or flaking.
+
+The separation from the optimizer's clock is deliberate: a test can
+freeze serving time (so a request's deadline maps to one exact
+``budget_ms``) while driving the search's budget clock through a
+different fake — the two subsystems' notions of "now" never have to
+agree.
+
+The override stack is process-wide module state (an ALL_CAPS registry
+per the scoped-config convention), shared across threads — the serve
+engine reads the clock from both the event-loop thread (admission,
+metrics) and its worker threads (deadline-to-budget mapping), and both
+must observe the same fake during a test.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator
+
+#: A monotonic clock: call it for "now" in milliseconds.  Only differences
+#: between readings are meaningful.
+Clock = Callable[[], float]
+
+#: LIFO of installed clock overrides (empty = real monotonic clock).
+_CLOCK_OVERRIDES: list[Clock] = []
+
+
+def monotonic_ms() -> float:
+    """The real monotonic clock, in milliseconds.
+
+    This is the one sanctioned wall-clock read in the serve package (see
+    the module docstring and the determinism rule's exemption).
+    """
+    return time.monotonic() * 1000.0
+
+
+def current_clock() -> Clock:
+    """The active clock: the innermost :func:`use_clock` override, or the
+    real :func:`monotonic_ms`."""
+    if _CLOCK_OVERRIDES:
+        return _CLOCK_OVERRIDES[-1]
+    return monotonic_ms
+
+
+def now_ms() -> float:
+    """One reading of the active clock (shorthand for the hot paths)."""
+    return current_clock()()
+
+
+@contextlib.contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Install ``clock`` as the serving clock for the dynamic extent of
+    the block (re-entrant; restores the previous clock on exit).
+
+    For tests: a frozen or counter-backed fake makes quota refill and
+    deadline mapping exact and repeatable::
+
+        with use_clock(lambda: 0.0):        # serving time stands still
+            ...  # a deadline_ms=5.0 request maps to budget_ms == 5.0
+    """
+    _CLOCK_OVERRIDES.append(clock)
+    try:
+        yield clock
+    finally:
+        _CLOCK_OVERRIDES.pop()

@@ -1,0 +1,214 @@
+"""Line-JSON serving protocol: one request per stdin line, one JSON
+response per stdout line.
+
+This is the runner's ``serve`` subcommand transport — a deliberately
+minimal framing (newline-delimited JSON over stdio) that a smoke test,
+a shell pipeline or a thin localhost wrapper can drive without any
+client library.  Responses are emitted in *completion* order (requests
+run concurrently through the :class:`~repro.serve.engine.ServeEngine`),
+correlated by ``request_id``.
+
+Request objects::
+
+    {"op": "optimize", "network": "c3d", "tenant": "a",
+     "deadline_ms": 250.0, "config": {...SessionConfig fields...},
+     "request_id": "r1"}
+    {"op": "metrics"}
+    {"op": "shutdown"}
+
+``op`` defaults to ``"optimize"``, so the minimal request is just
+``{"network": "c3d"}``.  Responses carry ``"ok": true`` plus the
+payload, or ``"ok": false`` plus ``"error"``/``"reason"`` (and
+``"retry_after_ms"`` for quota/backpressure rejections).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, TextIO
+
+from repro.api import SessionConfig
+from repro.serve.engine import ServeEngine, ServeRejected, ServeRequest
+
+__all__ = ["decode_request", "encode_response", "serve_stdio"]
+
+
+def decode_request(line: str) -> ServeRequest | str:
+    """Parse one protocol line into a :class:`ServeRequest`, or the
+    control-op name (``"metrics"`` / ``"shutdown"``).
+
+    Raises ``ValueError`` for malformed lines (bad JSON, unknown ``op``,
+    missing ``network``) — the stdio loop turns those into
+    ``"ok": false`` responses rather than dying.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"bad JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("request must be a JSON object")
+    op = payload.get("op", "optimize")
+    if op in ("metrics", "shutdown"):
+        return op
+    if op != "optimize":
+        raise ValueError(f"unknown op {op!r}")
+    network = payload.get("network")
+    if not isinstance(network, str) or not network:
+        raise ValueError("optimize request needs a 'network' name")
+    config = payload.get("config")
+    request_config = (
+        SessionConfig.from_dict(config) if isinstance(config, dict) else None
+    )
+    deadline = payload.get("deadline_ms")
+    return ServeRequest(
+        network=network,
+        tenant=str(payload.get("tenant", "default")),
+        config=request_config,
+        deadline_ms=None if deadline is None else float(deadline),
+        request_id=(
+            str(payload["request_id"]) if "request_id" in payload else None
+        ),
+    )
+
+
+def encode_response(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _result_payload(served: Any) -> dict[str, Any]:
+    result = served.result
+    return {
+        "ok": True,
+        "request_id": served.request_id,
+        "tenant": served.tenant,
+        "network": served.network_name,
+        "total_energy_pj": result.total_energy_pj,
+        "total_cycles": result.total_cycles,
+        "latency_ms": served.latency_ms,
+        "budget_exhausted": served.budget_exhausted,
+        "layers": [
+            {
+                "name": layer.layer.name,
+                "energy_pj": layer.best.total_energy_pj,
+                "cycles": layer.best.cycles,
+                "budget_exhausted": layer.budget_exhausted,
+                "bound_gap": layer.bound_gap,
+            }
+            for layer in result.layers
+        ],
+        "engine": served.stats.describe(),
+    }
+
+
+def _metrics_payload(engine: ServeEngine) -> dict[str, Any]:
+    metrics = engine.metrics()
+    return {
+        "ok": True,
+        "op": "metrics",
+        "queue_depth": metrics.queue_depth,
+        "admitted": metrics.admitted,
+        "rejected_quota": metrics.rejected_quota,
+        "rejected_backpressure": metrics.rejected_backpressure,
+        "rejected_closed": metrics.rejected_closed,
+        "completed": metrics.completed,
+        "failed": metrics.failed,
+        "coalesce_rate": metrics.coalesce_rate,
+        "searched": metrics.engine.searched,
+        "coalesced": metrics.engine.coalesced,
+        "memo_hits": metrics.engine.memo_hits,
+        "latency_p50_ms": metrics.latency_p50_ms,
+        "latency_p95_ms": metrics.latency_p95_ms,
+        "latency_p99_ms": metrics.latency_p99_ms,
+    }
+
+
+async def serve_stdio(
+    engine: ServeEngine,
+    stdin: TextIO | None = None,
+    stdout: TextIO | None = None,
+) -> int:
+    """Run the line-JSON loop until EOF or a ``shutdown`` op.
+
+    Each optimize line becomes a concurrent task; responses print in
+    completion order.  Returns the number of requests served.
+    """
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task[None]] = set()
+    served = 0
+
+    async def respond(payload: dict[str, Any]) -> None:
+        async with write_lock:
+            stdout.write(encode_response(payload) + "\n")
+            stdout.flush()
+
+    async def run_request(request: ServeRequest) -> None:
+        nonlocal served
+        try:
+            outcome = await engine.submit(request)
+        except ServeRejected as rejection:
+            await respond(
+                {
+                    "ok": False,
+                    "reason": rejection.reason,
+                    "tenant": rejection.tenant,
+                    "retry_after_ms": rejection.retry_after_ms,
+                    "request_id": request.request_id,
+                }
+            )
+            return
+        except Exception as error:
+            await respond(
+                {
+                    "ok": False,
+                    "reason": "error",
+                    "error": f"{type(error).__name__}: {error}",
+                    "request_id": request.request_id,
+                }
+            )
+            return
+        served += 1
+        await respond(_result_payload(outcome))
+
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            decoded = decode_request(line)
+        except ValueError as error:
+            await respond({"ok": False, "reason": "bad-request",
+                           "error": str(error)})
+            continue
+        if decoded == "metrics":
+            await respond(_metrics_payload(engine))
+            continue
+        if decoded == "shutdown":
+            break
+        assert isinstance(decoded, ServeRequest)
+        task = asyncio.ensure_future(run_request(decoded))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    if tasks:
+        await asyncio.gather(*list(tasks), return_exceptions=True)
+    await engine.aclose()
+    # The final snapshot rides on the shutdown ack: a mid-stream
+    # "metrics" probe is a *live* reading (requests still in flight),
+    # so this is where a pipeline gets the settled totals.
+    final = {
+        key: value
+        for key, value in _metrics_payload(engine).items()
+        if key not in ("ok", "op")
+    }
+    await respond(
+        {"ok": True, "op": "shutdown", "served": served, "metrics": final}
+    )
+    return served

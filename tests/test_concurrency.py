@@ -228,6 +228,64 @@ class TestManifestCompactionRaces:
         assert not list(tmp_path.glob("*.tmp.*"))
 
 
+class TestServeRaces:
+    def test_serve_vs_serve_on_one_sharded_store(self, tmp_path):
+        """Two serving engines (two sessions) racing overlapping requests
+        into one sharded store: every served result is identical, the
+        store ends with exactly one record per unique signature, and the
+        atomic-write contract leaves no debris."""
+        import asyncio
+
+        from repro.api import Session, SessionConfig
+        from repro.serve import ServeRequest
+
+        arch = morph()
+        config = SessionConfig(
+            cache_dir=tmp_path, cache_backend="sharded", use_cache=True
+        )
+        session_a = Session(config)
+        session_b = Session(config)
+        network = (LAYER, LAYER_B)
+
+        async def drive():
+            serve_a = session_a.serve(max_workers=2)
+            serve_b = session_b.serve(max_workers=2)
+            results = await asyncio.gather(
+                *[
+                    engine.submit(
+                        ServeRequest(
+                            network=network, tenant=tenant, arch=arch,
+                            options=TINY,
+                        )
+                    )
+                    for engine, tenant in (
+                        (serve_a, "a1"), (serve_a, "a2"),
+                        (serve_b, "b1"), (serve_b, "b2"),
+                    )
+                ]
+            )
+            stats = (serve_a.metrics().engine, serve_b.metrics().engine)
+            await serve_a.aclose()
+            await serve_b.aclose()
+            return results, stats
+
+        try:
+            results, (stats_a, stats_b) = asyncio.run(drive())
+        finally:
+            session_a.close()
+            session_b.close()
+        first = results[0].result
+        for served in results[1:]:
+            assert served.result == first
+        # One record per unique signature, all valid, no torn temp files.
+        store = create_store("sharded", tmp_path)
+        assert len(list(store.keys())) == 2
+        assert not list(tmp_path.rglob("*.tmp.*"))
+        # The two engines combined searched each signature at most once
+        # per process-wide claim (shared memo/in-flight table).
+        assert stats_a.searched + stats_b.searched == 2
+
+
 class TestThreadMode:
     def test_thread_pool_matches_serial(self, morph_arch):
         serial = OptimizerEngine(

@@ -331,6 +331,64 @@ class TestScopedConfig:
         )
         assert findings == []
 
+    def test_serve_env_read_in_serve_resolver_passes(self, tmp_path):
+        findings = self.check(
+            """
+            import os
+
+            def from_env():
+                return os.environ.get("REPRO_SERVE_WORKERS")
+            """,
+            tmp_path,
+            relpath="src/repro/serve/config.py",
+        )
+        assert findings == []
+
+    def test_serve_env_read_in_api_flagged(self, tmp_path):
+        """repro/api.py may read generic $REPRO_* but NOT the serving
+        namespace — $REPRO_SERVE_* is scoped by key to the serve
+        resolver."""
+        findings = self.check(
+            """
+            import os
+
+            def from_env():
+                return os.environ.get("REPRO_SERVE_WORKERS")
+            """,
+            tmp_path,
+            relpath="src/repro/api.py",
+        )
+        assert any("REPRO_SERVE_WORKERS" in f.message for f in findings)
+        assert any("serve resolver" in f.message for f in findings)
+
+    def test_serve_env_read_elsewhere_flagged(self, tmp_path):
+        findings = self.check(
+            """
+            import os
+
+            def workers():
+                return os.environ["REPRO_SERVE_QUEUE_DEPTH"]
+            """,
+            tmp_path,
+            relpath="src/repro/serve/engine.py",
+        )
+        assert any("REPRO_SERVE_QUEUE_DEPTH" in f.message for f in findings)
+
+    def test_session_env_read_in_serve_resolver_flagged(self, tmp_path):
+        """The serve resolver reads only its own namespace: session
+        config reaches it as a SessionConfig value, never via env."""
+        findings = self.check(
+            """
+            import os
+
+            def from_env():
+                return os.environ.get("REPRO_CACHE_DIR")
+            """,
+            tmp_path,
+            relpath="src/repro/serve/config.py",
+        )
+        assert any("REPRO_CACHE_DIR" in f.message for f in findings)
+
 
 # ----------------------------------------------------------------------
 # signature-completeness
@@ -645,6 +703,56 @@ class TestDeterminism:
             relpath="benchmarks/bench_fix.py",
         )
         assert findings == []
+
+    def test_serve_module_in_scope(self, tmp_path):
+        """The serving layer is result-producing (served results must be
+        bit-identical to direct calls), so it is inside the rule's scope."""
+        findings = self.check(
+            """
+            import time
+
+
+            def deadline():
+                return time.monotonic()
+            """,
+            tmp_path,
+            relpath="src/repro/serve/engine.py",
+        )
+        assert any("time.monotonic" in f.message for f in findings)
+
+    @pytest.mark.parametrize(
+        "relpath",
+        ("src/repro/optimizer/clock.py", "src/repro/serve/clock.py"),
+    )
+    def test_sanctioned_clock_modules_pass(self, tmp_path, relpath):
+        findings = self.check(
+            """
+            import time
+
+
+            def monotonic_ms():
+                return time.monotonic() * 1000.0
+            """,
+            tmp_path,
+            relpath=relpath,
+        )
+        assert findings == []
+
+    def test_unrelated_clock_module_still_flagged(self, tmp_path):
+        """The exemption is the (package, filename) pair, not any file
+        that happens to be named clock.py."""
+        findings = self.check(
+            """
+            import time
+
+
+            def monotonic_ms():
+                return time.monotonic() * 1000.0
+            """,
+            tmp_path,
+            relpath="src/repro/sim/clock.py",
+        )
+        assert any("time.monotonic" in f.message for f in findings)
 
 
 # ----------------------------------------------------------------------
